@@ -1,0 +1,76 @@
+// Command nadmm-bench regenerates the paper's evaluation artifacts: every
+// table and figure (plus the ablations) as text tables and series.
+//
+// Examples:
+//
+//	nadmm-bench -list
+//	nadmm-bench -run fig2 -scale 0.5
+//	nadmm-bench -all -quick
+//	nadmm-bench -run fig1 -network 1g
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"newtonadmm"
+	"newtonadmm/internal/harness"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("nadmm-bench: ")
+
+	var (
+		list    = flag.Bool("list", false, "list the available experiments")
+		run     = flag.String("run", "", "experiment id to run (see -list)")
+		all     = flag.Bool("all", false, "run every experiment")
+		scale   = flag.Float64("scale", 1.0, "dataset size multiplier")
+		epochs  = flag.Int("epochs", 0, "override epoch budgets (0 = experiment default)")
+		quick   = flag.Bool("quick", false, "smoke-test sizes and budgets")
+		network = flag.String("network", "infiniband", "interconnect model: infiniband, 10g, 1g, wan, none")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.Experiments() {
+			fmt.Printf("%-18s %s\n", e.ID, e.Title)
+			fmt.Printf("%-18s paper: %s\n\n", "", e.Paper)
+		}
+		return
+	}
+
+	net, err := newtonadmm.NetworkByName(*network)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := harness.RunConfig{Scale: *scale, Epochs: *epochs, Quick: *quick, Network: net}
+
+	var targets []harness.Experiment
+	switch {
+	case *all:
+		targets = harness.Experiments()
+	case *run != "":
+		e, ok := harness.ByID(*run)
+		if !ok {
+			log.Fatalf("unknown experiment %q; try -list", *run)
+		}
+		targets = []harness.Experiment{e}
+	default:
+		fmt.Fprintln(os.Stderr, "need -run <id>, -all, or -list; see -h")
+		os.Exit(2)
+	}
+
+	for _, e := range targets {
+		fmt.Printf("### %s — %s\n", e.ID, e.Title)
+		fmt.Printf("### paper: %s\n\n", e.Paper)
+		start := time.Now()
+		if err := e.Run(cfg, os.Stdout); err != nil {
+			log.Fatalf("%s: %v", e.ID, err)
+		}
+		fmt.Printf("### %s completed in %v\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,100 @@
+// Command nadmm-train trains a multiclass linear classifier with any of
+// the reproduced solvers on a preset synthetic dataset or LIBSVM files.
+//
+// Examples:
+//
+//	nadmm-train -preset mnist -scale 0.5 -solver newton-admm -ranks 4
+//	nadmm-train -train data/a9a -test data/a9a.t -solver giant -epochs 50
+//	nadmm-train -preset higgs -solver sync-sgd -step 1 -batch 128
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+
+	"newtonadmm"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("nadmm-train: ")
+
+	var (
+		preset   = flag.String("preset", "", "synthetic preset: higgs, mnist, cifar, e18")
+		scale    = flag.Float64("scale", 1.0, "preset size multiplier")
+		train    = flag.String("train", "", "LIBSVM training file (alternative to -preset)")
+		test     = flag.String("test", "", "LIBSVM test file")
+		solver   = flag.String("solver", "newton-admm", "newton-admm, giant, inexact-dane, aide, disco, sync-sgd, newton")
+		ranks    = flag.Int("ranks", 4, "simulated cluster size")
+		epochs   = flag.Int("epochs", 0, "iteration budget (0 = solver default)")
+		lambda   = flag.Float64("lambda", 1e-5, "L2 regularization strength")
+		network  = flag.String("network", "infiniband", "interconnect model: infiniband, 10g, 1g, wan, none")
+		useTCP   = flag.Bool("tcp", false, "run the cluster over real loopback TCP")
+		cgIters  = flag.Int("cg", 10, "CG iterations for Newton-type solvers")
+		cgTol    = flag.Float64("cgtol", 1e-4, "CG relative tolerance")
+		penalty  = flag.String("penalty", "spectral", "ADMM penalty policy: spectral, residual-balancing, fixed")
+		batch    = flag.Int("batch", 128, "mini-batch size (sgd, svrg)")
+		step     = flag.Float64("step", 1, "step size (sgd, svrg)")
+		momentum = flag.Float64("momentum", 0, "heavy-ball momentum for sync-sgd")
+		tau      = flag.Float64("tau", 1, "AIDE catalyst weight")
+		seed     = flag.Int64("seed", 0, "random seed for stochastic solvers")
+		save     = flag.String("save", "", "write the trained model (gob) to this path")
+		quiet    = flag.Bool("quiet", false, "suppress the per-epoch trace")
+	)
+	flag.Parse()
+
+	var (
+		ds  *newtonadmm.Dataset
+		err error
+	)
+	switch {
+	case *preset != "":
+		ds, err = newtonadmm.PresetDataset(*preset, *scale)
+	case *train != "":
+		ds, err = newtonadmm.LoadLIBSVM(*train, *test)
+	default:
+		fmt.Fprintln(os.Stderr, "need -preset or -train; see -h")
+		os.Exit(2)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset %s: %d train / %d test, %d features, %d classes\n",
+		ds.Name(), ds.TrainSize(), ds.TestSize(), ds.Features(), ds.Classes())
+
+	model, err := newtonadmm.Train(ds, newtonadmm.Options{
+		Solver: *solver, Ranks: *ranks, Epochs: *epochs, Lambda: *lambda,
+		Network: *network, UseTCP: *useTCP,
+		CGIters: *cgIters, CGTol: *cgTol, PenaltyPolicy: *penalty,
+		BatchSize: *batch, StepSize: *step, Momentum: *momentum, Tau: *tau, Seed: *seed,
+		EvalTestAccuracy: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if !*quiet {
+		fmt.Println("epoch      time(s)      objective    test-acc")
+		for _, p := range model.Trace {
+			acc := "      -"
+			if !math.IsNaN(p.TestAccuracy) {
+				acc = fmt.Sprintf("%7.4f", p.TestAccuracy)
+			}
+			fmt.Printf("%5d  %11.4f  %13.6g  %s\n", p.Epoch, p.Seconds, p.Objective, acc)
+		}
+	}
+	fmt.Printf("solver=%s ranks=%d total=%v avg-epoch=%v\n",
+		model.Solver, *ranks, model.TotalTime, model.AvgEpochTime)
+	if !math.IsNaN(model.TestAccuracy) {
+		fmt.Printf("final test accuracy: %.4f\n", model.TestAccuracy)
+	}
+	if *save != "" {
+		if err := model.Save(*save); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("model written to %s\n", *save)
+	}
+}

@@ -1,0 +1,63 @@
+// scaling_study sweeps the simulated cluster size under strong scaling
+// (fixed total data, shrinking shards) and weak scaling (fixed shard per
+// rank, growing data) and prints the average epoch time of Newton-ADMM —
+// the experiment design behind the paper's Figure 2, runnable on a laptop.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"newtonadmm"
+)
+
+func main() {
+	preset := flag.String("preset", "higgs", "dataset preset: higgs, mnist, cifar, e18")
+	scale := flag.Float64("scale", 0.25, "dataset size multiplier")
+	epochs := flag.Int("epochs", 10, "epochs to average over")
+	network := flag.String("network", "infiniband", "interconnect model")
+	flag.Parse()
+
+	rankSweep := []int{1, 2, 4, 8}
+
+	fmt.Printf("strong scaling on %s (fixed total samples)\n", *preset)
+	fmt.Println("ranks  avg-epoch  total")
+	base, err := newtonadmm.PresetDataset(*preset, *scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, ranks := range rankSweep {
+		model, err := newtonadmm.Train(base, newtonadmm.Options{
+			Ranks: ranks, Epochs: *epochs, Lambda: 1e-5, Network: *network,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%5d  %9v  %v\n", ranks, model.AvgEpochTime, model.TotalTime)
+	}
+
+	fmt.Printf("\nweak scaling on %s (fixed samples per rank)\n", *preset)
+	fmt.Println("ranks  samples  avg-epoch  total")
+	perRank := base.TrainSize() / rankSweep[len(rankSweep)-1]
+	for _, ranks := range rankSweep {
+		// Grow the dataset with the rank count so every rank keeps the
+		// same shard size.
+		ds, err := newtonadmm.GenerateDataset(newtonadmm.DatasetOptions{
+			Name:    fmt.Sprintf("%s-w%d", *preset, ranks),
+			Samples: perRank * ranks, TestSamples: 0,
+			Features: base.Features(), Classes: base.Classes(),
+			Seed: 7, Separation: 3,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		model, err := newtonadmm.Train(ds, newtonadmm.Options{
+			Ranks: ranks, Epochs: *epochs, Lambda: 1e-5, Network: *network,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%5d  %7d  %9v  %v\n", ranks, ds.TrainSize(), model.AvgEpochTime, model.TotalTime)
+	}
+}

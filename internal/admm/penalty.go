@@ -1,0 +1,233 @@
+package admm
+
+import (
+	"math"
+
+	"newtonadmm/internal/linalg"
+)
+
+// IterState carries one rank's view of an ADMM iteration's results, the
+// raw material for penalty adaptation.
+type IterState struct {
+	// X1 is the fresh local subproblem solution x_i^{k+1}.
+	X1 []float64
+	// Z0 and Z1 are the consensus before and after the z-update.
+	Z0, Z1 []float64
+	// Y0 and Y1 are the multiplier before and after the y-update.
+	Y0, Y1 []float64
+	// Primal is this rank's primal residual ||x_i - z||.
+	Primal float64
+	// Dual is this rank's dual residual ||rho (z1 - z0)||.
+	Dual float64
+}
+
+// PenaltyPolicy adapts one rank's ADMM penalty parameter. Update is called
+// once per ADMM iteration (iteration index k starting at 1); it returns
+// the penalty to use for the next iteration.
+type PenaltyPolicy interface {
+	// Name identifies the policy in experiment output.
+	Name() string
+	// Rho returns the current penalty.
+	Rho() float64
+	// Update observes iteration k's results and returns the new penalty.
+	Update(k int, st IterState) float64
+}
+
+// FixedPenalty keeps rho constant (vanilla consensus ADMM).
+type FixedPenalty struct{ Value float64 }
+
+// Name implements PenaltyPolicy.
+func (f *FixedPenalty) Name() string { return "fixed" }
+
+// Rho implements PenaltyPolicy.
+func (f *FixedPenalty) Rho() float64 { return f.Value }
+
+// Update implements PenaltyPolicy (no adaptation).
+func (f *FixedPenalty) Update(int, IterState) float64 { return f.Value }
+
+// ResidualBalancing is the classic adaptive rule of He, Yang & Wang (2000):
+// grow rho when the primal residual dominates, shrink when the dual
+// residual dominates. The paper cites it as the common default whose
+// convergence "is still not effective in practice".
+type ResidualBalancing struct {
+	rho float64
+	// Mu is the imbalance threshold (default 10).
+	Mu float64
+	// Tau is the multiplicative step (default 2).
+	Tau float64
+}
+
+// NewResidualBalancing returns the policy with textbook constants.
+func NewResidualBalancing(rho0 float64) *ResidualBalancing {
+	return &ResidualBalancing{rho: rho0, Mu: 10, Tau: 2}
+}
+
+// Name implements PenaltyPolicy.
+func (rb *ResidualBalancing) Name() string { return "residual-balancing" }
+
+// Rho implements PenaltyPolicy.
+func (rb *ResidualBalancing) Rho() float64 { return rb.rho }
+
+// Update implements PenaltyPolicy from the residual norms.
+func (rb *ResidualBalancing) Update(_ int, st IterState) float64 {
+	if st.Primal > rb.Mu*st.Dual {
+		rb.rho *= rb.Tau
+	} else if st.Dual > rb.Mu*st.Primal {
+		rb.rho /= rb.Tau
+	}
+	return rb.rho
+}
+
+// SpectralPenalty is Spectral Penalty Selection (SPS) following Xu,
+// Figueiredo & Goldstein's adaptive ADMM and its consensus variant
+// (ACADMM), the policy the paper adopts (§2.2, refs [29, 30]): per-rank
+// Barzilai-Borwein curvature estimates of the local objective and the
+// regularizer, combined through a correlation safeguard.
+type SpectralPenalty struct {
+	rho float64
+	// EpsCor is the correlation threshold below which estimates are
+	// considered unreliable (Xu et al. use 0.2).
+	EpsCor float64
+	// Tf is the adaptation period in iterations (Xu et al. use 2).
+	Tf int
+	// Ccg bounds the relative change per update via (1 + Ccg/k^2).
+	Ccg float64
+	// MinRho/MaxRho clamp the penalty to a sane range.
+	MinRho, MaxRho float64
+
+	havePrev              bool
+	x0, z0, lamHat0, lam0 []float64
+}
+
+// NewSpectralPenalty returns an SPS policy with the constants of the
+// ACADMM paper.
+func NewSpectralPenalty(rho0 float64) *SpectralPenalty {
+	return &SpectralPenalty{
+		rho:    rho0,
+		EpsCor: 0.2,
+		Tf:     2,
+		Ccg:    1e10,
+		MinRho: 1e-8,
+		MaxRho: 1e8,
+	}
+}
+
+// Name implements PenaltyPolicy.
+func (sp *SpectralPenalty) Name() string { return "spectral" }
+
+// Rho implements PenaltyPolicy.
+func (sp *SpectralPenalty) Rho() float64 { return sp.rho }
+
+// spectralStep combines the steepest-descent and minimum-gradient
+// Barzilai-Borwein estimates with the hybrid rule of Xu et al.:
+// use MG when 2*MG > SD, otherwise SD - MG/2.
+func spectralStep(sd, mg float64) float64 {
+	if 2*mg > sd {
+		return mg
+	}
+	return sd - mg/2
+}
+
+// Update implements PenaltyPolicy. The spectral quotients need the
+// gradients the iterates imply, not the raw multipliers:
+//
+//   - at the stationary point of the x-subproblem (eq. 6a),
+//     grad f_i(x1) = y0 + rho (z0 - x1) =: lamHat, so (dx, dLamHat)
+//     estimates the local objective's curvature;
+//   - at the stationary point of the z-subproblem (eq. 6b/7),
+//     grad g(z1) = -sum_i y1_i, so per node -y1 =: lam is its share and
+//     (dz, dLam) estimates the regularizer's curvature.
+func (sp *SpectralPenalty) Update(k int, st IterState) float64 {
+	dim := len(st.X1)
+	lamHat := make([]float64, dim)
+	lam := make([]float64, dim)
+	for j := 0; j < dim; j++ {
+		lamHat[j] = st.Y0[j] + sp.rho*(st.Z0[j]-st.X1[j])
+		lam[j] = -st.Y1[j]
+	}
+	if !sp.havePrev {
+		sp.snapshot(st.X1, st.Z1, lamHat, lam)
+		return sp.rho
+	}
+	if sp.Tf > 1 && k%sp.Tf != 0 {
+		return sp.rho
+	}
+
+	dx := make([]float64, dim)
+	dz := make([]float64, dim)
+	dlh := make([]float64, dim)
+	dl := make([]float64, dim)
+	for j := 0; j < dim; j++ {
+		dx[j] = st.X1[j] - sp.x0[j]
+		dz[j] = st.Z1[j] - sp.z0[j]
+		dlh[j] = lamHat[j] - sp.lamHat0[j]
+		dl[j] = lam[j] - sp.lam0[j]
+	}
+
+	// Curvature of the local objective f_i from (dx, dlamHat).
+	dxDlh := linalg.Dot(dx, dlh)
+	dlhSq := linalg.Dot(dlh, dlh)
+	dxSq := linalg.Dot(dx, dx)
+	// Curvature of the regularizer g from (dz, dlam).
+	dzDl := linalg.Dot(dz, dl)
+	dlSq := linalg.Dot(dl, dl)
+	dzSq := linalg.Dot(dz, dz)
+
+	var alphaOK, betaOK bool
+	var alpha, beta float64
+	if dxDlh > 0 && dlhSq > 0 && dxSq > 0 {
+		aSD := dlhSq / dxDlh
+		aMG := dxDlh / dxSq
+		alpha = spectralStep(aSD, aMG)
+		alphaCor := dxDlh / (math.Sqrt(dxSq) * math.Sqrt(dlhSq))
+		alphaOK = alphaCor > sp.EpsCor && alpha > 0
+	}
+	if dzDl > 0 && dlSq > 0 && dzSq > 0 {
+		bSD := dlSq / dzDl
+		bMG := dzDl / dzSq
+		beta = spectralStep(bSD, bMG)
+		betaCor := dzDl / (math.Sqrt(dzSq) * math.Sqrt(dlSq))
+		betaOK = betaCor > sp.EpsCor && beta > 0
+	}
+
+	proposal := sp.rho
+	switch {
+	case alphaOK && betaOK:
+		proposal = math.Sqrt(alpha * beta)
+	case alphaOK:
+		proposal = alpha
+	case betaOK:
+		proposal = beta
+	}
+
+	// Convergence safeguard: bounded relative change, decaying with k.
+	guard := 1 + sp.Ccg/float64(k*k)
+	lo, hi := sp.rho/guard, sp.rho*guard
+	proposal = math.Min(math.Max(proposal, lo), hi)
+	proposal = math.Min(math.Max(proposal, sp.MinRho), sp.MaxRho)
+	sp.rho = proposal
+
+	sp.snapshot(st.X1, st.Z1, lamHat, lam)
+	return sp.rho
+}
+
+func (sp *SpectralPenalty) snapshot(x, z, lamHat, lam []float64) {
+	sp.x0 = append(sp.x0[:0], x...)
+	sp.z0 = append(sp.z0[:0], z...)
+	sp.lamHat0 = append(sp.lamHat0[:0], lamHat...)
+	sp.lam0 = append(sp.lam0[:0], lam...)
+	sp.havePrev = true
+}
+
+// NewPolicy constructs a policy by name: "spectral", "residual-balancing",
+// or "fixed". Unknown names fall back to spectral (the paper's default).
+func NewPolicy(name string, rho0 float64) PenaltyPolicy {
+	switch name {
+	case "fixed":
+		return &FixedPenalty{Value: rho0}
+	case "residual-balancing":
+		return NewResidualBalancing(rho0)
+	default:
+		return NewSpectralPenalty(rho0)
+	}
+}

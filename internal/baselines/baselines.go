@@ -1,0 +1,34 @@
+// Package baselines implements the distributed optimizers the paper
+// compares Newton-ADMM against: GIANT (Wang et al.), InexactDANE and AIDE
+// (Reddi et al., with an SVRG inner solver), and synchronous mini-batch
+// SGD. Each follows the communication pattern the paper attributes to it —
+// GIANT's three collectives per iteration, DANE/AIDE's two, and SGD's one
+// per mini-batch — so the virtual-clock comparisons reproduce the paper's
+// cost structure.
+package baselines
+
+import (
+	"math"
+
+	"newtonadmm/internal/cluster"
+	"newtonadmm/internal/metrics"
+)
+
+// Result is the common output shape of the baseline solvers.
+type Result struct {
+	// X is the final iterate (identical on all ranks).
+	X []float64
+	// Trace is the convergence history recorded on rank 0.
+	Trace metrics.Trace
+	// Stats are per-rank timing summaries.
+	Stats []cluster.NodeStats
+	// TestAccuracy is the final test accuracy (NaN when not measured).
+	TestAccuracy float64
+}
+
+func finishResult(res *Result) {
+	res.TestAccuracy = math.NaN()
+	if p, ok := res.Trace.Final(); ok {
+		res.TestAccuracy = p.TestAccuracy
+	}
+}

@@ -1,0 +1,210 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+
+	"newtonadmm/internal/cluster"
+	"newtonadmm/internal/datasets"
+	"newtonadmm/internal/dist"
+	"newtonadmm/internal/linalg"
+	"newtonadmm/internal/metrics"
+)
+
+// DANEOptions configures InexactDANE and (via AIDE) its accelerated
+// wrapper.
+type DANEOptions struct {
+	// Epochs is the number of outer DANE iterations; <=0 selects 10
+	// (the paper only runs 10 because each is so expensive).
+	Epochs int
+	// Lambda is the global L2 regularization strength.
+	Lambda float64
+	// Eta is DANE's gradient weight (paper uses 1.0).
+	Eta float64
+	// Mu is DANE's proximal coefficient (paper uses 0.0).
+	Mu float64
+	// SVRG configures the inexact subproblem solver.
+	SVRG SVRGOptions
+	// Seed makes the stochastic inner solver reproducible.
+	Seed int64
+	// EvalEvery records a trace point every this many epochs; <=0 is 1.
+	EvalEvery int
+	// EvalTestAccuracy also measures test accuracy at trace points.
+	EvalTestAccuracy bool
+}
+
+func (o DANEOptions) withDefaults() DANEOptions {
+	if o.Epochs <= 0 {
+		o.Epochs = 10
+	}
+	if o.Eta == 0 {
+		o.Eta = 1
+	}
+	if o.EvalEvery <= 0 {
+		o.EvalEvery = 1
+	}
+	return o
+}
+
+// daneIteration performs one InexactDANE step from x (identical on all
+// ranks): allreduce the global gradient, solve the local corrected
+// subproblem with SVRG, allreduce-average the solutions. extraC/extraA add
+// the AIDE prox linearization (zero for plain DANE). Two communication
+// rounds per iteration.
+func daneIteration(node *cluster.Node, local *dist.Local, x []float64, opts DANEOptions, rng *rand.Rand, extraC []float64, extraA float64) {
+	dim := len(x)
+	g := make([]float64, dim)
+	gLocal := make([]float64, dim)
+
+	// Round 1: global gradient G = sum_i grad f_i(x).
+	local.Problem.Gradient(x, gLocal)
+	copy(g, gLocal)
+	if extraA != 0 || extraC != nil {
+		// include the AIDE prox term's gradient in the global view
+		for j := 0; j < dim; j++ {
+			g[j] += extraA*x[j] + extraC[j]
+		}
+		for j := 0; j < dim; j++ {
+			gLocal[j] += extraA*x[j] + extraC[j]
+		}
+	}
+	node.AllReduceSum(g)
+
+	// Local subproblem (Reddi et al., sum form):
+	//   min_x f_i(x) - <grad f_i(x0) - eta G / N, x> + mu/2 ||x - x0||^2
+	// encoded for SVRGSolve as phi(x) = f(x) + <c,x> + a/2||x||^2 +
+	// mu/2||x-x0||^2 with c = -(grad f_i(x0) - eta G / N) + extraC and the
+	// AIDE quadratic in a.
+	c := make([]float64, dim)
+	invN := 1 / float64(node.Size())
+	for j := 0; j < dim; j++ {
+		c[j] = -(gLocal[j] - opts.Eta*g[j]*invN)
+	}
+	if extraC != nil {
+		linalg.Add(c, extraC)
+	}
+	x0 := linalg.Clone(x)
+	SVRGSolve(local.Problem, c, extraA, opts.Mu, x0, x, opts.SVRG, rng)
+
+	// Round 2: average the local solutions.
+	node.AllReduceSum(x)
+	linalg.Scal(invN, x)
+}
+
+// SolveInexactDANE runs the InexactDANE solver of Reddi et al.: DANE with
+// each node's subproblem solved approximately by SVRG. The SVRG sweep
+// makes every epoch orders of magnitude more expensive than a Newton-ADMM
+// epoch, which is exactly the behaviour the paper's Figure 1 reports.
+func SolveInexactDANE(clusterCfg cluster.Config, ds *datasets.Dataset, opts DANEOptions) (*Result, error) {
+	opts = opts.withDefaults()
+	res := &Result{X: make([]float64, ds.Dim())}
+	var trace *metrics.Trace
+
+	stats, err := cluster.Run(clusterCfg, func(node *cluster.Node) error {
+		local, err := dist.BuildLocal(node, ds, opts.Lambda, true)
+		if err != nil {
+			return err
+		}
+		rec := dist.NewRecorder("inexact-dane", ds, local, opts.EvalTestAccuracy)
+		rng := rand.New(rand.NewSource(opts.Seed + 7919*int64(node.Rank())))
+		x := make([]float64, ds.Dim())
+
+		rec.Observe(node, 0, x)
+		for k := 1; k <= opts.Epochs; k++ {
+			daneIteration(node, local, x, opts, rng, nil, 0)
+			if k%opts.EvalEvery == 0 || k == opts.Epochs {
+				rec.Observe(node, k, x)
+			}
+		}
+		if node.Rank() == 0 {
+			copy(res.X, x)
+			tr := rec.Trace
+			trace = &tr
+		}
+		return nil
+	})
+	res.Stats = stats
+	if err != nil {
+		return nil, err
+	}
+	if trace != nil {
+		res.Trace = *trace
+	}
+	finishResult(res)
+	return res, nil
+}
+
+// AIDEOptions configures the accelerated InexactDANE wrapper.
+type AIDEOptions struct {
+	// DANE configures the inner solver.
+	DANE DANEOptions
+	// Tau is the catalyst proximal weight (the paper sweeps 1e-4..1e4).
+	Tau float64
+}
+
+// SolveAIDE runs AIDE (Reddi et al.): catalyst-style acceleration around
+// InexactDANE. Each outer step solves the tau-augmented problem
+// F(x) + tau/2 ||x - v||^2 with one InexactDANE iteration and then
+// extrapolates v with the Nesterov coefficient derived from
+// q = lambda / (lambda + tau).
+func SolveAIDE(clusterCfg cluster.Config, ds *datasets.Dataset, opts AIDEOptions) (*Result, error) {
+	opts.DANE = opts.DANE.withDefaults()
+	if opts.Tau <= 0 {
+		opts.Tau = 1
+	}
+	res := &Result{X: make([]float64, ds.Dim())}
+	var trace *metrics.Trace
+
+	q := opts.DANE.Lambda / (opts.DANE.Lambda + opts.Tau)
+	zeta := (1 - math.Sqrt(q)) / (1 + math.Sqrt(q))
+
+	stats, err := cluster.Run(clusterCfg, func(node *cluster.Node) error {
+		local, err := dist.BuildLocal(node, ds, opts.DANE.Lambda, true)
+		if err != nil {
+			return err
+		}
+		rec := dist.NewRecorder("aide", ds, local, opts.DANE.EvalTestAccuracy)
+		rng := rand.New(rand.NewSource(opts.DANE.Seed + 104729*int64(node.Rank())))
+		dim := ds.Dim()
+		x := make([]float64, dim)
+		xPrev := make([]float64, dim)
+		v := make([]float64, dim)
+		extraC := make([]float64, dim)
+
+		// Per-rank share of the tau prox: sum over ranks must equal
+		// tau/2 ||x - v||^2.
+		tauShare := opts.Tau / float64(node.Size())
+
+		rec.Observe(node, 0, x)
+		for k := 1; k <= opts.DANE.Epochs; k++ {
+			// tau/2N ||x - v||^2 = tauShare/2 ||x||^2 - <tauShare v, x> + const
+			for j := 0; j < dim; j++ {
+				extraC[j] = -tauShare * v[j]
+			}
+			copy(xPrev, x)
+			daneIteration(node, local, x, opts.DANE, rng, extraC, tauShare)
+			// Nesterov extrapolation of the prox center.
+			for j := 0; j < dim; j++ {
+				v[j] = x[j] + zeta*(x[j]-xPrev[j])
+			}
+			if k%opts.DANE.EvalEvery == 0 || k == opts.DANE.Epochs {
+				rec.Observe(node, k, x)
+			}
+		}
+		if node.Rank() == 0 {
+			copy(res.X, x)
+			tr := rec.Trace
+			trace = &tr
+		}
+		return nil
+	})
+	res.Stats = stats
+	if err != nil {
+		return nil, err
+	}
+	if trace != nil {
+		res.Trace = *trace
+	}
+	finishResult(res)
+	return res, nil
+}

@@ -1,0 +1,132 @@
+package baselines
+
+import (
+	"math/rand"
+
+	"newtonadmm/internal/cluster"
+	"newtonadmm/internal/datasets"
+	"newtonadmm/internal/dist"
+	"newtonadmm/internal/linalg"
+	"newtonadmm/internal/metrics"
+)
+
+// SGDOptions configures synchronous distributed mini-batch SGD, the
+// first-order baseline of the paper's Figure 4.
+type SGDOptions struct {
+	// Epochs is the number of full passes over the data; <=0 selects 100.
+	Epochs int
+	// Lambda is the global L2 regularization strength.
+	Lambda float64
+	// BatchSize is the per-rank mini-batch size (paper: 128).
+	BatchSize int
+	// Step is the learning rate applied to the mean-form gradient
+	// (the paper sweeps 1e-8..1e8 and reports the best).
+	Step float64
+	// Momentum is the heavy-ball coefficient in [0,1); 0 is plain SGD
+	// (the paper's related work covers SGD "with/without momentum").
+	Momentum float64
+	// Seed makes shuffling reproducible.
+	Seed int64
+	// EvalEvery records a trace point every this many epochs; <=0 is 1.
+	EvalEvery int
+	// EvalTestAccuracy also measures test accuracy at trace points.
+	EvalTestAccuracy bool
+}
+
+func (o SGDOptions) withDefaults() SGDOptions {
+	if o.Epochs <= 0 {
+		o.Epochs = 100
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 128
+	}
+	if o.Step <= 0 {
+		o.Step = 0.1
+	}
+	if o.EvalEvery <= 0 {
+		o.EvalEvery = 1
+	}
+	return o
+}
+
+// SolveSyncSGD runs synchronous data-parallel mini-batch SGD: every step,
+// each rank computes a mini-batch gradient on its shard and the ranks
+// allreduce-average before updating identically — one communication round
+// per mini-batch, i.e. ~n_i/BatchSize rounds per epoch versus
+// Newton-ADMM's single round, which is the communication gap the paper's
+// Figure 4 and the "amplified by slower interconnects" remark rest on.
+func SolveSyncSGD(clusterCfg cluster.Config, ds *datasets.Dataset, opts SGDOptions) (*Result, error) {
+	opts = opts.withDefaults()
+	res := &Result{X: make([]float64, ds.Dim())}
+	var trace *metrics.Trace
+
+	stats, err := cluster.Run(clusterCfg, func(node *cluster.Node) error {
+		local, err := dist.BuildLocal(node, ds, opts.Lambda, true)
+		if err != nil {
+			return err
+		}
+		rec := dist.NewRecorder("sync-sgd", ds, local, opts.EvalTestAccuracy)
+		rng := rand.New(rand.NewSource(opts.Seed + 31337*int64(node.Rank())))
+		dim := ds.Dim()
+		x := make([]float64, dim)
+		g := make([]float64, dim)
+		vel := make([]float64, dim) // heavy-ball velocity
+		nLocal := local.Problem.N()
+		batch := opts.BatchSize
+		if batch > nLocal {
+			batch = nLocal
+		}
+		stepsPerEpoch := (nLocal + batch - 1) / batch
+		// Every rank must take the same number of steps per epoch
+		// (collectives are synchronous): agree on the max.
+		agree := []float64{float64(stepsPerEpoch)}
+		node.AllReduceMax(agree)
+		stepsPerEpoch = int(agree[0])
+
+		perm := make([]int, nLocal) // reshuffled each epoch
+		idx := make([]int, 0, batch)
+
+		rec.Observe(node, 0, x)
+		for epoch := 1; epoch <= opts.Epochs; epoch++ {
+			copy(perm, rng.Perm(nLocal))
+			for s := 0; s < stepsPerEpoch; s++ {
+				lo := (s * batch) % nLocal
+				idx = idx[:0]
+				for b := 0; b < batch; b++ {
+					idx = append(idx, perm[(lo+b)%nLocal])
+				}
+				sub := local.Problem.Subproblem(idx)
+				sub.L2 = 0
+				sub.Gradient(x, g)
+				// Scale the shard's mini-batch estimate to the full
+				// sum-form gradient, add the exact regularizer, and
+				// allreduce — one round per mini-batch.
+				linalg.Scal(float64(nLocal)/float64(len(idx)), g)
+				node.AllReduceSum(g)
+				linalg.Axpy(opts.Lambda, x, g)
+				// Mean-form heavy-ball step for size-independent
+				// learning rates; Momentum = 0 is plain SGD.
+				linalg.Waxpby(opts.Momentum, vel, -opts.Step/float64(local.N), g, vel)
+				linalg.Add(x, vel)
+			}
+			if epoch%opts.EvalEvery == 0 || epoch == opts.Epochs {
+				rec.Observe(node, epoch, x)
+			}
+		}
+		if node.Rank() == 0 {
+			copy(res.X, x)
+			tr := rec.Trace
+			trace = &tr
+		}
+		return nil
+	})
+	res.Stats = stats
+	if err != nil {
+		return nil, err
+	}
+	if trace != nil {
+		res.Trace = *trace
+	}
+	finishResult(res)
+	return res, nil
+}

@@ -1,0 +1,114 @@
+// Package cg implements the conjugate gradient method with the relative
+// residual early-stopping rule of paper eq. (3b): CG on H p = -g stops once
+// ||H p + g|| <= theta * ||g||, which (Roosta-Khorasani & Mahoney) preserves
+// the convergence of exact Newton for moderate theta. A negative-curvature
+// guard makes the solver safe on merely positive semidefinite operators.
+package cg
+
+import (
+	"newtonadmm/internal/linalg"
+	"newtonadmm/internal/loss"
+)
+
+// Options controls the CG iteration.
+type Options struct {
+	// MaxIters caps CG iterations; <= 0 selects dim(b).
+	MaxIters int
+	// RelTol is the relative residual tolerance theta in (0,1);
+	// <= 0 selects 1e-4 (the paper's setting for the Figure 1 study).
+	RelTol float64
+}
+
+// Result reports how the CG iteration terminated.
+type Result struct {
+	Iters       int     // iterations performed
+	Residual    float64 // final ||H x - b||
+	RelResidual float64 // final residual divided by ||b||
+	Converged   bool    // hit the tolerance (rather than the cap)
+	NegCurve    bool    // stopped on (near-)zero or negative curvature
+}
+
+func (o Options) withDefaults(dim int) Options {
+	if o.MaxIters <= 0 {
+		o.MaxIters = dim
+	}
+	if o.RelTol <= 0 {
+		o.RelTol = 1e-4
+	}
+	return o
+}
+
+// Solve runs CG on H x = b starting from x (which is updated in place;
+// pass a zero vector for the usual Newton system). H must be symmetric
+// positive semidefinite.
+func Solve(h loss.HessianOperator, b, x []float64, opts Options) Result {
+	dim := len(b)
+	if len(x) != dim {
+		panic("cg: x/b dimension mismatch")
+	}
+	opts = opts.withDefaults(dim)
+
+	r := make([]float64, dim)  // residual b - Hx
+	p := make([]float64, dim)  // search direction
+	hp := make([]float64, dim) // H p
+
+	bNorm := linalg.Nrm2(b)
+	if bNorm == 0 {
+		linalg.Zero(x)
+		return Result{Converged: true}
+	}
+
+	// r = b - H x
+	h.Apply(x, hp)
+	linalg.Waxpby(1, b, -1, hp, r)
+	linalg.Copy(p, r)
+	rsOld := linalg.Dot(r, r)
+
+	res := Result{}
+	for k := 0; k < opts.MaxIters; k++ {
+		rNorm := linalg.Nrm2(r)
+		res.Residual = rNorm
+		res.RelResidual = rNorm / bNorm
+		if res.RelResidual <= opts.RelTol {
+			res.Converged = true
+			return res
+		}
+		h.Apply(p, hp)
+		curv := linalg.Dot(p, hp)
+		if curv <= 1e-14*linalg.Dot(p, p) {
+			// Direction of (numerically) zero or negative curvature: the
+			// operator is not PD along p. Return the iterate so far; for
+			// k=0 that leaves x as the caller's initial point.
+			res.NegCurve = true
+			return res
+		}
+		alpha := rsOld / curv
+		linalg.Axpy(alpha, p, x)
+		linalg.Axpy(-alpha, hp, r)
+		rsNew := linalg.Dot(r, r)
+		beta := rsNew / rsOld
+		linalg.Waxpby(1, r, beta, p, p)
+		rsOld = rsNew
+		res.Iters = k + 1
+	}
+	rNorm := linalg.Nrm2(r)
+	res.Residual = rNorm
+	res.RelResidual = rNorm / bNorm
+	res.Converged = res.RelResidual <= opts.RelTol
+	return res
+}
+
+// NewtonDirection solves H p = -g for the Newton step p (overwritten,
+// starting from zero). If CG makes no progress (immediate negative
+// curvature), it falls back to the steepest-descent direction -g so the
+// outer line search always receives a descent direction.
+func NewtonDirection(h loss.HessianOperator, g, p []float64, opts Options) Result {
+	b := make([]float64, len(g))
+	linalg.Waxpby(-1, g, 0, g, b) // b = -g
+	linalg.Zero(p)
+	res := Solve(h, b, p, opts)
+	if linalg.Nrm2(p) == 0 {
+		linalg.Copy(p, b) // fallback: steepest descent
+	}
+	return res
+}

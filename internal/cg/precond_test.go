@@ -1,0 +1,121 @@
+package cg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"newtonadmm/internal/linalg"
+)
+
+func TestSolvePrecondCorrectness(t *testing.T) {
+	rng := rand.New(rand.NewSource(210))
+	for trial := 0; trial < 15; trial++ {
+		d := 2 + rng.Intn(25)
+		a := randSPD(rng, d, 1)
+		xTrue := randVec(rng, d)
+		b := make([]float64, d)
+		linalg.MulNT(a, xTrue, 1, b)
+		diag := make([]float64, d)
+		for j := 0; j < d; j++ {
+			diag[j] = a.At(j, j)
+		}
+		x := make([]float64, d)
+		res := SolvePrecond(denseOp{a}, diag, b, x, Options{MaxIters: 20 * d, RelTol: 1e-10})
+		if !res.Converged {
+			t.Fatalf("trial %d: PCG did not converge: %+v", trial, res)
+		}
+		if dist := linalg.Dist2(x, xTrue); dist > 1e-6*math.Max(1, linalg.Nrm2(xTrue)) {
+			t.Fatalf("trial %d: ||x-x*||=%v", trial, dist)
+		}
+	}
+}
+
+func TestPrecondHelpsOnScaledSystem(t *testing.T) {
+	// Badly scaled diagonal system: Jacobi preconditioning should solve
+	// it in one iteration while plain CG needs many.
+	d := 60
+	a := linalg.NewMatrix(d, d)
+	diag := make([]float64, d)
+	for j := 0; j < d; j++ {
+		v := math.Pow(10, float64(j%7)) // condition number 1e6
+		a.Set(j, j, v)
+		diag[j] = v
+	}
+	rng := rand.New(rand.NewSource(211))
+	b := randVec(rng, d)
+
+	xPlain := make([]float64, d)
+	plain := Solve(denseOp{a}, b, xPlain, Options{MaxIters: d, RelTol: 1e-10})
+	xPrec := make([]float64, d)
+	prec := SolvePrecond(denseOp{a}, diag, b, xPrec, Options{MaxIters: d, RelTol: 1e-10})
+	if !prec.Converged {
+		t.Fatalf("PCG failed: %+v", prec)
+	}
+	if prec.Iters >= plain.Iters && plain.Converged {
+		t.Fatalf("Jacobi did not help: plain %d iters, precond %d", plain.Iters, prec.Iters)
+	}
+	if prec.Iters > 3 {
+		t.Fatalf("diagonal system should converge immediately with Jacobi, took %d", prec.Iters)
+	}
+}
+
+func TestSolvePrecondZeroRHS(t *testing.T) {
+	d := 4
+	a := randSPD(rand.New(rand.NewSource(212)), d, 1)
+	diag := []float64{1, 1, 1, 1}
+	x := []float64{1, 2, 3, 4}
+	res := SolvePrecond(denseOp{a}, diag, make([]float64, d), x, Options{})
+	if !res.Converged {
+		t.Fatal("zero RHS must converge")
+	}
+	for _, v := range x {
+		if v != 0 {
+			t.Fatal("zero RHS must produce zero solution")
+		}
+	}
+}
+
+func TestSolvePrecondDegenerateDiagonalClamped(t *testing.T) {
+	// Zero/negative diagonal entries must not produce NaNs.
+	d := 5
+	a := randSPD(rand.New(rand.NewSource(213)), d, 1)
+	diag := []float64{0, -1, 1e-300, 1, 1}
+	b := []float64{1, 1, 1, 1, 1}
+	x := make([]float64, d)
+	res := SolvePrecond(denseOp{a}, diag, b, x, Options{MaxIters: 100, RelTol: 1e-8})
+	if !linalg.AllFinite(x) {
+		t.Fatal("degenerate diagonal produced non-finite iterate")
+	}
+	if !res.Converged {
+		t.Fatalf("PCG with clamped diagonal failed: %+v", res)
+	}
+}
+
+func TestNewtonDirectionPrecondIsDescent(t *testing.T) {
+	rng := rand.New(rand.NewSource(214))
+	for trial := 0; trial < 15; trial++ {
+		d := 2 + rng.Intn(15)
+		a := randSPD(rng, d, 0.5)
+		diag := make([]float64, d)
+		for j := 0; j < d; j++ {
+			diag[j] = a.At(j, j)
+		}
+		g := randVec(rng, d)
+		p := make([]float64, d)
+		NewtonDirectionPrecond(denseOp{a}, diag, g, p, Options{MaxIters: 5, RelTol: 1e-2})
+		if linalg.Dot(p, g) >= 0 {
+			t.Fatalf("trial %d: not a descent direction", trial)
+		}
+	}
+}
+
+func TestSolvePrecondDimensionPanics(t *testing.T) {
+	a := randSPD(rand.New(rand.NewSource(215)), 3, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SolvePrecond(denseOp{a}, make([]float64, 2), make([]float64, 3), make([]float64, 3), Options{})
+}

@@ -1,0 +1,312 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// runBoth runs the same SPMD body on the inproc and TCP transports.
+func runBoth(t *testing.T, ranks int, body func(n *Node) error) {
+	t.Helper()
+	for _, useTCP := range []bool{false, true} {
+		name := "inproc"
+		if useTCP {
+			name = "tcp"
+		}
+		_, err := Run(Config{Ranks: ranks, UseTCP: useTCP, Network: ZeroCost, DeviceWorkers: 1}, body)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestBcast(t *testing.T) {
+	runBoth(t, 4, func(n *Node) error {
+		vec := make([]float64, 3)
+		if n.Rank() == 2 {
+			vec = []float64{1, 2, 3}
+		}
+		n.Bcast(2, vec)
+		for i, want := range []float64{1, 2, 3} {
+			if vec[i] != want {
+				return fmt.Errorf("rank %d: bcast vec=%v", n.Rank(), vec)
+			}
+		}
+		return nil
+	})
+}
+
+func TestGatherOrdersByRank(t *testing.T) {
+	runBoth(t, 4, func(n *Node) error {
+		vec := []float64{float64(n.Rank()), float64(n.Rank() * 10)}
+		got := n.Gather(0, vec)
+		if n.Rank() != 0 {
+			if got != nil {
+				return fmt.Errorf("non-root got %v", got)
+			}
+			return nil
+		}
+		for r := 0; r < 4; r++ {
+			if got[r][0] != float64(r) || got[r][1] != float64(r*10) {
+				return fmt.Errorf("gather[%d]=%v", r, got[r])
+			}
+		}
+		return nil
+	})
+}
+
+func TestScatter(t *testing.T) {
+	runBoth(t, 3, func(n *Node) error {
+		var parts [][]float64
+		if n.Rank() == 0 {
+			parts = [][]float64{{0}, {1}, {2}}
+		}
+		mine := n.Scatter(0, parts)
+		if len(mine) != 1 || mine[0] != float64(n.Rank()) {
+			return fmt.Errorf("rank %d scatter got %v", n.Rank(), mine)
+		}
+		return nil
+	})
+}
+
+func TestAllReduceSum(t *testing.T) {
+	runBoth(t, 5, func(n *Node) error {
+		vec := []float64{1, float64(n.Rank())}
+		n.AllReduceSum(vec)
+		// sum over ranks: [5, 0+1+2+3+4=10]
+		if vec[0] != 5 || vec[1] != 10 {
+			return fmt.Errorf("rank %d allreduce got %v", n.Rank(), vec)
+		}
+		return nil
+	})
+}
+
+func TestAllReduceMax(t *testing.T) {
+	runBoth(t, 4, func(n *Node) error {
+		vec := []float64{float64(-n.Rank()), float64(n.Rank())}
+		n.AllReduceMax(vec)
+		if vec[0] != 0 || vec[1] != 3 {
+			return fmt.Errorf("rank %d allreduce max got %v", n.Rank(), vec)
+		}
+		return nil
+	})
+}
+
+func TestAllReduceEqualsGatherSumBcastProperty(t *testing.T) {
+	// Algebraic identity: allreduce-sum == gather to root, sum, bcast.
+	rng := rand.New(rand.NewSource(60))
+	data := make([][]float64, 4)
+	for r := range data {
+		data[r] = []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+	}
+	runBoth(t, 4, func(n *Node) error {
+		viaAll := append([]float64(nil), data[n.Rank()]...)
+		n.AllReduceSum(viaAll)
+
+		viaGather := append([]float64(nil), data[n.Rank()]...)
+		parts := n.Gather(0, viaGather)
+		sum := make([]float64, 3)
+		if n.Rank() == 0 {
+			for _, p := range parts {
+				for i := range sum {
+					sum[i] += p[i]
+				}
+			}
+		}
+		n.Bcast(0, sum)
+		for i := range sum {
+			if math.Abs(sum[i]-viaAll[i]) > 1e-12 {
+				return fmt.Errorf("identity violated at %d: %v vs %v", i, sum[i], viaAll[i])
+			}
+		}
+		return nil
+	})
+}
+
+func TestSequentialCollectivesInterleave(t *testing.T) {
+	// Repeated mixed collectives must stay matched (pairwise FIFO).
+	runBoth(t, 3, func(n *Node) error {
+		for iter := 0; iter < 20; iter++ {
+			v := []float64{float64(iter)}
+			n.Bcast(iter%3, v)
+			if v[0] != float64(iter) {
+				return fmt.Errorf("iter %d: bcast corrupted: %v", iter, v)
+			}
+			s := []float64{1}
+			n.AllReduceSum(s)
+			if s[0] != 3 {
+				return fmt.Errorf("iter %d: allreduce=%v", iter, s)
+			}
+			n.Barrier()
+		}
+		return nil
+	})
+}
+
+func TestSingleRankCollectivesNoop(t *testing.T) {
+	_, err := Run(Config{Ranks: 1, Network: ZeroCost, DeviceWorkers: 1}, func(n *Node) error {
+		v := []float64{7}
+		n.AllReduceSum(v)
+		n.Bcast(0, v)
+		n.Barrier()
+		g := n.Gather(0, v)
+		if v[0] != 7 || g[0][0] != 7 {
+			return fmt.Errorf("single-rank collectives corrupted data")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBodyErrorPropagates(t *testing.T) {
+	_, err := Run(Config{Ranks: 3, Network: ZeroCost, DeviceWorkers: 1}, func(n *Node) error {
+		if n.Rank() == 1 {
+			return errors.New("boom")
+		}
+		return nil
+	})
+	if err == nil || !errorsContains(err, "boom") {
+		t.Fatalf("expected body error, got %v", err)
+	}
+}
+
+func TestBodyPanicRecovered(t *testing.T) {
+	_, err := Run(Config{Ranks: 2, Network: ZeroCost, DeviceWorkers: 1}, func(n *Node) error {
+		if n.Rank() == 0 {
+			panic("kaboom")
+		}
+		return nil
+	})
+	if err == nil || !errorsContains(err, "kaboom") {
+		t.Fatalf("expected panic error, got %v", err)
+	}
+}
+
+func TestRankDeathUnblocksPeers(t *testing.T) {
+	// Rank 1 dies before its first collective; the others are blocked in
+	// a Barrier and must fail rather than hang.
+	done := make(chan error, 1)
+	go func() {
+		_, err := Run(Config{Ranks: 3, Network: ZeroCost, DeviceWorkers: 1}, func(n *Node) error {
+			if n.Rank() == 1 {
+				return errors.New("early death")
+			}
+			n.Barrier()
+			return nil
+		})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("expected an error")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cluster hung after rank death")
+	}
+}
+
+func TestInjectedSendFailureSurfaces(t *testing.T) {
+	transports := NewInprocGroup(2)
+	InjectSendFailure(transports[1], 0)
+	if err := transports[1].Send(0, []float64{1}); err == nil {
+		t.Fatal("injected failure did not fire")
+	}
+	if err := transports[0].Send(1, []float64{1}); err != nil {
+		t.Fatalf("unrelated direction failed: %v", err)
+	}
+}
+
+func TestVirtualClockAdvancesByModel(t *testing.T) {
+	// With a pure-latency network, k barriers on n ranks advance the
+	// clock by exactly k * BarrierCost(n) plus measured compute.
+	model := NetworkModel{Name: "lat-only", Latency: time.Millisecond, Bandwidth: math.Inf(1)}
+	const k, ranks = 5, 4
+	stats, err := Run(Config{Ranks: ranks, Network: model, DeviceWorkers: 1}, func(n *Node) error {
+		for i := 0; i < k; i++ {
+			n.Barrier()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantComm := time.Duration(k) * model.BarrierCost(ranks)
+	for _, s := range stats {
+		if s.CommTime != wantComm {
+			t.Fatalf("rank %d comm time %v, want %v", s.Rank, s.CommTime, wantComm)
+		}
+		if s.Clock < wantComm {
+			t.Fatalf("rank %d clock %v below comm time %v", s.Rank, s.Clock, wantComm)
+		}
+		if s.Rounds != k {
+			t.Fatalf("rank %d rounds %d, want %d", s.Rank, s.Rounds, k)
+		}
+	}
+}
+
+func TestClocksAgreeAfterCollective(t *testing.T) {
+	stats, err := Run(Config{Ranks: 4, Network: InfiniBand100G, DeviceWorkers: 1}, func(n *Node) error {
+		// Unequal compute: rank r spins ~r*2ms, then one barrier.
+		deadline := time.Now().Add(time.Duration(n.Rank()) * 2 * time.Millisecond)
+		for time.Now().Before(deadline) {
+		}
+		n.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All clocks synchronized at the barrier; final clocks equal.
+	for _, s := range stats[1:] {
+		if s.Clock != stats[0].Clock {
+			t.Fatalf("clocks diverged: %v vs %v", s.Clock, stats[0].Clock)
+		}
+	}
+	// The barrier waits for the slowest rank (~6ms of compute).
+	if stats[0].Clock < 5*time.Millisecond {
+		t.Fatalf("clock %v does not reflect the slowest rank", stats[0].Clock)
+	}
+}
+
+func TestMaxClock(t *testing.T) {
+	stats := []NodeStats{{Clock: 5}, {Clock: 9}, {Clock: 3}}
+	if got := MaxClock(stats); got != 9 {
+		t.Fatalf("MaxClock=%v, want 9", got)
+	}
+	if got := MaxClock(nil); got != 0 {
+		t.Fatalf("MaxClock(nil)=%v, want 0", got)
+	}
+}
+
+func TestBcastSizeMismatchFails(t *testing.T) {
+	_, err := Run(Config{Ranks: 2, Network: ZeroCost, DeviceWorkers: 1}, func(n *Node) error {
+		if n.Rank() == 0 {
+			n.Bcast(0, []float64{1, 2, 3})
+		} else {
+			n.Bcast(0, make([]float64, 2))
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("size mismatch not detected")
+	}
+}
+
+func errorsContains(err error, substr string) bool {
+	return err != nil && (len(err.Error()) >= len(substr)) && (func() bool {
+		s := err.Error()
+		for i := 0; i+len(substr) <= len(s); i++ {
+			if s[i:i+len(substr)] == substr {
+				return true
+			}
+		}
+		return false
+	})()
+}

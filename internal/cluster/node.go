@@ -1,0 +1,384 @@
+package cluster
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"newtonadmm/internal/device"
+	"newtonadmm/internal/linalg"
+)
+
+// Config describes a simulated cluster.
+type Config struct {
+	// Ranks is the number of compute nodes; must be >= 1.
+	Ranks int
+	// Network is the interconnect cost model; the zero value selects
+	// the paper's InfiniBand100G.
+	Network NetworkModel
+	// UseTCP selects the real TCP loopback transport instead of
+	// in-process channels.
+	UseTCP bool
+	// BasePort is the first TCP port (0 lets the kernel choose).
+	BasePort int
+	// DeviceWorkers is the accelerator worker-pool size per rank;
+	// <= 0 divides the machine's cores evenly among ranks.
+	DeviceWorkers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Ranks <= 0 {
+		c.Ranks = 1
+	}
+	if c.Network == (NetworkModel{}) {
+		c.Network = InfiniBand100G
+	}
+	if c.DeviceWorkers <= 0 {
+		c.DeviceWorkers = runtime.NumCPU() / c.Ranks
+		if c.DeviceWorkers < 1 {
+			c.DeviceWorkers = 1
+		}
+	}
+	return c
+}
+
+// Node is one rank's view of the cluster inside a Run body. Collective
+// methods are synchronization points for every rank: all ranks must call
+// the same sequence of collectives (standard SPMD discipline). On
+// transport failure the collective panics with a commError, which Run
+// recovers and converts to an error.
+type Node struct {
+	rank, size int
+	tr         Transport
+	model      NetworkModel
+	// Dev is this rank's private compute accelerator.
+	Dev *device.Device
+
+	clock    time.Duration // virtual time: max over ranks of compute + modeled comm
+	compute  time.Duration // this rank's accumulated local compute
+	commTime time.Duration // modeled communication cost accumulated
+	rounds   int           // collective operations performed
+	sentVecs int           // payload vectors sent (diagnostics)
+	mark     time.Time     // start of the current compute segment
+}
+
+// NodeStats is the timing summary of one rank after Run completes.
+type NodeStats struct {
+	Rank     int
+	Clock    time.Duration // final virtual time
+	Compute  time.Duration // local compute portion
+	CommTime time.Duration // modeled communication portion
+	Rounds   int           // collectives performed
+	DevStats device.Stats
+	SentVecs int
+}
+
+type commError struct {
+	rank int
+	err  error
+}
+
+// Rank returns this node's rank in [0, Size()).
+func (n *Node) Rank() int { return n.rank }
+
+// Size returns the number of ranks.
+func (n *Node) Size() int { return n.size }
+
+// Model returns the interconnect model in effect.
+func (n *Node) Model() NetworkModel { return n.model }
+
+// Clock returns the current virtual time at this rank. It is updated at
+// every collective; between collectives it lags local compute.
+func (n *Node) Clock() time.Duration { return n.clock }
+
+// ComputeTime returns this rank's accumulated local compute time.
+func (n *Node) ComputeTime() time.Duration { return n.compute }
+
+// CommTime returns the accumulated modeled communication time.
+func (n *Node) CommTime() time.Duration { return n.commTime }
+
+// Rounds returns the number of collective operations performed.
+func (n *Node) Rounds() int { return n.rounds }
+
+func (n *Node) check(err error) {
+	if err != nil {
+		panic(commError{rank: n.rank, err: err})
+	}
+}
+
+func (n *Node) send(to int, data []float64) {
+	n.sentVecs++
+	n.check(n.tr.Send(to, data))
+}
+
+func (n *Node) recv(from int) []float64 {
+	data, err := n.tr.Recv(from)
+	n.check(err)
+	return data
+}
+
+// closeComputeSegment folds the wall time since the last mark into the
+// rank's compute account.
+func (n *Node) closeComputeSegment() {
+	now := time.Now()
+	n.compute += now.Sub(n.mark)
+	n.clock += now.Sub(n.mark)
+	n.mark = now
+}
+
+// syncClocks is the heart of the virtual-time model: after the payload
+// exchange of a collective, all ranks agree on max(clock_i) + cost. It is
+// implemented as a scalar star-reduce through the raw transport so it
+// works identically over channels and TCP.
+func (n *Node) syncClocks(cost time.Duration) {
+	if n.size > 1 {
+		if n.rank == 0 {
+			maxClock := n.clock
+			for r := 1; r < n.size; r++ {
+				v := n.recv(r)
+				if d := time.Duration(v[0]); d > maxClock {
+					maxClock = d
+				}
+			}
+			n.clock = maxClock
+			out := []float64{float64(maxClock)}
+			for r := 1; r < n.size; r++ {
+				n.send(r, out)
+			}
+		} else {
+			n.send(0, []float64{float64(n.clock)})
+			n.clock = time.Duration(n.recv(0)[0])
+		}
+	}
+	n.clock += cost
+	n.commTime += cost
+	n.rounds++
+	n.mark = time.Now() // next compute segment starts after the collective
+}
+
+// Barrier synchronizes all ranks and advances virtual time by an empty
+// allreduce.
+func (n *Node) Barrier() {
+	n.closeComputeSegment()
+	n.syncClocks(n.model.BarrierCost(n.size))
+}
+
+// Bcast distributes root's vec to every rank, overwriting vec elsewhere.
+// All ranks must pass equal-length buffers.
+func (n *Node) Bcast(root int, vec []float64) {
+	n.closeComputeSegment()
+	if n.rank == root {
+		for r := 0; r < n.size; r++ {
+			if r != root {
+				n.send(r, vec)
+			}
+		}
+	} else {
+		data := n.recv(root)
+		if len(data) != len(vec) {
+			n.check(fmt.Errorf("cluster: bcast size mismatch: got %d want %d", len(data), len(vec)))
+		}
+		copy(vec, data)
+	}
+	n.syncClocks(n.model.BcastCost(n.size, 8*len(vec)))
+}
+
+// Gather collects every rank's vec at root. Root receives a slice indexed
+// by rank (its own entry is a copy); other ranks receive nil.
+func (n *Node) Gather(root int, vec []float64) [][]float64 {
+	n.closeComputeSegment()
+	var out [][]float64
+	if n.rank == root {
+		out = make([][]float64, n.size)
+		for r := 0; r < n.size; r++ {
+			if r == root {
+				out[r] = append([]float64(nil), vec...)
+			} else {
+				out[r] = n.recv(r)
+			}
+		}
+	} else {
+		n.send(root, vec)
+	}
+	n.syncClocks(n.model.GatherCost(n.size, 8*len(vec)))
+	return out
+}
+
+// Scatter distributes parts[r] from root to each rank r, returning this
+// rank's part. Only root's parts argument is consulted.
+func (n *Node) Scatter(root int, parts [][]float64) []float64 {
+	n.closeComputeSegment()
+	var mine []float64
+	if n.rank == root {
+		if len(parts) != n.size {
+			n.check(fmt.Errorf("cluster: scatter needs %d parts, got %d", n.size, len(parts)))
+		}
+		for r := 0; r < n.size; r++ {
+			if r == root {
+				mine = append([]float64(nil), parts[r]...)
+			} else {
+				n.send(r, parts[r])
+			}
+		}
+	} else {
+		mine = n.recv(root)
+	}
+	var bytes int
+	if n.rank == root {
+		for _, p := range parts {
+			bytes += 8 * len(p)
+		}
+		bytes /= n.size
+	} else {
+		bytes = 8 * len(mine)
+	}
+	n.syncClocks(n.model.GatherCost(n.size, bytes))
+	return mine
+}
+
+// AllReduceSum replaces vec on every rank with the element-wise sum over
+// ranks. All ranks must pass equal-length buffers.
+func (n *Node) AllReduceSum(vec []float64) {
+	n.closeComputeSegment()
+	if n.rank == 0 {
+		for r := 1; r < n.size; r++ {
+			data := n.recv(r)
+			if len(data) != len(vec) {
+				n.check(fmt.Errorf("cluster: allreduce size mismatch: got %d want %d", len(data), len(vec)))
+			}
+			linalg.Add(vec, data)
+		}
+		for r := 1; r < n.size; r++ {
+			n.send(r, vec)
+		}
+	} else {
+		n.send(0, vec)
+		copy(vec, n.recv(0))
+	}
+	n.syncClocks(n.model.AllReduceCost(n.size, 8*len(vec)))
+}
+
+// AllReduceMax replaces vec on every rank with the element-wise max.
+func (n *Node) AllReduceMax(vec []float64) {
+	n.closeComputeSegment()
+	if n.rank == 0 {
+		for r := 1; r < n.size; r++ {
+			data := n.recv(r)
+			for i := range vec {
+				if data[i] > vec[i] {
+					vec[i] = data[i]
+				}
+			}
+		}
+		for r := 1; r < n.size; r++ {
+			n.send(r, vec)
+		}
+	} else {
+		n.send(0, vec)
+		copy(vec, n.recv(0))
+	}
+	n.syncClocks(n.model.AllReduceCost(n.size, 8*len(vec)))
+}
+
+// Frozen runs fn with the virtual clock frozen: any compute and
+// collectives inside fn leave the rank's timing accounts untouched. It is
+// for instrumentation (objective traces, test accuracy) that exists only
+// in the harness, not in the algorithm being measured. Like collectives,
+// if fn communicates, every rank must call Frozen at the same point.
+func (n *Node) Frozen(fn func()) {
+	n.closeComputeSegment()
+	savedClock, savedCompute := n.clock, n.compute
+	savedComm, savedRounds := n.commTime, n.rounds
+	savedSent := n.sentVecs
+	fn()
+	n.clock, n.compute = savedClock, savedCompute
+	n.commTime, n.rounds = savedComm, savedRounds
+	n.sentVecs = savedSent
+	n.mark = time.Now()
+}
+
+// Stats snapshots this rank's accounting (typically called at the end of
+// the Run body).
+func (n *Node) Stats() NodeStats {
+	return NodeStats{
+		Rank:     n.rank,
+		Clock:    n.clock,
+		Compute:  n.compute,
+		CommTime: n.commTime,
+		Rounds:   n.rounds,
+		DevStats: n.Dev.Stats(),
+		SentVecs: n.sentVecs,
+	}
+}
+
+// Run executes body as an SPMD program: one goroutine per rank, each with
+// its own Node and accelerator. It returns per-rank stats. A panic or
+// error in any rank's body aborts the run and is reported; communication
+// failures inside collectives surface the same way.
+func Run(cfg Config, body func(n *Node) error) ([]NodeStats, error) {
+	cfg = cfg.withDefaults()
+	var transports []Transport
+	if cfg.UseTCP {
+		var err error
+		transports, err = NewTCPGroup(cfg.Ranks, cfg.BasePort)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		transports = NewInprocGroup(cfg.Ranks)
+	}
+
+	stats := make([]NodeStats, cfg.Ranks)
+	errs := make([]error, cfg.Ranks)
+	done := make(chan int, cfg.Ranks)
+	start := time.Now()
+	for r := 0; r < cfg.Ranks; r++ {
+		node := &Node{
+			rank:  r,
+			size:  cfg.Ranks,
+			tr:    transports[r],
+			model: cfg.Network,
+			Dev:   device.New(fmt.Sprintf("gpu-%d", r), cfg.DeviceWorkers),
+			mark:  start,
+		}
+		go func(r int, node *Node) {
+			defer func() {
+				node.Dev.Close()
+				node.tr.Close()
+				if p := recover(); p != nil {
+					if ce, ok := p.(commError); ok {
+						errs[r] = fmt.Errorf("rank %d communication: %w", ce.rank, ce.err)
+					} else {
+						errs[r] = fmt.Errorf("rank %d panic: %v", r, p)
+					}
+				}
+				stats[r] = node.Stats()
+				done <- r
+			}()
+			if err := body(node); err != nil {
+				errs[r] = fmt.Errorf("rank %d: %w", r, err)
+			}
+		}(r, node)
+	}
+	for i := 0; i < cfg.Ranks; i++ {
+		<-done
+	}
+	for _, err := range errs {
+		if err != nil {
+			return stats, err
+		}
+	}
+	return stats, nil
+}
+
+// MaxClock returns the largest virtual clock across ranks — the simulated
+// wall time of the whole run.
+func MaxClock(stats []NodeStats) time.Duration {
+	var m time.Duration
+	for _, s := range stats {
+		if s.Clock > m {
+			m = s.Clock
+		}
+	}
+	return m
+}

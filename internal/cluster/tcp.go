@@ -1,0 +1,247 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+)
+
+// helloCount is the frame-count sentinel for the connection handshake that
+// binds a connection to its sending rank before any payload flows.
+const helloCount = 0xFFFFFFFF
+
+// tcpEndpoint is a Transport over real TCP sockets: each rank listens on
+// its own port, outbound connections are dialed eagerly (full mesh) with a
+// hello frame, and data frames carry
+// [from uint32][count uint32][count * float64 little-endian].
+// Incoming frames are demultiplexed into per-sender queues so Recv(from)
+// preserves pairwise ordering. When a peer disconnects, its queue is
+// closed so blocked receivers fail instead of hanging — giving the SPMD
+// runtime liveness when a rank dies mid-protocol.
+type tcpEndpoint struct {
+	rank, size int
+	addrs      []string
+	listener   net.Listener
+
+	mu    sync.Mutex
+	conns map[int]net.Conn // cached outbound connections
+
+	queues    []chan []float64
+	queueOnce []sync.Once
+	closed    chan struct{}
+	wg        sync.WaitGroup
+}
+
+// NewTCPGroup creates n ranks listening on consecutive loopback ports
+// starting at basePort. With basePort <= 0 the kernel picks free ports.
+// All ranks live in the calling process (each typically driven by its own
+// goroutine), but every payload crosses a real TCP socket.
+func NewTCPGroup(n, basePort int) ([]Transport, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("cluster: group size must be positive")
+	}
+	eps := make([]*tcpEndpoint, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		addr := "127.0.0.1:0"
+		if basePort > 0 {
+			addr = fmt.Sprintf("127.0.0.1:%d", basePort+i)
+		}
+		l, err := net.Listen("tcp", addr)
+		if err != nil {
+			for j := 0; j < i; j++ {
+				eps[j].Close()
+			}
+			return nil, fmt.Errorf("cluster: rank %d listen: %w", i, err)
+		}
+		addrs[i] = l.Addr().String()
+		ep := &tcpEndpoint{
+			rank: i, size: n,
+			listener:  l,
+			conns:     make(map[int]net.Conn),
+			queues:    make([]chan []float64, n),
+			queueOnce: make([]sync.Once, n),
+			closed:    make(chan struct{}),
+		}
+		for j := 0; j < n; j++ {
+			ep.queues[j] = make(chan []float64, 8)
+		}
+		eps[i] = ep
+	}
+	for i, ep := range eps {
+		ep.addrs = addrs
+		ep.wg.Add(1)
+		go ep.acceptLoop()
+		_ = i
+	}
+	// Eagerly build the full mesh so a rank that dies before sending still
+	// has live connections whose teardown unblocks its peers.
+	for _, ep := range eps {
+		for to := 0; to < n; to++ {
+			if to == ep.rank {
+				continue
+			}
+			if err := ep.hello(to); err != nil {
+				for _, e := range eps {
+					e.Close()
+				}
+				return nil, err
+			}
+		}
+	}
+	out := make([]Transport, n)
+	for i, ep := range eps {
+		out[i] = ep
+	}
+	return out, nil
+}
+
+func (e *tcpEndpoint) Rank() int { return e.rank }
+func (e *tcpEndpoint) Size() int { return e.size }
+
+func (e *tcpEndpoint) acceptLoop() {
+	defer e.wg.Done()
+	for {
+		conn, err := e.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		e.wg.Add(1)
+		go e.readLoop(conn)
+	}
+}
+
+// closeQueue marks the sender as disconnected exactly once.
+func (e *tcpEndpoint) closeQueue(sender int) {
+	e.queueOnce[sender].Do(func() { close(e.queues[sender]) })
+}
+
+func (e *tcpEndpoint) readLoop(conn net.Conn) {
+	defer e.wg.Done()
+	defer conn.Close()
+	sender := -1
+	defer func() {
+		if sender >= 0 {
+			e.closeQueue(sender)
+		}
+	}()
+	header := make([]byte, 8)
+	for {
+		if _, err := io.ReadFull(conn, header); err != nil {
+			return
+		}
+		from := int(binary.LittleEndian.Uint32(header[0:4]))
+		count := binary.LittleEndian.Uint32(header[4:8])
+		if from < 0 || from >= e.size {
+			return
+		}
+		if sender == -1 {
+			sender = from
+		} else if from != sender {
+			return // protocol violation: one sender per connection
+		}
+		if count == helloCount {
+			continue
+		}
+		buf := make([]byte, 8*int(count))
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			return
+		}
+		data := make([]float64, count)
+		for i := range data {
+			data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+		}
+		select {
+		case e.queues[from] <- data:
+		case <-e.closed:
+			return
+		}
+	}
+}
+
+func (e *tcpEndpoint) dial(to int) (net.Conn, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if c, ok := e.conns[to]; ok {
+		return c, nil
+	}
+	c, err := net.Dial("tcp", e.addrs[to])
+	if err != nil {
+		return nil, fmt.Errorf("cluster: rank %d dial %d: %w", e.rank, to, err)
+	}
+	e.conns[to] = c
+	return c, nil
+}
+
+func (e *tcpEndpoint) hello(to int) error {
+	conn, err := e.dial(to)
+	if err != nil {
+		return err
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(e.rank))
+	binary.LittleEndian.PutUint32(buf[4:8], helloCount)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, err := conn.Write(buf[:]); err != nil {
+		return fmt.Errorf("cluster: rank %d hello to %d: %w", e.rank, to, err)
+	}
+	return nil
+}
+
+func (e *tcpEndpoint) Send(to int, data []float64) error {
+	if to < 0 || to >= e.size {
+		return fmt.Errorf("cluster: send to invalid rank %d (size %d)", to, e.size)
+	}
+	select {
+	case <-e.closed:
+		return fmt.Errorf("cluster: rank %d transport closed", e.rank)
+	default:
+	}
+	conn, err := e.dial(to)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 8+8*len(data))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(e.rank))
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(len(data)))
+	for i, v := range data {
+		binary.LittleEndian.PutUint64(buf[8+8*i:], math.Float64bits(v))
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock() // serialize writes on the shared conn
+	if _, err := conn.Write(buf); err != nil {
+		return fmt.Errorf("cluster: rank %d send to %d: %w", e.rank, to, err)
+	}
+	return nil
+}
+
+func (e *tcpEndpoint) Recv(from int) ([]float64, error) {
+	if from < 0 || from >= e.size {
+		return nil, fmt.Errorf("cluster: recv from invalid rank %d (size %d)", from, e.size)
+	}
+	data, ok := <-e.queues[from]
+	if !ok {
+		return nil, fmt.Errorf("cluster: rank %d lost connection from rank %d", e.rank, from)
+	}
+	return data, nil
+}
+
+func (e *tcpEndpoint) Close() error {
+	select {
+	case <-e.closed:
+		return nil
+	default:
+	}
+	close(e.closed)
+	err := e.listener.Close()
+	e.mu.Lock()
+	for _, c := range e.conns {
+		c.Close()
+	}
+	e.mu.Unlock()
+	return err
+}

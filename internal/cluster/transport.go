@@ -1,0 +1,125 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Transport delivers float64 payloads between ranks. Messages between a
+// fixed (from, to) pair are delivered in order; the collectives built on
+// top only rely on pairwise ordering. Implementations must be safe for
+// concurrent use by their owning rank.
+type Transport interface {
+	// Rank is this endpoint's rank in [0, Size).
+	Rank() int
+	// Size is the number of ranks.
+	Size() int
+	// Send delivers a copy of data to rank `to`.
+	Send(to int, data []float64) error
+	// Recv blocks until the next payload from rank `from` arrives.
+	Recv(from int) ([]float64, error)
+	// Close releases transport resources.
+	Close() error
+}
+
+// inprocHub connects n in-process endpoints with buffered channels, one
+// per directed pair.
+type inprocHub struct {
+	n     int
+	pipes [][]chan []float64 // pipes[from][to]
+}
+
+// NewInprocGroup returns n connected in-process transports, one per rank.
+func NewInprocGroup(n int) []Transport {
+	if n <= 0 {
+		panic("cluster: group size must be positive")
+	}
+	hub := &inprocHub{n: n, pipes: make([][]chan []float64, n)}
+	for i := 0; i < n; i++ {
+		hub.pipes[i] = make([]chan []float64, n)
+		for j := 0; j < n; j++ {
+			hub.pipes[i][j] = make(chan []float64, 8)
+		}
+	}
+	ts := make([]Transport, n)
+	for i := 0; i < n; i++ {
+		ts[i] = &inprocEndpoint{hub: hub, rank: i, failAfterSend: -1}
+	}
+	return ts
+}
+
+type inprocEndpoint struct {
+	hub  *inprocHub
+	rank int
+
+	mu     sync.Mutex
+	closed bool
+
+	// fault injection (tests): fail the k-th send, or all sends to a rank
+	failSendsTo   map[int]bool
+	failAfterSend int // fail every send once the counter exceeds this; <0 disables
+	sends         int
+}
+
+func (e *inprocEndpoint) Rank() int { return e.rank }
+func (e *inprocEndpoint) Size() int { return e.hub.n }
+
+func (e *inprocEndpoint) Send(to int, data []float64) error {
+	if to < 0 || to >= e.hub.n {
+		return fmt.Errorf("cluster: send to invalid rank %d (size %d)", to, e.hub.n)
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return fmt.Errorf("cluster: rank %d transport closed", e.rank)
+	}
+	e.sends++
+	if e.failSendsTo[to] || (e.failAfterSend >= 0 && e.sends > e.failAfterSend) {
+		e.mu.Unlock()
+		return fmt.Errorf("cluster: injected send failure %d->%d", e.rank, to)
+	}
+	e.mu.Unlock()
+	cp := make([]float64, len(data))
+	copy(cp, data)
+	e.hub.pipes[e.rank][to] <- cp
+	return nil
+}
+
+func (e *inprocEndpoint) Recv(from int) ([]float64, error) {
+	if from < 0 || from >= e.hub.n {
+		return nil, fmt.Errorf("cluster: recv from invalid rank %d (size %d)", from, e.hub.n)
+	}
+	data, ok := <-e.hub.pipes[from][e.rank]
+	if !ok {
+		return nil, fmt.Errorf("cluster: channel from %d to %d closed", from, e.rank)
+	}
+	return data, nil
+}
+
+func (e *inprocEndpoint) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	// Poison outgoing pipes so peers blocked on Recv(from=this rank) fail
+	// instead of hanging when this rank dies mid-protocol.
+	for to := range e.hub.pipes[e.rank] {
+		close(e.hub.pipes[e.rank][to])
+	}
+	return nil
+}
+
+// InjectSendFailure makes every subsequent send from this endpoint to rank
+// `to` fail. Test hook; no-op on non-inproc transports.
+func InjectSendFailure(t Transport, to int) {
+	if e, ok := t.(*inprocEndpoint); ok {
+		e.mu.Lock()
+		if e.failSendsTo == nil {
+			e.failSendsTo = make(map[int]bool)
+		}
+		e.failSendsTo[to] = true
+		e.mu.Unlock()
+	}
+}

@@ -1,0 +1,260 @@
+// Package core implements the paper's primary contribution: Newton-ADMM
+// (Algorithm 2), the distributed second-order solver that runs inexact
+// Newton-CG (Algorithm 1) on each rank's penalized local subproblem
+// (eq. 6a) and reconciles the ranks with a single gather+scatter round per
+// iteration — the consensus z-update of eq. (7), the multiplier update of
+// eq. (6c), and per-rank Spectral Penalty Selection.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"newtonadmm/internal/admm"
+	"newtonadmm/internal/cg"
+	"newtonadmm/internal/cluster"
+	"newtonadmm/internal/datasets"
+	"newtonadmm/internal/dist"
+	"newtonadmm/internal/linalg"
+	"newtonadmm/internal/linesearch"
+	"newtonadmm/internal/loss"
+	"newtonadmm/internal/metrics"
+	"newtonadmm/internal/newton"
+)
+
+// Options configures Newton-ADMM.
+type Options struct {
+	// Epochs is the number of ADMM iterations; <=0 selects 100
+	// (the paper's setting).
+	Epochs int
+	// Lambda is the global L2 regularization strength.
+	Lambda float64
+	// Rho0 is the initial per-rank penalty; <=0 selects 1.
+	Rho0 float64
+	// Penalty selects the adaptation policy: "spectral" (default),
+	// "residual-balancing", or "fixed".
+	Penalty string
+	// LocalNewtonIters caps the inner Newton iterations per ADMM
+	// iteration (Algorithm 1 run on each rank); <=0 selects 1, which
+	// makes one ADMM epoch's compute comparable to one GIANT epoch
+	// (one gradient, one CG solve, one line search) as in the paper's
+	// epoch-time comparisons.
+	LocalNewtonIters int
+	// CG configures the inner linear solver (paper: 10 iterations at
+	// tolerance 1e-4 for the Figure 1 study).
+	CG cg.Options
+	// Jacobi enables diagonal preconditioning of the local CG solves
+	// (optional optimization beyond the paper).
+	Jacobi bool
+	// LineSearch configures the per-rank Armijo backtracking
+	// (paper: at most 10 iterations).
+	LineSearch linesearch.Options
+	// EvalEvery records a trace point every this many epochs;
+	// <=0 selects 1.
+	EvalEvery int
+	// EvalTestAccuracy also measures test accuracy at each trace point.
+	EvalTestAccuracy bool
+	// TargetObjective stops the run at the first evaluation whose global
+	// objective reaches this value (the paper's time-to-theta protocol);
+	// zero disables early stopping.
+	TargetObjective float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Epochs <= 0 {
+		o.Epochs = 100
+	}
+	if o.Rho0 <= 0 {
+		o.Rho0 = 1
+	}
+	if o.Penalty == "" {
+		o.Penalty = "spectral"
+	}
+	if o.LocalNewtonIters <= 0 {
+		o.LocalNewtonIters = 1
+	}
+	if o.CG.MaxIters <= 0 {
+		o.CG.MaxIters = 10
+	}
+	if o.CG.RelTol <= 0 {
+		o.CG.RelTol = 1e-4
+	}
+	if o.LineSearch.MaxIters <= 0 {
+		o.LineSearch.MaxIters = 10
+	}
+	if o.EvalEvery <= 0 {
+		o.EvalEvery = 1
+	}
+	return o
+}
+
+// Result reports a Newton-ADMM run.
+type Result struct {
+	// Z is the final consensus weight vector.
+	Z []float64
+	// Trace is the convergence history (recorded on rank 0).
+	Trace metrics.Trace
+	// Stats are the per-rank timing summaries.
+	Stats []cluster.NodeStats
+	// PrimalResidual and DualResidual are the final global residuals.
+	PrimalResidual, DualResidual float64
+	// FinalRhos are the per-rank penalties at termination.
+	FinalRhos []float64
+	// TestAccuracy is the final test accuracy (NaN without a test set or
+	// when EvalTestAccuracy is off).
+	TestAccuracy float64
+}
+
+// Solve trains the softmax classifier of ds on a simulated cluster.
+func Solve(clusterCfg cluster.Config, ds *datasets.Dataset, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	res := &Result{Z: make([]float64, ds.Dim())}
+	finalRhos := make([]float64, maxInt(clusterCfg.Ranks, 1))
+	var trace *metrics.Trace
+	var finalPrimal, finalDual float64
+
+	stats, err := cluster.Run(clusterCfg, func(node *cluster.Node) error {
+		local, err := dist.BuildLocal(node, ds, opts.Lambda, false)
+		if err != nil {
+			return err
+		}
+		out := runRank(node, local, ds, opts, &rankSinks{
+			z:      res.Z,
+			rhos:   finalRhos,
+			trace:  &trace,
+			primal: &finalPrimal,
+			dual:   &finalDual,
+		})
+		return out
+	})
+	res.Stats = stats
+	if err != nil {
+		return nil, err
+	}
+	if trace != nil {
+		res.Trace = *trace
+	}
+	res.PrimalResidual = finalPrimal
+	res.DualResidual = finalDual
+	res.FinalRhos = finalRhos
+	if p, ok := res.Trace.Final(); ok {
+		res.TestAccuracy = p.TestAccuracy
+	}
+	return res, nil
+}
+
+// rankSinks collects outputs written by individual ranks (each rank
+// writes only its own slots; rank 0 writes the shared ones after the last
+// collective, so there are no races).
+type rankSinks struct {
+	z      []float64
+	rhos   []float64
+	trace  **metrics.Trace
+	primal *float64
+	dual   *float64
+}
+
+func runRank(node *cluster.Node, local *dist.Local, ds *datasets.Dataset, opts Options, sinks *rankSinks) error {
+	dim := ds.Dim()
+	z := make([]float64, dim)     // consensus iterate, step 1 of Algorithm 2
+	zPrev := make([]float64, dim) // consensus before the current update
+	y := make([]float64, dim)     // multipliers, step 2
+	x := make([]float64, dim)     // local iterate
+	v := make([]float64, dim)     // subproblem anchor z + y/rho
+	policy := admm.NewPolicy(opts.Penalty, opts.Rho0)
+	rec := dist.NewRecorder("newton-admm", ds, local, opts.EvalTestAccuracy)
+
+	yPrev := make([]float64, dim)
+	payload := make([]float64, dim+1) // [rho*x - y ; rho]
+
+	newtonOpts := newton.Options{
+		MaxIters:   opts.LocalNewtonIters,
+		GradTol:    1e-10,
+		CG:         opts.CG,
+		Jacobi:     opts.Jacobi,
+		LineSearch: opts.LineSearch,
+	}
+
+	rec.Observe(node, 0, z)
+	for k := 1; k <= opts.Epochs; k++ {
+		rho := policy.Rho()
+
+		// Local x-update (eq. 6a): inexact Newton on the augmented
+		// subproblem, warm-started from the previous local iterate
+		// ("Perform Algorithm 1 with x_i^k, y_i^k, z^k").
+		admm.Anchor(v, z, y, rho)
+		aug := loss.NewAugmented(local.Problem, rho, v)
+		newton.Solve(aug, x, newtonOpts)
+
+		// The paper's single communication round: gather each rank's
+		// z-update contribution (rho_i x_i - y_i, rho_i) at the master...
+		for j := 0; j < dim; j++ {
+			payload[j] = rho*x[j] - y[j]
+		}
+		payload[dim] = rho
+		parts := node.Gather(0, payload)
+
+		// ...master evaluates eq. (7)...
+		copy(zPrev, z)
+		if node.Rank() == 0 {
+			linalg.Zero(z)
+			var rhoSum float64
+			for _, part := range parts {
+				linalg.Axpy(1, part[:dim], z)
+				rhoSum += part[dim]
+			}
+			scale := local.Lambda + rhoSum
+			if scale <= 0 {
+				return fmt.Errorf("core: nonpositive z normalizer %v", scale)
+			}
+			linalg.Scal(1/scale, z)
+		}
+
+		// ...and scatters the new consensus back.
+		node.Bcast(0, z)
+
+		// Local updates: multipliers (eq. 6c) and the spectral penalty
+		// (step 8 of Algorithm 2) need no further communication.
+		copy(yPrev, y)
+		admm.UpdateY(y, z, x, rho)
+		st := admm.IterState{
+			X1: x, Z0: zPrev, Z1: z, Y0: yPrev, Y1: y,
+			Primal: admm.PrimalResidual(x, z),
+			Dual:   admm.DualResidual(z, zPrev, rho),
+		}
+		policy.Update(k, st)
+
+		if k%opts.EvalEvery == 0 || k == opts.Epochs {
+			obj := rec.Observe(node, k, z)
+			if opts.TargetObjective != 0 && obj <= opts.TargetObjective {
+				break // all ranks see the same allreduced objective
+			}
+		}
+	}
+
+	// Final residuals: aggregate primal over ranks (frozen: diagnostics).
+	node.Frozen(func() {
+		rsq := []float64{admm.PrimalResidual(x, z)}
+		rsq[0] *= rsq[0]
+		node.AllReduceSum(rsq)
+		if node.Rank() == 0 {
+			*sinks.primal = math.Sqrt(rsq[0])
+			*sinks.dual = admm.DualResidual(z, zPrev, policy.Rho())
+		}
+	})
+
+	sinks.rhos[node.Rank()] = policy.Rho()
+	if node.Rank() == 0 {
+		copy(sinks.z, z)
+		tr := rec.Trace
+		*sinks.trace = &tr
+	}
+	return nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

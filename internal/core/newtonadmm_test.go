@@ -1,0 +1,228 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"newtonadmm/internal/cluster"
+	"newtonadmm/internal/datasets"
+	"newtonadmm/internal/device"
+	"newtonadmm/internal/linalg"
+	"newtonadmm/internal/loss"
+	"newtonadmm/internal/newton"
+)
+
+func smallDataset(t *testing.T) *datasets.Dataset {
+	t.Helper()
+	ds, err := datasets.Generate(datasets.Config{
+		Name: "core-test", Samples: 600, TestSamples: 200, Features: 12,
+		Classes: 3, Seed: 90, Separation: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// singleNodeOptimum runs plain Newton to high precision for F(x*).
+func singleNodeOptimum(t *testing.T, ds *datasets.Dataset, lambda float64) (w []float64, fStar float64) {
+	t.Helper()
+	dev := device.New("oracle", 4)
+	defer dev.Close()
+	prob, err := loss.NewSoftmax(dev, ds.Xtrain, ds.Ytrain, ds.Classes, lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w = make([]float64, prob.Dim())
+	res := newton.Solve(prob, w, newton.Options{MaxIters: 200, GradTol: 1e-7})
+	if !res.Converged && res.GradNorm > 1e-5 {
+		t.Fatalf("oracle Newton did not converge: %+v", res)
+	}
+	return w, prob.Value(w)
+}
+
+func TestSolveReachesNearOptimum(t *testing.T) {
+	ds := smallDataset(t)
+	lambda := 1e-3
+	_, fStar := singleNodeOptimum(t, ds, lambda)
+
+	res, err := Solve(cluster.Config{Ranks: 4, Network: cluster.ZeroCost, DeviceWorkers: 1}, ds, Options{
+		Epochs: 60, Lambda: lambda, EvalTestAccuracy: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, ok := res.Trace.Final()
+	if !ok {
+		t.Fatal("empty trace")
+	}
+	rel := (final.Objective - fStar) / math.Abs(fStar)
+	if rel > 0.05 {
+		t.Fatalf("relative gap %v after 60 epochs (F=%v, F*=%v)", rel, final.Objective, fStar)
+	}
+}
+
+func TestSolveSingleRankMatchesNewton(t *testing.T) {
+	// With one rank and no consensus pressure, Newton-ADMM should reach
+	// essentially the single-node optimum.
+	ds := smallDataset(t)
+	lambda := 1e-2
+	_, fStar := singleNodeOptimum(t, ds, lambda)
+	res, err := Solve(cluster.Config{Ranks: 1, Network: cluster.ZeroCost, DeviceWorkers: 2}, ds, Options{
+		Epochs: 40, Lambda: lambda, LocalNewtonIters: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, _ := res.Trace.Final()
+	rel := (final.Objective - fStar) / math.Abs(fStar)
+	if rel > 0.02 {
+		t.Fatalf("single-rank gap %v", rel)
+	}
+}
+
+func TestSolveObjectiveDecreases(t *testing.T) {
+	ds := smallDataset(t)
+	res, err := Solve(cluster.Config{Ranks: 2, Network: cluster.ZeroCost, DeviceWorkers: 1}, ds, Options{
+		Epochs: 20, Lambda: 1e-3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := res.Trace.Points
+	if len(pts) < 3 {
+		t.Fatalf("too few trace points: %d", len(pts))
+	}
+	first, last := pts[0], pts[len(pts)-1]
+	if last.Objective >= first.Objective {
+		t.Fatalf("objective did not decrease: %v -> %v", first.Objective, last.Objective)
+	}
+}
+
+func TestSolveConsensusResidualShrinks(t *testing.T) {
+	ds := smallDataset(t)
+	res, err := Solve(cluster.Config{Ranks: 4, Network: cluster.ZeroCost, DeviceWorkers: 1}, ds, Options{
+		Epochs: 50, Lambda: 1e-3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scale-free check: primal residual small relative to ||z||.
+	zNorm := linalg.Nrm2(res.Z)
+	if zNorm == 0 {
+		t.Fatal("zero consensus vector")
+	}
+	if res.PrimalResidual/zNorm > 0.05 {
+		t.Fatalf("consensus not reached: ||r||/||z|| = %v", res.PrimalResidual/zNorm)
+	}
+}
+
+func TestSolveTestAccuracyAboveChance(t *testing.T) {
+	ds := smallDataset(t)
+	res, err := Solve(cluster.Config{Ranks: 2, Network: cluster.ZeroCost, DeviceWorkers: 1}, ds, Options{
+		Epochs: 40, Lambda: 1e-4, EvalTestAccuracy: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(res.TestAccuracy) {
+		t.Fatal("test accuracy not measured")
+	}
+	if res.TestAccuracy < 0.55 { // chance = 1/3
+		t.Fatalf("test accuracy %v", res.TestAccuracy)
+	}
+}
+
+func TestSolvePenaltyPolicies(t *testing.T) {
+	// All three policies must run and converge reasonably; rho must stay
+	// positive and finite.
+	ds := smallDataset(t)
+	for _, policy := range []string{"spectral", "residual-balancing", "fixed"} {
+		res, err := Solve(cluster.Config{Ranks: 3, Network: cluster.ZeroCost, DeviceWorkers: 1}, ds, Options{
+			Epochs: 25, Lambda: 1e-3, Penalty: policy,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		for r, rho := range res.FinalRhos {
+			if !(rho > 0) || math.IsInf(rho, 0) {
+				t.Fatalf("%s: rank %d rho=%v", policy, r, rho)
+			}
+		}
+		first := res.Trace.Points[0]
+		last, _ := res.Trace.Final()
+		if last.Objective >= first.Objective {
+			t.Fatalf("%s: no progress (%v -> %v)", policy, first.Objective, last.Objective)
+		}
+	}
+}
+
+func TestSolveCommunicationRoundsPerEpoch(t *testing.T) {
+	// The headline property: one gather + one scatter per ADMM iteration
+	// — exactly 2 collectives per epoch, independent of epochs' content.
+	ds := smallDataset(t)
+	epochs := 13
+	res, err := Solve(cluster.Config{Ranks: 4, Network: cluster.ZeroCost, DeviceWorkers: 1}, ds, Options{
+		Epochs: epochs, Lambda: 1e-3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Stats {
+		if s.Rounds != 2*epochs {
+			t.Fatalf("rank %d used %d collectives for %d epochs, want %d",
+				s.Rank, s.Rounds, epochs, 2*epochs)
+		}
+	}
+}
+
+func TestSolveOverTCPMatchesInproc(t *testing.T) {
+	// The algorithm is deterministic given the data and rank count, so
+	// the in-process and TCP transports must produce identical iterates.
+	ds := smallDataset(t)
+	opts := Options{Epochs: 8, Lambda: 1e-3}
+	a, err := Solve(cluster.Config{Ranks: 3, Network: cluster.ZeroCost, DeviceWorkers: 1}, ds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Solve(cluster.Config{Ranks: 3, Network: cluster.ZeroCost, DeviceWorkers: 1, UseTCP: true}, ds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := linalg.Dist2(a.Z, b.Z); d > 1e-12 {
+		t.Fatalf("transports disagree: ||z_inproc - z_tcp|| = %v", d)
+	}
+}
+
+func TestSolveMoreRanksStillConverges(t *testing.T) {
+	ds := smallDataset(t)
+	lambda := 1e-3
+	_, fStar := singleNodeOptimum(t, ds, lambda)
+	for _, ranks := range []int{2, 8} {
+		res, err := Solve(cluster.Config{Ranks: ranks, Network: cluster.ZeroCost, DeviceWorkers: 1}, ds, Options{
+			Epochs: 80, Lambda: lambda,
+		})
+		if err != nil {
+			t.Fatalf("ranks=%d: %v", ranks, err)
+		}
+		final, _ := res.Trace.Final()
+		rel := (final.Objective - fStar) / math.Abs(fStar)
+		if rel > 0.1 {
+			t.Fatalf("ranks=%d: relative gap %v", ranks, rel)
+		}
+	}
+}
+
+func TestSolveEvalEveryThinsTrace(t *testing.T) {
+	ds := smallDataset(t)
+	res, err := Solve(cluster.Config{Ranks: 2, Network: cluster.ZeroCost, DeviceWorkers: 1}, ds, Options{
+		Epochs: 10, Lambda: 1e-3, EvalEvery: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// points at epochs 0, 5, 10
+	if len(res.Trace.Points) != 3 {
+		t.Fatalf("trace has %d points, want 3", len(res.Trace.Points))
+	}
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"newtonadmm/internal/cluster"
+	"newtonadmm/internal/datasets"
+)
+
+func TestSolveWithJacobiPreconditioning(t *testing.T) {
+	ds := smallDataset(t)
+	lambda := 1e-3
+	_, fStar := singleNodeOptimum(t, ds, lambda)
+	res, err := Solve(cluster.Config{Ranks: 3, Network: cluster.ZeroCost, DeviceWorkers: 1}, ds, Options{
+		Epochs: 60, Lambda: lambda, Jacobi: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, _ := res.Trace.Final()
+	rel := (final.Objective - fStar) / math.Abs(fStar)
+	if rel > 0.05 {
+		t.Fatalf("Jacobi Newton-ADMM gap %v", rel)
+	}
+}
+
+func TestSolveTargetObjectiveStopsEarly(t *testing.T) {
+	ds := smallDataset(t)
+	// First run free to learn a reachable mid-trajectory target.
+	free, err := Solve(cluster.Config{Ranks: 2, Network: cluster.ZeroCost, DeviceWorkers: 1}, ds, Options{
+		Epochs: 30, Lambda: 1e-3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(free.Trace.Points) < 10 {
+		t.Fatalf("trace too short: %d", len(free.Trace.Points))
+	}
+	target := free.Trace.Points[5].Objective
+
+	res, err := Solve(cluster.Config{Ranks: 2, Network: cluster.ZeroCost, DeviceWorkers: 1}, ds, Options{
+		Epochs: 30, Lambda: 1e-3, TargetObjective: target,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, _ := res.Trace.Final()
+	if final.Epoch >= 30 {
+		t.Fatalf("early stop did not trigger: ran %d epochs", final.Epoch)
+	}
+	if final.Objective > target {
+		t.Fatalf("stopped above target: %v > %v", final.Objective, target)
+	}
+}
+
+func TestSolveLargerLocalNewtonBudgetConvergesFasterPerEpoch(t *testing.T) {
+	// More inner Newton iterations per ADMM epoch should reach a lower
+	// objective in the same number of epochs (at higher per-epoch cost).
+	ds := smallDataset(t)
+	epochs := 10
+	run := func(inner int) float64 {
+		res, err := Solve(cluster.Config{Ranks: 2, Network: cluster.ZeroCost, DeviceWorkers: 1}, ds, Options{
+			Epochs: epochs, Lambda: 1e-3, LocalNewtonIters: inner,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		final, _ := res.Trace.Final()
+		return final.Objective
+	}
+	one := run(1)
+	five := run(5)
+	if five > one*(1+1e-9) {
+		t.Fatalf("inner=5 (%v) worse than inner=1 (%v)", five, one)
+	}
+}
+
+func TestSpectralBeatsFixedPenalty(t *testing.T) {
+	// Regression test for the SPS sign convention: lamHat must equal
+	// grad f_i(x1) = y0 + rho (z0 - x1). With the sign flipped, the
+	// correlation safeguard vetoes every update, rho never moves, and
+	// "spectral" degenerates to "fixed" — on a weakly regularized
+	// problem the adaptive penalty is what drives consensus.
+	ds, err := datasets.Generate(datasets.MNISTLike(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(policy string) (float64, float64, []float64) {
+		res, err := Solve(cluster.Config{Ranks: 4, Network: cluster.ZeroCost, DeviceWorkers: 1}, ds, Options{
+			Epochs: 40, Lambda: 1e-5, Penalty: policy,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		final, _ := res.Trace.Final()
+		return final.Objective, res.PrimalResidual, res.FinalRhos
+	}
+	fSpec, rSpec, rhosSpec := run("spectral")
+	fFixed, rFixed, _ := run("fixed")
+	adapted := false
+	for _, rho := range rhosSpec {
+		if rho != 1 {
+			adapted = true
+		}
+	}
+	if !adapted {
+		t.Fatal("spectral penalty never adapted rho")
+	}
+	if fSpec >= fFixed {
+		t.Fatalf("spectral objective %v not better than fixed %v", fSpec, fFixed)
+	}
+	if rSpec >= rFixed {
+		t.Fatalf("spectral primal residual %v not better than fixed %v", rSpec, rFixed)
+	}
+}
+
+func TestOptionDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Epochs != 100 || o.Rho0 != 1 || o.Penalty != "spectral" {
+		t.Fatalf("defaults: %+v", o)
+	}
+	if o.LocalNewtonIters != 1 {
+		t.Fatalf("LocalNewtonIters default %d, want 1 (paper epoch-cost profile)", o.LocalNewtonIters)
+	}
+	if o.CG.MaxIters != 10 || o.CG.RelTol != 1e-4 || o.LineSearch.MaxIters != 10 {
+		t.Fatalf("paper hyper-parameter defaults wrong: %+v", o)
+	}
+}

@@ -1,0 +1,140 @@
+package datasets
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"newtonadmm/internal/loss"
+	"newtonadmm/internal/sparse"
+)
+
+// ReadLIBSVM parses the LIBSVM/SVMLight text format
+// ("label idx:val idx:val ..."), the distribution format of HIGGS, MNIST
+// and CIFAR-10 on the LIBSVM site. Labels may be arbitrary numeric class
+// ids; they are densely re-mapped to 0..C-1 in order of first appearance,
+// and 1-based feature indices become 0-based columns. The result is
+// always sparse (CSR); callers can densify small matrices via ToDense.
+func ReadLIBSVM(r io.Reader) (x loss.Features, y []int, classes int, err error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 1<<20), 1<<24)
+	var entries []sparse.Coord
+	labelIDs := map[string]int{}
+	maxCol := -1
+	row := 0
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		lbl := fields[0]
+		id, ok := labelIDs[lbl]
+		if !ok {
+			id = len(labelIDs)
+			labelIDs[lbl] = id
+		}
+		y = append(y, id)
+		for _, f := range fields[1:] {
+			colon := strings.IndexByte(f, ':')
+			if colon < 0 {
+				return nil, nil, 0, fmt.Errorf("datasets: line %d: bad feature %q", row+1, f)
+			}
+			idx, err := strconv.Atoi(f[:colon])
+			if err != nil || idx < 1 {
+				return nil, nil, 0, fmt.Errorf("datasets: line %d: bad index %q", row+1, f[:colon])
+			}
+			val, err := strconv.ParseFloat(f[colon+1:], 64)
+			if err != nil {
+				return nil, nil, 0, fmt.Errorf("datasets: line %d: bad value %q", row+1, f[colon+1:])
+			}
+			col := idx - 1
+			if col > maxCol {
+				maxCol = col
+			}
+			entries = append(entries, sparse.Coord{Row: row, Col: col, Val: val})
+		}
+		row++
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, nil, 0, err
+	}
+	if row == 0 {
+		return nil, nil, 0, fmt.Errorf("datasets: empty LIBSVM input")
+	}
+	csr, err := sparse.FromCoords(row, maxCol+1, entries)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return loss.Sparse{M: csr}, y, len(labelIDs), nil
+}
+
+// WriteLIBSVM writes features and labels in LIBSVM format (1-based
+// indices, zeros omitted).
+func WriteLIBSVM(w io.Writer, x loss.Features, y []int) error {
+	bw := bufio.NewWriter(w)
+	switch f := x.(type) {
+	case loss.Sparse:
+		for i := 0; i < f.M.NumRows; i++ {
+			if _, err := fmt.Fprintf(bw, "%d", y[i]); err != nil {
+				return err
+			}
+			for k := f.M.RowPtr[i]; k < f.M.RowPtr[i+1]; k++ {
+				if _, err := fmt.Fprintf(bw, " %d:%g", f.M.Col[k]+1, f.M.Val[k]); err != nil {
+					return err
+				}
+			}
+			if err := bw.WriteByte('\n'); err != nil {
+				return err
+			}
+		}
+	case loss.Dense:
+		for i := 0; i < f.M.Rows; i++ {
+			if _, err := fmt.Fprintf(bw, "%d", y[i]); err != nil {
+				return err
+			}
+			for j, v := range f.M.Row(i) {
+				if v != 0 {
+					if _, err := fmt.Fprintf(bw, " %d:%g", j+1, v); err != nil {
+						return err
+					}
+				}
+			}
+			if err := bw.WriteByte('\n'); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("datasets: unknown Features implementation %T", x)
+	}
+	return bw.Flush()
+}
+
+// ClassHistogram returns the per-class sample counts, a quick sanity
+// check that generated labels cover all classes.
+func ClassHistogram(y []int, classes int) []int {
+	h := make([]int, classes)
+	for _, c := range y {
+		if c >= 0 && c < classes {
+			h[c]++
+		}
+	}
+	return h
+}
+
+// SortedLabelSet returns the distinct labels present, ascending.
+func SortedLabelSet(y []int) []int {
+	set := map[int]bool{}
+	for _, c := range y {
+		set[c] = true
+	}
+	out := make([]int, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,111 @@
+package datasets
+
+// The presets mirror Table 1 of the paper with sizes scaled to a single
+// machine (the `scale` argument multiplies the default sample counts;
+// scale <= 0 selects 1.0). Class and feature counts match the paper
+// exactly except E18Like, whose 279,998-feature space is scaled to 27,998
+// (the dimension quoted in the paper's §7 text) to fit laptop memory while
+// keeping the problem firmly in Hessian-free territory.
+
+func scaled(n int, scale float64) int {
+	if scale <= 0 {
+		scale = 1
+	}
+	v := int(float64(n) * scale)
+	if v < 16 {
+		v = 16
+	}
+	return v
+}
+
+// HiggsLike is the binary, low-dimensional, well-conditioned regime of
+// HIGGS (2 classes, 28 features): both second-order methods reach the
+// target in about one iteration on it.
+func HiggsLike(scale float64) Config {
+	return Config{
+		Name:        "higgs-like",
+		Samples:     scaled(40000, scale),
+		TestSamples: scaled(8000, scale),
+		Features:    28,
+		Classes:     2,
+		Seed:        101,
+		Decay:       0.1,
+		Noise:       1.5,
+		Separation:  2,
+	}
+}
+
+// MNISTLike is the 10-class, 784-feature, moderately conditioned regime
+// of MNIST.
+func MNISTLike(scale float64) Config {
+	return Config{
+		Name:        "mnist-like",
+		Samples:     scaled(8000, scale),
+		TestSamples: scaled(2000, scale),
+		Features:    784,
+		Classes:     10,
+		Seed:        102,
+		Decay:       0.6,
+		Noise:       1,
+		Separation:  4,
+	}
+}
+
+// CIFARLike is the 10-class, 3072-feature, ill-conditioned regime of
+// CIFAR-10: a heavy power-law feature-scale decay makes the Hessian
+// spectrum span many orders of magnitude, which is what drives GIANT's
+// iteration blow-up in the paper's Figure 3.
+func CIFARLike(scale float64) Config {
+	return Config{
+		Name:        "cifar-like",
+		Samples:     scaled(4000, scale),
+		TestSamples: scaled(1000, scale),
+		Features:    3072,
+		Classes:     10,
+		Seed:        103,
+		Decay:       1.3,
+		Noise:       2,
+		Separation:  6,
+	}
+}
+
+// E18Like is the 20-class, high-dimensional sparse regime of E18
+// (paper: 1.3M cells x 279,998 genes; here 27,998 features at 2% density),
+// the case where forming the Hessian explicitly is impossible and the
+// Hessian-free path is mandatory.
+func E18Like(scale float64) Config {
+	return Config{
+		Name:        "e18-like",
+		Samples:     scaled(3000, scale),
+		TestSamples: scaled(600, scale),
+		Features:    27998,
+		Classes:     20,
+		Seed:        104,
+		Sparsity:    0.02,
+		Decay:       0.4,
+		Noise:       1.5,
+		Separation:  5,
+	}
+}
+
+// Presets returns the four Table 1 analogues at the given scale.
+func Presets(scale float64) []Config {
+	return []Config{HiggsLike(scale), MNISTLike(scale), CIFARLike(scale), E18Like(scale)}
+}
+
+// PresetByName resolves "higgs", "mnist", "cifar", or "e18" (with or
+// without the "-like" suffix) at the given scale; ok is false for unknown
+// names.
+func PresetByName(name string, scale float64) (Config, bool) {
+	switch name {
+	case "higgs", "higgs-like":
+		return HiggsLike(scale), true
+	case "mnist", "mnist-like":
+		return MNISTLike(scale), true
+	case "cifar", "cifar-10", "cifar-like":
+		return CIFARLike(scale), true
+	case "e18", "e18-like":
+		return E18Like(scale), true
+	}
+	return Config{}, false
+}

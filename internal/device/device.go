@@ -1,0 +1,242 @@
+// Package device provides the compute-accelerator substrate of the
+// reproduction. The paper offloads the bulk data-parallel work (score
+// matrices, gradients, Hessian-vector products) to Tesla P100 GPUs; this
+// package substitutes a software accelerator with the same execution model:
+//
+//   - kernels are launched as bulk data-parallel operations over row ranges;
+//   - a persistent worker pool executes the launched kernel (no per-launch
+//     goroutine spawning, mirroring a GPU's persistent execution engine and
+//     keeping launch overhead at a few microseconds, the same order as a
+//     real CUDA kernel launch);
+//   - the device keeps FLOP, byte, and launch counters so experiments can
+//     report arithmetic intensity and throughput like a GPU profiler would.
+//
+// Solvers are written purely against this API, so swapping in a real GPU
+// backend would not change any solver code — which is the property the
+// substitution must preserve (see DESIGN.md).
+package device
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"newtonadmm/internal/linalg"
+)
+
+// Device is a software compute accelerator with a fixed-size worker pool.
+// A Device is safe for use from a single logical stream at a time (like a
+// CUDA stream); cluster ranks each own one Device.
+type Device struct {
+	name    string
+	workers int
+
+	mu     sync.Mutex // serializes kernel launches on this device
+	tasks  chan func()
+	wg     sync.WaitGroup
+	closed atomic.Bool
+
+	launches atomic.Int64
+	flops    atomic.Int64
+	bytes    atomic.Int64
+}
+
+// Stats is a snapshot of a device's accounting counters.
+type Stats struct {
+	Launches int64 // kernel launches
+	FLOPs    int64 // floating point operations reported by kernels
+	Bytes    int64 // bytes touched reported by kernels
+}
+
+// New creates a device with the given worker count. workers <= 0 selects
+// runtime.NumCPU().
+func New(name string, workers int) *Device {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	d := &Device{
+		name:    name,
+		workers: workers,
+		tasks:   make(chan func(), workers),
+	}
+	for i := 0; i < workers; i++ {
+		go d.worker()
+	}
+	return d
+}
+
+func (d *Device) worker() {
+	for fn := range d.tasks {
+		fn()
+		d.wg.Done()
+	}
+}
+
+// Close shuts down the worker pool. The device must not be used afterwards.
+func (d *Device) Close() {
+	if d.closed.CompareAndSwap(false, true) {
+		close(d.tasks)
+	}
+}
+
+// Name returns the device name.
+func (d *Device) Name() string { return d.name }
+
+// Workers returns the size of the worker pool.
+func (d *Device) Workers() int { return d.workers }
+
+// Stats returns a snapshot of the accounting counters.
+func (d *Device) Stats() Stats {
+	return Stats{
+		Launches: d.launches.Load(),
+		FLOPs:    d.flops.Load(),
+		Bytes:    d.bytes.Load(),
+	}
+}
+
+// ResetStats zeroes the accounting counters.
+func (d *Device) ResetStats() {
+	d.launches.Store(0)
+	d.flops.Store(0)
+	d.bytes.Store(0)
+}
+
+// AddFLOPs lets kernels report arithmetic work.
+func (d *Device) AddFLOPs(n int64) { d.flops.Add(n) }
+
+// AddBytes lets kernels report memory traffic.
+func (d *Device) AddBytes(n int64) { d.bytes.Add(n) }
+
+func (d *Device) String() string {
+	s := d.Stats()
+	return fmt.Sprintf("device %s: %d workers, %d launches, %.3g GFLOP, %.3g GB",
+		d.name, d.workers, s.Launches, float64(s.FLOPs)/1e9, float64(s.Bytes)/1e9)
+}
+
+// chunkCount returns how many contiguous chunks a launch over [0, n)
+// with the given grain uses (the same split for every launch shape, so
+// reductions are bitwise deterministic).
+func (d *Device) chunkCount(n, grain int) int {
+	chunks := d.workers
+	if grain <= 0 {
+		grain = (n + 4*d.workers - 1) / (4 * d.workers)
+		if grain < 1 {
+			grain = 1
+		}
+	}
+	if maxChunks := (n + grain - 1) / grain; chunks > maxChunks {
+		chunks = maxChunks
+	}
+	if chunks < 1 {
+		chunks = 1
+	}
+	return chunks
+}
+
+// ChunkCount reports how many chunks a launch over [0, n) with the given
+// grain will use; external reduction kernels size their partial buffers
+// with it.
+func (d *Device) ChunkCount(n, grain int) int {
+	if n <= 0 {
+		return 0
+	}
+	return d.chunkCount(n, grain)
+}
+
+// ParallelForChunks launches a kernel over [0, n) split into contiguous
+// chunks; fn(chunk, lo, hi) runs on the worker pool for each chunk and
+// the call blocks until all complete. The chunk index lets reduction
+// kernels store partials at fixed positions so they can be combined in a
+// deterministic order regardless of worker scheduling. Returns the
+// number of chunks.
+func (d *Device) ParallelForChunks(n, grain int, fn func(chunk, lo, hi int)) int {
+	if n <= 0 {
+		return 0
+	}
+	if d.closed.Load() {
+		panic("device: kernel launch on closed device " + d.name)
+	}
+	d.launches.Add(1)
+	chunks := d.chunkCount(n, grain)
+	if chunks == 1 {
+		fn(0, 0, n)
+		return 1
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.wg.Add(chunks)
+	for c := 0; c < chunks; c++ {
+		c := c
+		lo := c * n / chunks
+		hi := (c + 1) * n / chunks
+		d.tasks <- func() { fn(c, lo, hi) }
+	}
+	d.wg.Wait()
+	return chunks
+}
+
+// ParallelFor launches a kernel over [0, n): the range is split into
+// roughly equal contiguous chunks (at least grain items each, grain <= 0
+// selects an automatic grain) and fn(lo, hi) runs on the worker pool for
+// each chunk. ParallelFor blocks until all chunks complete, like a
+// synchronous kernel launch.
+func (d *Device) ParallelFor(n, grain int, fn func(lo, hi int)) {
+	d.ParallelForChunks(n, grain, func(_, lo, hi int) { fn(lo, hi) })
+}
+
+// ParallelReduce launches a kernel over [0, n) where each chunk produces
+// a partial float64 via fn(lo, hi); the partials are summed in chunk
+// order, so the result is bitwise deterministic across runs (worker
+// scheduling cannot reorder the floating-point sum).
+func (d *Device) ParallelReduce(n, grain int, fn func(lo, hi int) float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	partials := make([]float64, d.chunkCount(n, grain))
+	d.ParallelForChunks(n, grain, func(chunk, lo, hi int) {
+		partials[chunk] = fn(lo, hi)
+	})
+	var total float64
+	for _, p := range partials {
+		total += p
+	}
+	return total
+}
+
+// MulNT computes S = A * B^T on the device: A is n x p dense, B is m x p
+// row-major, S is n x m row-major (overwritten). This is the "scores"
+// kernel of the softmax loss.
+func (d *Device) MulNT(a *linalg.Matrix, b []float64, m int, s []float64) {
+	if len(s) != a.Rows*m {
+		panic("device: MulNT output dimension mismatch")
+	}
+	d.ParallelFor(a.Rows, 0, func(lo, hi int) {
+		linalg.MulNTRange(a, b, m, s, lo, hi)
+	})
+	d.AddFLOPs(2 * int64(a.Rows) * int64(a.Cols) * int64(m))
+	d.AddBytes(8 * (int64(a.Rows)*int64(a.Cols) + int64(len(b)) + int64(len(s))))
+}
+
+// MulTN computes G = D^T * A on the device: D is n x m, A is n x p, G is
+// m x p (overwritten). Each chunk accumulates into a private buffer and
+// the partials are reduced in chunk order — the standard GPU strategy
+// for transposed gradient accumulation without atomics, kept bitwise
+// deterministic across runs.
+func (d *Device) MulTN(a *linalg.Matrix, dmat []float64, m int, g []float64) {
+	if len(g) != m*a.Cols {
+		panic("device: MulTN output dimension mismatch")
+	}
+	linalg.Zero(g)
+	parts := make([][]float64, d.chunkCount(a.Rows, 0))
+	d.ParallelForChunks(a.Rows, 0, func(chunk, lo, hi int) {
+		part := make([]float64, len(g))
+		linalg.MulTNRange(a, dmat, m, part, lo, hi)
+		parts[chunk] = part
+	})
+	for _, part := range parts {
+		linalg.Add(g, part)
+	}
+	d.AddFLOPs(2 * int64(a.Rows) * int64(a.Cols) * int64(m))
+	d.AddBytes(8 * (int64(a.Rows)*int64(a.Cols) + int64(len(dmat)) + int64(len(g))))
+}

@@ -1,0 +1,186 @@
+package device
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"newtonadmm/internal/linalg"
+)
+
+func randMatrix(rng *rand.Rand, rows, cols int) *linalg.Matrix {
+	m := linalg.NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func randVec(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+func TestParallelForCoversRangeExactlyOnce(t *testing.T) {
+	d := New("test", 4)
+	defer d.Close()
+	for _, n := range []int{0, 1, 2, 3, 7, 100, 1023} {
+		hits := make([]int32, n)
+		var mu sync.Mutex
+		d.ParallelFor(n, 1, func(lo, hi int) {
+			mu.Lock()
+			for i := lo; i < hi; i++ {
+				hits[i]++
+			}
+			mu.Unlock()
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, h)
+			}
+		}
+	}
+}
+
+func TestParallelForSingleWorker(t *testing.T) {
+	d := New("single", 1)
+	defer d.Close()
+	sum := 0
+	d.ParallelFor(10, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sum += i
+		}
+	})
+	if sum != 45 {
+		t.Fatalf("sum = %d, want 45", sum)
+	}
+}
+
+func TestParallelReduce(t *testing.T) {
+	d := New("test", 8)
+	defer d.Close()
+	n := 10000
+	got := d.ParallelReduce(n, 0, func(lo, hi int) float64 {
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += float64(i)
+		}
+		return s
+	})
+	want := float64(n*(n-1)) / 2
+	if got != want {
+		t.Fatalf("ParallelReduce = %v, want %v", got, want)
+	}
+}
+
+func TestParallelReduceEmpty(t *testing.T) {
+	d := New("test", 2)
+	defer d.Close()
+	if got := d.ParallelReduce(0, 0, func(lo, hi int) float64 { return 1 }); got != 0 {
+		t.Fatalf("empty reduce = %v, want 0", got)
+	}
+}
+
+func TestMulNTMatchesSerial(t *testing.T) {
+	d := New("test", 6)
+	defer d.Close()
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		n, p, m := 1+rng.Intn(200), 1+rng.Intn(30), 1+rng.Intn(9)
+		a := randMatrix(rng, n, p)
+		b := randVec(rng, m*p)
+		got := make([]float64, n*m)
+		d.MulNT(a, b, m, got)
+		want := make([]float64, n*m)
+		linalg.MulNT(a, b, m, want)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("MulNT parallel/serial mismatch at %d: %v vs %v", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMulTNMatchesSerial(t *testing.T) {
+	d := New("test", 6)
+	defer d.Close()
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 10; trial++ {
+		n, p, m := 1+rng.Intn(200), 1+rng.Intn(30), 1+rng.Intn(9)
+		a := randMatrix(rng, n, p)
+		dm := randVec(rng, n*m)
+		got := make([]float64, m*p)
+		d.MulTN(a, dm, m, got)
+		want := make([]float64, m*p)
+		linalg.MulTN(a, dm, m, want)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9*math.Max(1, math.Abs(want[i])) {
+				t.Fatalf("MulTN parallel/serial mismatch at %d: %v vs %v", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	d := New("test", 2)
+	defer d.Close()
+	if s := d.Stats(); s.Launches != 0 || s.FLOPs != 0 {
+		t.Fatal("fresh device should have zero stats")
+	}
+	a := linalg.NewMatrix(10, 4)
+	b := make([]float64, 3*4)
+	s := make([]float64, 10*3)
+	d.MulNT(a, b, 3, s)
+	st := d.Stats()
+	if st.Launches != 1 {
+		t.Fatalf("launches = %d, want 1", st.Launches)
+	}
+	if st.FLOPs != 2*10*4*3 {
+		t.Fatalf("flops = %d, want %d", st.FLOPs, 2*10*4*3)
+	}
+	d.ResetStats()
+	if st := d.Stats(); st.Launches != 0 || st.FLOPs != 0 || st.Bytes != 0 {
+		t.Fatal("ResetStats did not zero counters")
+	}
+}
+
+func TestCloseThenUsePanics(t *testing.T) {
+	d := New("test", 2)
+	d.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on closed device")
+		}
+	}()
+	d.ParallelFor(10, 0, func(lo, hi int) {})
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	d := New("test", 2)
+	d.Close()
+	d.Close() // must not panic
+}
+
+func TestConcurrentIndependentDevices(t *testing.T) {
+	// Multiple devices (as cluster ranks have) must work concurrently.
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			d := New("rank", 2)
+			defer d.Close()
+			total := d.ParallelReduce(1000, 0, func(lo, hi int) float64 {
+				return float64(hi - lo)
+			})
+			if total != 1000 {
+				t.Errorf("rank %d: reduce = %v", r, total)
+			}
+		}(r)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,163 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"newtonadmm/internal/baselines"
+	"newtonadmm/internal/core"
+	"newtonadmm/internal/datasets"
+	"newtonadmm/internal/metrics"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig1",
+		Title: "Figure 1: training objective vs time, second-order solvers on MNIST",
+		Paper: "Newton-ADMM and GIANT reach F < 0.25 in seconds; InexactDANE " +
+			"and AIDE epochs are ~4 orders of magnitude slower " +
+			"(Newton-ADMM 2.4s vs InexactDANE ~1.5h to F < 0.25)",
+		Run: runFig1,
+	})
+}
+
+// runFig1 reproduces the four-solver comparison on the MNIST analogue with
+// lambda = 1e-5 and the paper's shared hyper-parameters (10 CG iterations
+// at 1e-4, 10 line-search iterations). DANE and AIDE get 10 epochs, as in
+// the paper, because each of their epochs sweeps the shard many times.
+func runFig1(cfg RunConfig, w io.Writer) error {
+	cfg = cfg.withDefaults()
+	const lambda = 1e-5
+	const ranks = 4
+	ds, err := generate(datasets.MNISTLike(cfg.Scale))
+	if err != nil {
+		return err
+	}
+	section(w, "Figure 1 — %s, lambda=%.0e, %d ranks, network %s",
+		ds.Name, lambda, ranks, cfg.Network.Name)
+
+	ccfg := cfg.cluster(ranks)
+	epochs := cfg.epochs(100)
+	daneEpochs := cfg.epochs(10)
+	if daneEpochs > 10 {
+		daneEpochs = 10
+	}
+
+	var traces []*metrics.Trace
+
+	admmRes, err := core.Solve(ccfg, ds, admmOptions(epochs, lambda, false))
+	if err != nil {
+		return fmt.Errorf("newton-admm: %w", err)
+	}
+	traces = append(traces, &admmRes.Trace)
+
+	giantRes, err := baselines.SolveGIANT(ccfg, ds, giantOptions(epochs, lambda, false))
+	if err != nil {
+		return fmt.Errorf("giant: %w", err)
+	}
+	traces = append(traces, &giantRes.Trace)
+
+	// InexactDANE with the paper's protocol: eta=1, mu=0, SVRG inner
+	// solver; the step size is swept and the best is reported.
+	daneTrace, daneStep, err := bestDANE(ccfg, ds, lambda, daneEpochs, cfg.Quick)
+	if err != nil {
+		return fmt.Errorf("inexact-dane: %w", err)
+	}
+	traces = append(traces, daneTrace)
+
+	aideTrace, aideTau, err := bestAIDE(ccfg, ds, lambda, daneEpochs, cfg.Quick)
+	if err != nil {
+		return fmt.Errorf("aide: %w", err)
+	}
+	traces = append(traces, aideTrace)
+
+	summary := NewTable("summary",
+		"solver", "epochs", "avg epoch time", "final objective", "note")
+	notes := map[string]string{
+		"inexact-dane": fmt.Sprintf("best SVRG step %.0e", daneStep),
+		"aide":         fmt.Sprintf("best tau %.0e", aideTau),
+	}
+	for _, tr := range traces {
+		final, _ := tr.Final()
+		summary.Add(tr.Solver, final.Epoch, tr.AvgEpochTime(), final.Objective, notes[tr.Solver])
+	}
+	if err := summary.Render(w); err != nil {
+		return err
+	}
+
+	// Epoch-cost gap: the paper's headline "four orders of magnitude".
+	gap := float64(daneTrace.AvgEpochTime()) / float64(admmRes.Trace.AvgEpochTime())
+	fmt.Fprintf(w, "InexactDANE epoch / Newton-ADMM epoch = %.1fx\n\n", gap)
+
+	for _, tr := range traces {
+		if err := WriteTrace(w, sampleTracePoints(tr, 12)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fig1SVRG approximates the paper's SVRG budget ("100 iterations,
+// update frequency 2n") scaled to the harness sizes: 8 snapshot rounds
+// of 2n/8 mini-batch steps each — deliberately lighter than the paper's
+// (batch-1, 100-round) budget so the experiment completes in minutes,
+// which means the measured DANE/ADMM epoch-cost gap *understates* the
+// paper's four orders of magnitude. Quick mode keeps the light default.
+func fig1SVRG(step float64, quick bool) baselines.SVRGOptions {
+	if quick {
+		return baselines.SVRGOptions{Step: step}
+	}
+	return baselines.SVRGOptions{Step: step, Snapshots: 8, BatchSize: 8}
+}
+
+// bestDANE sweeps the SVRG step size (the paper sweeps 1e-4..1e4) and
+// returns the trace with the lowest final objective.
+func bestDANE(ccfg clusterConfig, ds *datasets.Dataset, lambda float64, epochs int, quick bool) (*metrics.Trace, float64, error) {
+	steps := []float64{1e-1, 1, 1e1}
+	if quick {
+		steps = []float64{1}
+	}
+	var best *metrics.Trace
+	var bestStep float64
+	for _, step := range steps {
+		res, err := baselines.SolveInexactDANE(ccfg, ds, baselines.DANEOptions{
+			Epochs: epochs, Lambda: lambda, Eta: 1, Mu: 0, Seed: 1,
+			SVRG: fig1SVRG(step, quick),
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		if best == nil || res.Trace.BestObjective() < best.BestObjective() {
+			tr := res.Trace
+			best, bestStep = &tr, step
+		}
+	}
+	return best, bestStep, nil
+}
+
+// bestAIDE sweeps tau (the paper sweeps 1e-4..1e4).
+func bestAIDE(ccfg clusterConfig, ds *datasets.Dataset, lambda float64, epochs int, quick bool) (*metrics.Trace, float64, error) {
+	taus := []float64{1e-2, 1, 1e2}
+	if quick {
+		taus = []float64{1}
+	}
+	var best *metrics.Trace
+	var bestTau float64
+	for _, tau := range taus {
+		res, err := baselines.SolveAIDE(ccfg, ds, baselines.AIDEOptions{
+			DANE: baselines.DANEOptions{
+				Epochs: epochs, Lambda: lambda, Eta: 1, Mu: 0, Seed: 2,
+				SVRG: fig1SVRG(1, quick),
+			},
+			Tau: tau,
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		if best == nil || res.Trace.BestObjective() < best.BestObjective() {
+			tr := res.Trace
+			best, bestTau = &tr, tau
+		}
+	}
+	return best, bestTau, nil
+}

@@ -1,0 +1,92 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"newtonadmm/internal/baselines"
+	"newtonadmm/internal/core"
+	"newtonadmm/internal/datasets"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig2",
+		Title: "Figure 2: average epoch time, strong and weak scaling (Newton-ADMM vs GIANT)",
+		Paper: "strong scaling: epoch time roughly halves as workers double " +
+			"(HIGGS scales best); weak scaling: epoch time stays roughly " +
+			"constant as workers double",
+		Run: runFig2,
+	})
+}
+
+var scalingRanks = []int{1, 2, 4, 8}
+
+// epochTimes runs both solvers for a fixed epoch budget and returns their
+// average (virtual) epoch times.
+func epochTimes(ccfg clusterConfig, ds *datasets.Dataset, lambda float64, epochs int) (admm, giant time.Duration, err error) {
+	aRes, err := core.Solve(ccfg, ds, admmOptions(epochs, lambda, false))
+	if err != nil {
+		return 0, 0, fmt.Errorf("newton-admm: %w", err)
+	}
+	gRes, err := baselines.SolveGIANT(ccfg, ds, giantOptions(epochs, lambda, false))
+	if err != nil {
+		return 0, 0, fmt.Errorf("giant: %w", err)
+	}
+	return aRes.Trace.AvgEpochTime(), gRes.Trace.AvgEpochTime(), nil
+}
+
+// runFig2 regenerates both panels of Figure 2. Strong scaling splits one
+// fixed dataset across s in {1,2,4,8} ranks; weak scaling holds the
+// per-rank shard constant by growing the dataset with the rank count.
+// (For E18 the paper itself subsamples: 60k strong, 60k/node weak.)
+func runFig2(cfg RunConfig, w io.Writer) error {
+	cfg = cfg.withDefaults()
+	const lambda = 1e-5
+	epochs := cfg.epochs(10)
+	section(w, "Figure 2 — avg epoch time (ms), %d epochs, network %s", epochs, cfg.Network.Name)
+
+	strong := NewTable("strong scaling (fixed total samples)",
+		"dataset", "ranks", "newton-admm", "giant")
+	for _, pcfg := range presetConfigs(cfg.Scale) {
+		ds, err := generate(pcfg)
+		if err != nil {
+			return err
+		}
+		for _, ranks := range scalingRanks {
+			a, g, err := epochTimes(cfg.cluster(ranks), ds, lambda, epochs)
+			if err != nil {
+				return fmt.Errorf("%s s%d: %w", ds.Name, ranks, err)
+			}
+			strong.Add(ds.Name, fmt.Sprintf("s%d", ranks), a, g)
+		}
+	}
+	if err := strong.Render(w); err != nil {
+		return err
+	}
+
+	weak := NewTable("weak scaling (fixed samples per rank)",
+		"dataset", "ranks", "newton-admm", "giant")
+	for _, pcfg := range presetConfigs(cfg.Scale) {
+		base := pcfg // per-rank shard = the scale-1 sample count / max ranks
+		perRank := base.Samples / scalingRanks[len(scalingRanks)-1]
+		if perRank < 8 {
+			perRank = 8
+		}
+		for _, ranks := range scalingRanks {
+			wcfg := base
+			wcfg.Samples = perRank * ranks
+			ds, err := generate(wcfg)
+			if err != nil {
+				return err
+			}
+			a, g, err := epochTimes(cfg.cluster(ranks), ds, lambda, epochs)
+			if err != nil {
+				return fmt.Errorf("%s w%d: %w", ds.Name, ranks, err)
+			}
+			weak.Add(ds.Name, fmt.Sprintf("w%d", ranks), a, g)
+		}
+	}
+	return weak.Render(w)
+}

@@ -1,0 +1,118 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"newtonadmm/internal/baselines"
+	"newtonadmm/internal/core"
+	"newtonadmm/internal/datasets"
+	"newtonadmm/internal/metrics"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig3",
+		Title: "Figure 3: speedup ratio (GIANT time / Newton-ADMM time) to theta < 0.05",
+		Paper: "HIGGS ~1.3x constant; E18 strong scaling 18x down to 1.3x; " +
+			"CIFAR-10 speedup grows with ranks (ill-conditioning); " +
+			"E18 weak scaling omitted (single-node x* infeasible)",
+		Run: runFig3,
+	})
+}
+
+const fig3Theta = 0.05
+
+// speedupAt runs both solvers until the theta target (or the epoch cap)
+// and returns GIANT's time-to-target divided by Newton-ADMM's.
+func speedupAt(ccfg clusterConfig, ds *datasets.Dataset, lambda, fStar float64, capEpochs int) (ratio float64, aEpochs, gEpochs int, ok bool, err error) {
+	target := metrics.RelativeTarget(fStar, fig3Theta)
+	aOpts := admmOptions(capEpochs, lambda, false)
+	aOpts.TargetObjective = target
+	aRes, err := core.Solve(ccfg, ds, aOpts)
+	if err != nil {
+		return 0, 0, 0, false, fmt.Errorf("newton-admm: %w", err)
+	}
+	gOpts := giantOptions(capEpochs, lambda, false)
+	gOpts.TargetObjective = target
+	gRes, err := baselines.SolveGIANT(ccfg, ds, gOpts)
+	if err != nil {
+		return 0, 0, 0, false, fmt.Errorf("giant: %w", err)
+	}
+	ratio, ok = metrics.SpeedupRatio(&gRes.Trace, &aRes.Trace, fStar, fig3Theta)
+	aEpochs, _ = aRes.Trace.EpochsToObjective(metrics.RelativeTarget(fStar, fig3Theta))
+	gEpochs, _ = gRes.Trace.EpochsToObjective(metrics.RelativeTarget(fStar, fig3Theta))
+	return ratio, aEpochs, gEpochs, ok, nil
+}
+
+// runFig3 regenerates both panels of Figure 3. The "optimal" F(x*) comes
+// from a long single-node Newton run, the paper's protocol; E18 is
+// excluded from the weak-scaling panel exactly as in the paper.
+func runFig3(cfg RunConfig, w io.Writer) error {
+	cfg = cfg.withDefaults()
+	const lambda = 1e-5
+	capEpochs := cfg.epochs(150)
+	section(w, "Figure 3 — speedup to theta < %.2f (cap %d epochs, network %s)",
+		fig3Theta, capEpochs, cfg.Network.Name)
+
+	strong := NewTable("strong scaling speedup",
+		"dataset", "ranks", "speedup", "admm epochs", "giant epochs")
+	for _, pcfg := range presetConfigs(cfg.Scale) {
+		ds, err := generate(pcfg)
+		if err != nil {
+			return err
+		}
+		fStar, err := oracleFStar(ds, lambda)
+		if err != nil {
+			return err
+		}
+		for _, ranks := range scalingRanks {
+			ratio, aE, gE, ok, err := speedupAt(cfg.cluster(ranks), ds, lambda, fStar, capEpochs)
+			if err != nil {
+				return fmt.Errorf("%s s%d: %w", ds.Name, ranks, err)
+			}
+			cell := "not reached"
+			if ok {
+				cell = fmt.Sprintf("%.2fx", ratio)
+			}
+			strong.Add(ds.Name, fmt.Sprintf("s%d", ranks), cell, aE, gE)
+		}
+	}
+	if err := strong.Render(w); err != nil {
+		return err
+	}
+
+	weak := NewTable("weak scaling speedup (E18 omitted, as in the paper)",
+		"dataset", "ranks", "speedup", "admm epochs", "giant epochs")
+	for _, pcfg := range presetConfigs(cfg.Scale) {
+		if pcfg.Name == "e18-like" {
+			continue
+		}
+		perRank := pcfg.Samples / scalingRanks[len(scalingRanks)-1]
+		if perRank < 8 {
+			perRank = 8
+		}
+		for _, ranks := range scalingRanks {
+			wcfg := pcfg
+			wcfg.Samples = perRank * ranks
+			ds, err := generate(wcfg)
+			if err != nil {
+				return err
+			}
+			fStar, err := oracleFStar(ds, lambda)
+			if err != nil {
+				return err
+			}
+			ratio, aE, gE, ok, err := speedupAt(cfg.cluster(ranks), ds, lambda, fStar, capEpochs)
+			if err != nil {
+				return fmt.Errorf("%s w%d: %w", ds.Name, ranks, err)
+			}
+			cell := "not reached"
+			if ok {
+				cell = fmt.Sprintf("%.2fx", ratio)
+			}
+			weak.Add(ds.Name, fmt.Sprintf("w%d", ranks), cell, aE, gE)
+		}
+	}
+	return weak.Render(w)
+}

@@ -1,0 +1,140 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"newtonadmm/internal/baselines"
+	"newtonadmm/internal/cg"
+	"newtonadmm/internal/core"
+	"newtonadmm/internal/datasets"
+	"newtonadmm/internal/metrics"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig4",
+		Title: "Figure 4: Newton-ADMM vs synchronous SGD (objective & test accuracy vs time)",
+		Paper: "Newton-ADMM reaches matching accuracy in much less time: " +
+			"22.5x (HIGGS), 2.48x (MNIST), 2.06x (CIFAR-10), 3.69x (E18); " +
+			"weak scaling with 8 workers (E18: 16)",
+		Run: runFig4,
+	})
+}
+
+// runFig4 reproduces the first-order comparison: weak scaling with 8
+// workers (16 for the E18 analogue), lambda = 1e-5, 100 epochs each.
+// SGD uses batch 128 with the best step from a sweep; Newton-ADMM sweeps
+// CG iterations {10,20,30} with tolerance 1e-10 and reports the best, as
+// the paper does.
+func runFig4(cfg RunConfig, w io.Writer) error {
+	cfg = cfg.withDefaults()
+	const lambda = 1e-5
+	epochs := cfg.epochs(100)
+	section(w, "Figure 4 — vs synchronous SGD, %d epochs, network %s", epochs, cfg.Network.Name)
+
+	summary := NewTable("summary",
+		"dataset", "ranks", "solver", "final objective", "final test acc",
+		"total time", "speedup to SGD's best F")
+
+	for _, pcfg := range presetConfigs(cfg.Scale) {
+		ranks := 8
+		if pcfg.Name == "e18-like" {
+			ranks = 16
+		}
+		// Weak scaling: shard size fixed at the preset size / 8.
+		perRank := pcfg.Samples / 8
+		if perRank < 8 {
+			perRank = 8
+		}
+		wcfg := pcfg
+		wcfg.Samples = perRank * ranks
+		ds, err := generate(wcfg)
+		if err != nil {
+			return err
+		}
+		ccfg := cfg.cluster(ranks)
+
+		sgdTrace, sgdStep, err := bestSGD(ccfg, ds, lambda, epochs, cfg.Quick)
+		if err != nil {
+			return fmt.Errorf("%s sgd: %w", ds.Name, err)
+		}
+		admmTrace, admmCG, err := bestADMM(ccfg, ds, lambda, epochs, cfg.Quick)
+		if err != nil {
+			return fmt.Errorf("%s admm: %w", ds.Name, err)
+		}
+
+		// Speedup: time for each solver to reach SGD's best objective.
+		target := sgdTrace.BestObjective()
+		sgdTime, _ := sgdTrace.TimeToObjective(target)
+		admmTime, admmReached := admmTrace.TimeToObjective(target)
+		speed := "n/a"
+		if admmReached && admmTime > 0 {
+			speed = fmt.Sprintf("%.2fx", float64(sgdTime)/float64(admmTime))
+		}
+
+		aFinal, _ := admmTrace.Final()
+		sFinal, _ := sgdTrace.Final()
+		summary.Add(ds.Name, ranks, fmt.Sprintf("newton-admm (cg=%d)", admmCG),
+			aFinal.Objective, aFinal.TestAccuracy, aFinal.Time, speed)
+		summary.Add(ds.Name, ranks, fmt.Sprintf("sync-sgd (step=%.0e)", sgdStep),
+			sFinal.Objective, sFinal.TestAccuracy, sFinal.Time, "1x")
+
+		for _, tr := range []*metrics.Trace{admmTrace, sgdTrace} {
+			tr.Dataset = ds.Name
+			if err := WriteTrace(w, sampleTracePoints(tr, 10)); err != nil {
+				return err
+			}
+		}
+	}
+	return summary.Render(w)
+}
+
+// bestSGD sweeps the step size (the paper sweeps 1e-8..1e8; we cover the
+// productive middle decades) and returns the best trace.
+func bestSGD(ccfg clusterConfig, ds *datasets.Dataset, lambda float64, epochs int, quick bool) (*metrics.Trace, float64, error) {
+	steps := []float64{1e-1, 1, 1e1}
+	if quick {
+		steps = []float64{1}
+	}
+	var best *metrics.Trace
+	var bestStep float64
+	for _, step := range steps {
+		res, err := baselines.SolveSyncSGD(ccfg, ds, baselines.SGDOptions{
+			Epochs: epochs, Lambda: lambda, BatchSize: 128, Step: step,
+			Seed: 4, EvalTestAccuracy: true,
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		if best == nil || res.Trace.BestObjective() < best.BestObjective() {
+			tr := res.Trace
+			best, bestStep = &tr, step
+		}
+	}
+	return best, bestStep, nil
+}
+
+// bestADMM sweeps CG iterations {10,20,30} at tolerance 1e-10 (the
+// paper's Figure 4 protocol) and returns the best trace.
+func bestADMM(ccfg clusterConfig, ds *datasets.Dataset, lambda float64, epochs int, quick bool) (*metrics.Trace, int, error) {
+	cgIters := []int{10, 20, 30}
+	if quick {
+		cgIters = []int{10}
+	}
+	var best *metrics.Trace
+	var bestCG int
+	for _, iters := range cgIters {
+		opts := admmOptions(epochs, lambda, true)
+		opts.CG = cg.Options{MaxIters: iters, RelTol: 1e-10}
+		res, err := core.Solve(ccfg, ds, opts)
+		if err != nil {
+			return nil, 0, err
+		}
+		if best == nil || res.Trace.BestObjective() < best.BestObjective() {
+			tr := res.Trace
+			best, bestCG = &tr, iters
+		}
+	}
+	return best, bestCG, nil
+}

@@ -1,0 +1,117 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"newtonadmm/internal/metrics"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	// Every paper artifact must be registered.
+	want := []string{
+		"table1", "fig1", "fig2", "fig3", "fig4", "fig5",
+		"ablation-penalty", "ablation-network", "ablation-inexact",
+		"extra-disco", "extra-jacobi",
+	}
+	for _, id := range want {
+		if _, ok := ByID(id); !ok {
+			t.Fatalf("experiment %q not registered", id)
+		}
+	}
+	if len(Experiments()) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(Experiments()), len(want))
+	}
+	for _, e := range Experiments() {
+		if e.Title == "" || e.Paper == "" || e.Run == nil {
+			t.Fatalf("experiment %q incompletely described", e.ID)
+		}
+	}
+}
+
+func TestByIDUnknown(t *testing.T) {
+	if _, ok := ByID("fig99"); ok {
+		t.Fatal("unknown id resolved")
+	}
+}
+
+// TestAllExperimentsRunQuick smoke-tests every experiment at quick scale.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiment sweep skipped in -short mode")
+	}
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(RunConfig{Quick: true}, &buf); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			out := buf.String()
+			if len(out) < 50 {
+				t.Fatalf("%s produced almost no output:\n%s", e.ID, out)
+			}
+			if !strings.Contains(out, "==") {
+				t.Fatalf("%s missing section header", e.ID)
+			}
+		})
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("demo", "a", "bee", "c")
+	tab.Add(1, 2.5, "x")
+	tab.Add("long-cell", 3.14159, "y")
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("unexpected table layout:\n%s", out)
+	}
+	if !strings.Contains(out, "long-cell") || !strings.Contains(out, "3.142") {
+		t.Fatalf("cells not rendered:\n%s", out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := NewTable("demo", "a", "b")
+	tab.Add(1, 2)
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "a,b\n1,2\n" {
+		t.Fatalf("csv = %q", buf.String())
+	}
+}
+
+func TestSampleTracePoints(t *testing.T) {
+	tr := &metrics.Trace{}
+	for i := 0; i < 100; i++ {
+		tr.Append(metrics.Point{Epoch: i})
+	}
+	thin := sampleTracePoints(tr, 10)
+	if len(thin.Points) != 10 {
+		t.Fatalf("thinned to %d points", len(thin.Points))
+	}
+	if thin.Points[0].Epoch != 0 || thin.Points[9].Epoch != 99 {
+		t.Fatal("endpoints not preserved")
+	}
+	// Short traces pass through.
+	short := &metrics.Trace{Points: tr.Points[:5]}
+	if got := sampleTracePoints(short, 10); len(got.Points) != 5 {
+		t.Fatal("short trace was modified")
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	cases := map[string]string{}
+	_ = cases
+	if got := formatDuration(1500 * 1000 * 1000); !strings.Contains(got, "s") {
+		t.Fatalf("formatDuration(1.5s)=%q", got)
+	}
+}

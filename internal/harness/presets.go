@@ -1,0 +1,45 @@
+package harness
+
+import (
+	"newtonadmm/internal/cg"
+	"newtonadmm/internal/core"
+	"newtonadmm/internal/datasets"
+	"newtonadmm/internal/linesearch"
+
+	"newtonadmm/internal/baselines"
+)
+
+// presetConfigs returns the four Table 1 analogues at the given scale.
+func presetConfigs(scale float64) []datasets.Config {
+	return datasets.Presets(scale)
+}
+
+// paperCG is the inner-solver budget the paper fixes for the fair
+// Newton-ADMM vs GIANT comparison: 10 CG iterations at tolerance 1e-4.
+func paperCG() cg.Options { return cg.Options{MaxIters: 10, RelTol: 1e-4} }
+
+// paperLS is the paper's line-search budget: at most 10 halvings.
+func paperLS() linesearch.Options { return linesearch.Options{MaxIters: 10} }
+
+// admmOptions assembles the paper's Newton-ADMM settings.
+func admmOptions(epochs int, lambda float64, evalAcc bool) core.Options {
+	return core.Options{
+		Epochs:           epochs,
+		Lambda:           lambda,
+		CG:               paperCG(),
+		LineSearch:       paperLS(),
+		EvalTestAccuracy: evalAcc,
+	}
+}
+
+// giantOptions assembles the paper's GIANT settings (same shared
+// hyper-parameters, per Figure 1's protocol).
+func giantOptions(epochs int, lambda float64, evalAcc bool) baselines.GiantOptions {
+	return baselines.GiantOptions{
+		Epochs:           epochs,
+		Lambda:           lambda,
+		CG:               paperCG(),
+		LineSearch:       paperLS(),
+		EvalTestAccuracy: evalAcc,
+	}
+}

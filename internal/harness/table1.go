@@ -1,0 +1,49 @@
+package harness
+
+import (
+	"io"
+
+	"newtonadmm/internal/loss"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "table1",
+		Title: "Table 1: description of the datasets",
+		Paper: "HIGGS 11M x 28 (2 classes), MNIST 70k x 784 (10), " +
+			"CIFAR-10 60k x 3072 (10), E18 1.3M x 279,998 (20)",
+		Run: runTable1,
+	})
+}
+
+// runTable1 regenerates Table 1 for the synthetic analogues actually used
+// in this reproduction, with the paper's originals for reference.
+func runTable1(cfg RunConfig, w io.Writer) error {
+	cfg = cfg.withDefaults()
+	section(w, "Table 1 — datasets (synthetic analogues at scale %.3g)", cfg.Scale)
+
+	paper := NewTable("paper originals",
+		"classes", "dataset", "samples", "test size", "features")
+	paper.Add(2, "HIGGS", 11000000, 1000000, 28)
+	paper.Add(10, "MNIST", 70000, 10000, 784)
+	paper.Add(10, "CIFAR-10", 60000, 10000, 3072)
+	paper.Add(20, "E18", 1306127, 6000, 279998)
+	if err := paper.Render(w); err != nil {
+		return err
+	}
+
+	ours := NewTable("this reproduction",
+		"classes", "dataset", "samples", "test size", "features", "storage", "nnz")
+	for _, pcfg := range presetConfigs(cfg.Scale) {
+		ds, err := generate(pcfg)
+		if err != nil {
+			return err
+		}
+		storage, nnz := "dense", ds.TrainSize()*ds.NumFeatures()
+		if sp, ok := ds.Xtrain.(loss.Sparse); ok {
+			storage, nnz = "csr", sp.M.NNZ()
+		}
+		ours.Add(ds.Classes, ds.Name, ds.TrainSize(), ds.TestSize(), ds.NumFeatures(), storage, nnz)
+	}
+	return ours.Render(w)
+}

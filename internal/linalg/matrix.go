@@ -1,0 +1,115 @@
+package linalg
+
+import "fmt"
+
+// Matrix is a dense row-major matrix: element (i,j) is Data[i*Cols+j].
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix allocates a zeroed Rows x Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("linalg: negative matrix dimension")
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// NewMatrixFrom wraps data (no copy) as a Rows x Cols matrix.
+func NewMatrixFrom(rows, cols int, data []float64) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("linalg: data length %d != %d*%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// Row returns a view of row i (no copy).
+func (m *Matrix) Row(i int) []float64 {
+	return m.Data[i*m.Cols : (i+1)*m.Cols]
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// RowSubset returns a new matrix whose rows are m's rows at the given
+// indices, in order. The data is copied.
+func (m *Matrix) RowSubset(idx []int) *Matrix {
+	s := NewMatrix(len(idx), m.Cols)
+	for k, i := range idx {
+		copy(s.Row(k), m.Row(i))
+	}
+	return s
+}
+
+// MulNTRange computes, for rows i in [lo,hi) of A, the block
+// S[i,:] = A[i,:] * B^T where B is m x cols(A) row-major and S is rows(A) x m.
+// It is the inner kernel parallelized by the device package.
+func MulNTRange(a *Matrix, b []float64, m int, s []float64, lo, hi int) {
+	p := a.Cols
+	if len(b) != m*p {
+		panic("linalg: MulNTRange B dimension mismatch")
+	}
+	for i := lo; i < hi; i++ {
+		ai := a.Row(i)
+		si := s[i*m : (i+1)*m]
+		for c := 0; c < m; c++ {
+			bc := b[c*p : (c+1)*p]
+			var acc float64
+			for j, v := range ai {
+				acc += v * bc[j]
+			}
+			si[c] = acc
+		}
+	}
+}
+
+// MulTNRange accumulates, for rows i in [lo,hi) of A, the outer-product
+// contribution G += D[i,:]^T ⊗ A[i,:] where D is rows(A) x m and G is m x cols(A).
+// Callers parallelize over disjoint row ranges with private G buffers.
+func MulTNRange(a *Matrix, d []float64, m int, g []float64, lo, hi int) {
+	p := a.Cols
+	if len(g) != m*p {
+		panic("linalg: MulTNRange G dimension mismatch")
+	}
+	for i := lo; i < hi; i++ {
+		ai := a.Row(i)
+		di := d[i*m : (i+1)*m]
+		for c := 0; c < m; c++ {
+			w := di[c]
+			if w == 0 {
+				continue
+			}
+			gc := g[c*p : (c+1)*p]
+			for j, v := range ai {
+				gc[j] += w * v
+			}
+		}
+	}
+}
+
+// MulNT computes S = A * B^T serially (reference implementation).
+// B is m x cols(A); S must have length rows(A)*m.
+func MulNT(a *Matrix, b []float64, m int, s []float64) {
+	if len(s) != a.Rows*m {
+		panic("linalg: MulNT S dimension mismatch")
+	}
+	MulNTRange(a, b, m, s, 0, a.Rows)
+}
+
+// MulTN computes G = D^T * A serially (reference implementation).
+// D is rows(A) x m; G must have length m*cols(A) and is overwritten.
+func MulTN(a *Matrix, d []float64, m int, g []float64) {
+	Zero(g)
+	MulTNRange(a, d, m, g, 0, a.Rows)
+}

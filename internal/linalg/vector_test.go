@@ -1,0 +1,226 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return diff <= tol*scale
+}
+
+func randVec(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+func TestDotBasic(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{4, -5, 6}
+	if got := Dot(x, y); got != 1*4-2*5+3*6 {
+		t.Fatalf("Dot = %v, want 12", got)
+	}
+}
+
+func TestDotEmpty(t *testing.T) {
+	if got := Dot(nil, nil); got != 0 {
+		t.Fatalf("Dot(nil,nil) = %v, want 0", got)
+	}
+}
+
+func TestDotMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+// tame maps arbitrary quick-generated floats into a finite moderate range
+// so products cannot overflow.
+func tame(v []float64) []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			x = 0
+		}
+		out[i] = math.Remainder(x, 1e6)
+	}
+	return out
+}
+
+func TestDotSymmetryProperty(t *testing.T) {
+	f := func(a, b []float64) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		x, y := tame(a[:n]), tame(b[:n])
+		return almostEqual(Dot(x, y), Dot(y, x), 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDotLinearityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(64)
+		x, y, z := randVec(rng, n), randVec(rng, n), randVec(rng, n)
+		alpha := rng.NormFloat64()
+		// <alpha*x + y, z> == alpha*<x,z> + <y,z>
+		w := make([]float64, n)
+		Waxpby(alpha, x, 1, y, w)
+		lhs := Dot(w, z)
+		rhs := alpha*Dot(x, z) + Dot(y, z)
+		if !almostEqual(lhs, rhs, 1e-9) {
+			t.Fatalf("linearity violated: %v vs %v", lhs, rhs)
+		}
+	}
+}
+
+func TestAxpy(t *testing.T) {
+	y := []float64{1, 1, 1}
+	Axpy(2, []float64{1, 2, 3}, y)
+	want := []float64{3, 5, 7}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("Axpy result %v, want %v", y, want)
+		}
+	}
+}
+
+func TestAxpyZeroAlphaNoop(t *testing.T) {
+	y := []float64{1, 2}
+	Axpy(0, []float64{5, 5}, y)
+	if y[0] != 1 || y[1] != 2 {
+		t.Fatalf("Axpy with alpha=0 modified y: %v", y)
+	}
+}
+
+func TestNrm2AgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		n := rng.Intn(100)
+		x := randVec(rng, n)
+		var ssq float64
+		for _, v := range x {
+			ssq += v * v
+		}
+		if !almostEqual(Nrm2(x), math.Sqrt(ssq), 1e-12) {
+			t.Fatalf("Nrm2 mismatch: %v vs %v", Nrm2(x), math.Sqrt(ssq))
+		}
+	}
+}
+
+func TestNrm2Overflow(t *testing.T) {
+	// Components near sqrt(MaxFloat64) would overflow a naive sum of squares.
+	big := math.Sqrt(math.MaxFloat64) / 2
+	x := []float64{big, big, big}
+	want := big * math.Sqrt(3)
+	if !almostEqual(Nrm2(x), want, 1e-12) {
+		t.Fatalf("Nrm2 overflow guard failed: %v vs %v", Nrm2(x), want)
+	}
+}
+
+func TestNrm2Zero(t *testing.T) {
+	if Nrm2([]float64{0, 0, 0}) != 0 {
+		t.Fatal("Nrm2 of zero vector should be 0")
+	}
+	if Nrm2(nil) != 0 {
+		t.Fatal("Nrm2 of empty vector should be 0")
+	}
+}
+
+func TestNrmInf(t *testing.T) {
+	if got := NrmInf([]float64{1, -7, 3}); got != 7 {
+		t.Fatalf("NrmInf = %v, want 7", got)
+	}
+}
+
+func TestWaxpbyAliasing(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{4, 5, 6}
+	// w aliases x
+	Waxpby(2, x, 3, y, x)
+	want := []float64{14, 19, 24}
+	for i := range want {
+		if x[i] != want[i] {
+			t.Fatalf("Waxpby aliased result %v, want %v", x, want)
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	x := []float64{1, 2}
+	c := Clone(x)
+	c[0] = 99
+	if x[0] != 1 {
+		t.Fatal("Clone shares backing array")
+	}
+}
+
+func TestAddSubInverseProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		a := tame(raw)
+		y := Clone(a)
+		x := Clone(a)
+		Add(y, x)
+		Sub(y, x)
+		for i := range y {
+			if !almostEqual(y[i], a[i], 1e-12) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDist2(t *testing.T) {
+	if got := Dist2([]float64{0, 3}, []float64{4, 0}); got != 5 {
+		t.Fatalf("Dist2 = %v, want 5", got)
+	}
+}
+
+func TestSum(t *testing.T) {
+	if got := Sum([]float64{1.5, 2.5, -1}); got != 3 {
+		t.Fatalf("Sum = %v, want 3", got)
+	}
+}
+
+func TestAllFinite(t *testing.T) {
+	if !AllFinite([]float64{1, 2, 3}) {
+		t.Fatal("finite vector reported non-finite")
+	}
+	if AllFinite([]float64{1, math.NaN()}) {
+		t.Fatal("NaN not detected")
+	}
+	if AllFinite([]float64{math.Inf(1)}) {
+		t.Fatal("Inf not detected")
+	}
+}
+
+func TestScalZero(t *testing.T) {
+	x := []float64{1, 2, 3}
+	Scal(0, x)
+	for _, v := range x {
+		if v != 0 {
+			t.Fatal("Scal(0) should zero the vector")
+		}
+	}
+}

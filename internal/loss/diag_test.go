@@ -1,0 +1,122 @@
+package loss
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"newtonadmm/internal/linalg"
+	"newtonadmm/internal/sparse"
+)
+
+// hessianDiagByProbing extracts the exact diagonal with unit-vector probes
+// through the Hessian-free operator (the oracle).
+func hessianDiagByProbing(s *Softmax, w []float64) []float64 {
+	d := s.Dim()
+	h := s.HessianAt(w)
+	e := make([]float64, d)
+	he := make([]float64, d)
+	diag := make([]float64, d)
+	for j := 0; j < d; j++ {
+		linalg.Zero(e)
+		e[j] = 1
+		h.Apply(e, he)
+		diag[j] = he[j]
+	}
+	return diag
+}
+
+func TestHessianDiagMatchesProbingDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(200))
+	for _, classes := range []int{2, 4} {
+		s := randProblem(rng, 25, 6, classes, 0.3)
+		w := randW(rng, s.Dim())
+		got := make([]float64, s.Dim())
+		s.HessianDiag(w, got)
+		want := hessianDiagByProbing(s, w)
+		for j := range want {
+			// The probe includes the off-diagonal class coupling
+			// -p_ic p_ic' only at (c,j),(c',j) with c != c', so the
+			// diagonal entries of the probe are a_ij^2 p(1-p) + L2 too:
+			// exact agreement expected up to roundoff.
+			if math.Abs(got[j]-want[j]) > 1e-9*math.Max(1, math.Abs(want[j])) {
+				t.Fatalf("C=%d diag[%d]=%v, want %v", classes, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestHessianDiagMatchesProbingSparse(t *testing.T) {
+	rng := rand.New(rand.NewSource(201))
+	x := linalg.NewMatrix(30, 8)
+	for i := range x.Data {
+		if rng.Float64() < 0.3 {
+			x.Data[i] = rng.NormFloat64()
+		}
+	}
+	y := make([]int, 30)
+	for i := range y {
+		y[i] = rng.Intn(3)
+	}
+	sp, err := NewSoftmax(testDev, Sparse{M: sparse.FromDense(x)}, y, 3, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := randW(rng, sp.Dim())
+	got := make([]float64, sp.Dim())
+	sp.HessianDiag(w, got)
+	want := hessianDiagByProbing(sp, w)
+	for j := range want {
+		if math.Abs(got[j]-want[j]) > 1e-9*math.Max(1, math.Abs(want[j])) {
+			t.Fatalf("sparse diag[%d]=%v, want %v", j, got[j], want[j])
+		}
+	}
+}
+
+func TestHessianDiagPositive(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	s := randProblem(rng, 40, 5, 3, 0.1)
+	w := randW(rng, s.Dim())
+	diag := make([]float64, s.Dim())
+	s.HessianDiag(w, diag)
+	for j, v := range diag {
+		if v < 0.1 { // at least the L2 term
+			t.Fatalf("diag[%d]=%v below the regularization floor", j, v)
+		}
+	}
+}
+
+func TestHessianDiagDimensionPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(203))
+	s := randProblem(rng, 10, 4, 3, 0.1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.HessianDiag(make([]float64, s.Dim()), make([]float64, s.Dim()+1))
+}
+
+func TestGradientBitwiseDeterministic(t *testing.T) {
+	// Device reductions must combine chunk partials in a fixed order, so
+	// repeated evaluations (and fresh devices with the same worker
+	// count) agree bitwise — the property the cross-transport and
+	// fixed-seed reproducibility guarantees rest on.
+	rng := rand.New(rand.NewSource(230))
+	s := randProblem(rng, 500, 30, 4, 0.1)
+	w := randW(rng, s.Dim())
+	g1 := make([]float64, s.Dim())
+	g2 := make([]float64, s.Dim())
+	v1 := s.Gradient(w, g1)
+	for trial := 0; trial < 5; trial++ {
+		v2 := s.Gradient(w, g2)
+		if v1 != v2 {
+			t.Fatalf("objective differs across evaluations: %v vs %v", v1, v2)
+		}
+		for j := range g1 {
+			if g1[j] != g2[j] {
+				t.Fatalf("gradient differs at %d: %v vs %v", j, g1[j], g2[j])
+			}
+		}
+	}
+}

@@ -1,0 +1,257 @@
+package loss
+
+import (
+	"fmt"
+	"math"
+
+	"newtonadmm/internal/device"
+	"newtonadmm/internal/linalg"
+)
+
+// Softmax is the paper's multi-class cross-entropy objective (eq. 8) with
+// L2 regularization g(x) = L2/2 ||x||^2 in the *sum* (not mean) convention:
+//
+//	F(w) = sum_i [ log(1 + sum_{c<C-1} e^{<a_i, w_c>}) - <a_i, w_{y_i}> ] + L2/2 ||w||^2
+//
+// Classes are labeled 0..C-1; class C-1 is the zero-weight reference class,
+// so the parameter vector has length (C-1)*p laid out as C-1 contiguous
+// blocks of p. For C=2 this is exactly binary logistic regression.
+//
+// All bulk work (scores, probabilities, gradient accumulation) runs as
+// device kernels, and the log-sum-exp stabilization of paper §6 guarantees
+// every exponential has a non-positive argument.
+type Softmax struct {
+	X   Features
+	Y   []int // labels in [0, C)
+	C   int   // number of classes, >= 2
+	L2  float64
+	Dev *device.Device
+
+	scores []float64 // n x (C-1) scratch
+	resid  []float64 // n x (C-1) scratch
+}
+
+// NewSoftmax validates inputs and returns the objective.
+func NewSoftmax(dev *device.Device, x Features, y []int, classes int, l2 float64) (*Softmax, error) {
+	if classes < 2 {
+		return nil, fmt.Errorf("loss: need at least 2 classes, got %d", classes)
+	}
+	if x.Rows() != len(y) {
+		return nil, fmt.Errorf("loss: %d rows but %d labels", x.Rows(), len(y))
+	}
+	if l2 < 0 {
+		return nil, fmt.Errorf("loss: negative L2 %v", l2)
+	}
+	for i, c := range y {
+		if c < 0 || c >= classes {
+			return nil, fmt.Errorf("loss: label %d at row %d outside [0,%d)", c, i, classes)
+		}
+	}
+	return &Softmax{X: x, Y: y, C: classes, L2: l2, Dev: dev}, nil
+}
+
+// N returns the number of local samples.
+func (s *Softmax) N() int { return s.X.Rows() }
+
+// Dim returns (C-1) * p.
+func (s *Softmax) Dim() int { return (s.C - 1) * s.X.Cols() }
+
+func (s *Softmax) ensureScratch() {
+	n, m := s.X.Rows(), s.C-1
+	if len(s.scores) != n*m {
+		s.scores = make([]float64, n*m)
+		s.resid = make([]float64, n*m)
+	}
+}
+
+// lseRow computes the stabilized log-sum-exp of one score row:
+// M = max(0, s_0..s_{m-1}), alpha = e^{-M} + sum_c e^{s_c - M},
+// returning M + log(alpha) and leaving probabilities in prob if non-nil
+// (prob_c = e^{s_c - M} / alpha; the implicit reference class has
+// probability e^{-M}/alpha, not stored).
+func lseRow(scores []float64, prob []float64) float64 {
+	m := 0.0
+	for _, v := range scores {
+		if v > m {
+			m = v
+		}
+	}
+	alpha := math.Exp(-m)
+	for _, v := range scores {
+		alpha += math.Exp(v - m)
+	}
+	if prob != nil {
+		inv := 1 / alpha
+		for c, v := range scores {
+			prob[c] = math.Exp(v-m) * inv
+		}
+	}
+	return m + math.Log(alpha)
+}
+
+// Value evaluates the objective at w.
+func (s *Softmax) Value(w []float64) float64 {
+	s.ensureScratch()
+	m := s.C - 1
+	s.X.MulNT(s.Dev, w, m, s.scores)
+	total := s.Dev.ParallelReduce(s.X.Rows(), 0, func(lo, hi int) float64 {
+		var part float64
+		for i := lo; i < hi; i++ {
+			row := s.scores[i*m : (i+1)*m]
+			part += lseRow(row, nil)
+			if yi := s.Y[i]; yi < m {
+				part -= row[yi]
+			}
+		}
+		return part
+	})
+	nrm := linalg.Nrm2(w)
+	return total + 0.5*s.L2*nrm*nrm
+}
+
+// Gradient fills g with the gradient at w and returns the objective value.
+// The score matrix is computed once and shared by both (the "fused" kernel
+// the paper runs on the GPU).
+func (s *Softmax) Gradient(w, g []float64) float64 {
+	if len(g) != s.Dim() {
+		panic("loss: gradient buffer dimension mismatch")
+	}
+	s.ensureScratch()
+	m := s.C - 1
+	s.X.MulNT(s.Dev, w, m, s.scores)
+	total := s.Dev.ParallelReduce(s.X.Rows(), 0, func(lo, hi int) float64 {
+		var part float64
+		for i := lo; i < hi; i++ {
+			row := s.scores[i*m : (i+1)*m]
+			prow := s.resid[i*m : (i+1)*m]
+			part += lseRow(row, prow)
+			if yi := s.Y[i]; yi < m {
+				part -= row[yi]
+				prow[yi] -= 1 // residual = prob - onehot
+			}
+		}
+		return part
+	})
+	s.X.MulTN(s.Dev, s.resid, m, g)
+	linalg.Axpy(s.L2, w, g)
+	nrm := linalg.Nrm2(w)
+	return total + 0.5*s.L2*nrm*nrm
+}
+
+// softmaxHessian caches the per-sample probabilities at a fixed w so each
+// CG iteration costs two feature products.
+type softmaxHessian struct {
+	s     *Softmax
+	probs []float64 // n x (C-1)
+	u     []float64 // n x (C-1) scratch for X*v
+}
+
+// HessianAt returns the Hessian operator at w. The Gauss structure of the
+// softmax Hessian is H = X^T diag-blocks(P) X + L2*I where each sample's
+// block is diag(p_i) - p_i p_i^T over the C-1 explicit classes.
+func (s *Softmax) HessianAt(w []float64) HessianOperator {
+	n, m := s.X.Rows(), s.C-1
+	h := &softmaxHessian{
+		s:     s,
+		probs: make([]float64, n*m),
+		u:     make([]float64, n*m),
+	}
+	s.X.MulNT(s.Dev, w, m, h.probs)
+	s.Dev.ParallelFor(n, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := h.probs[i*m : (i+1)*m]
+			lseRow(row, row) // overwrite scores with probabilities in place
+		}
+	})
+	return h
+}
+
+// Apply computes hv = H v:
+//
+//	u_i = X_i . v-blocks            (one MulNT)
+//	r_{i,c} = p_{i,c} (u_{i,c} - <p_i, u_i>)
+//	hv = X^T r + L2 * v             (one MulTN)
+func (h *softmaxHessian) Apply(v, hv []float64) {
+	s := h.s
+	if len(v) != s.Dim() || len(hv) != s.Dim() {
+		panic("loss: HessVec dimension mismatch")
+	}
+	n, m := s.X.Rows(), s.C-1
+	s.X.MulNT(s.Dev, v, m, h.u)
+	s.Dev.ParallelFor(n, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			p := h.probs[i*m : (i+1)*m]
+			u := h.u[i*m : (i+1)*m]
+			var pu float64
+			for c := 0; c < m; c++ {
+				pu += p[c] * u[c]
+			}
+			for c := 0; c < m; c++ {
+				u[c] = p[c] * (u[c] - pu)
+			}
+		}
+	})
+	s.X.MulTN(s.Dev, h.u, m, hv)
+	linalg.Axpy(s.L2, v, hv)
+}
+
+// Predict returns the argmax class for every row of x under weights w,
+// following the paper's classification rule (§5): the reference class
+// C-1 wins when every explicit score is negative.
+func (s *Softmax) Predict(x Features, w []float64) []int {
+	m := s.C - 1
+	scores := make([]float64, x.Rows()*m)
+	x.MulNT(s.Dev, w, m, scores)
+	out := make([]int, x.Rows())
+	s.Dev.ParallelFor(x.Rows(), 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := scores[i*m : (i+1)*m]
+			best, bestScore := s.C-1, 0.0 // reference class has score 0
+			for c, v := range row {
+				if v > bestScore {
+					best, bestScore = c, v
+				}
+			}
+			out[i] = best
+		}
+	})
+	return out
+}
+
+// Accuracy returns the fraction of rows of x classified as y under w.
+func (s *Softmax) Accuracy(x Features, y []int, w []float64) float64 {
+	if x.Rows() == 0 {
+		return 0
+	}
+	pred := s.Predict(x, w)
+	correct := 0
+	for i, p := range pred {
+		if p == y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(y))
+}
+
+// Subproblem returns a new Softmax over the given sample rows with the
+// regularization scaled by the subset fraction, so that summing the
+// subproblem objectives over a partition of the rows reproduces the full
+// objective. This is how data is sharded across cluster ranks and how SGD
+// mini-batches are drawn.
+func (s *Softmax) Subproblem(idx []int) *Softmax {
+	y := make([]int, len(idx))
+	for k, i := range idx {
+		y[k] = s.Y[i]
+	}
+	frac := 0.0
+	if s.X.Rows() > 0 {
+		frac = float64(len(idx)) / float64(s.X.Rows())
+	}
+	return &Softmax{
+		X:   s.X.Subset(idx),
+		Y:   y,
+		C:   s.C,
+		L2:  s.L2 * frac,
+		Dev: s.Dev,
+	}
+}

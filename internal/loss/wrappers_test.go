@@ -1,0 +1,161 @@
+package loss
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"newtonadmm/internal/linalg"
+)
+
+// randSPD returns a random symmetric positive definite d x d matrix.
+func randSPD(rng *rand.Rand, d int) *linalg.Matrix {
+	b := linalg.NewMatrix(d, d)
+	for i := range b.Data {
+		b.Data[i] = rng.NormFloat64()
+	}
+	a := linalg.NewMatrix(d, d)
+	for i := 0; i < d; i++ {
+		for j := 0; j < d; j++ {
+			var acc float64
+			for k := 0; k < d; k++ {
+				acc += b.At(k, i) * b.At(k, j)
+			}
+			a.Set(i, j, acc)
+		}
+		a.Set(i, i, a.At(i, i)+float64(d)) // diagonal shift for conditioning
+	}
+	return a
+}
+
+func TestQuadraticGradientAndHessian(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	d := 6
+	q := &Quadratic{A: randSPD(rng, d), B: randW(rng, d)}
+	w := randW(rng, d)
+	g := make([]float64, d)
+	val := q.Gradient(w, g)
+	if math.Abs(val-q.Value(w)) > 1e-10*math.Max(1, math.Abs(val)) {
+		t.Fatalf("fused value mismatch: %v vs %v", val, q.Value(w))
+	}
+	for j := 0; j < d; j++ {
+		fd := fdGrad(q, w, j, 1e-6)
+		if math.Abs(g[j]-fd) > 1e-4*math.Max(1, math.Abs(fd)) {
+			t.Fatalf("quadratic grad[%d]=%v, fd=%v", j, g[j], fd)
+		}
+	}
+	h := q.HessianAt(w)
+	v := randW(rng, d)
+	hv := make([]float64, d)
+	h.Apply(v, hv)
+	want := make([]float64, d)
+	linalg.MulNT(q.A, v, 1, want)
+	for j := range hv {
+		if hv[j] != want[j] {
+			t.Fatal("quadratic Hessian is not A")
+		}
+	}
+}
+
+func TestAugmentedIdentities(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	base := randProblem(rng, 20, 4, 3, 0.1)
+	d := base.Dim()
+	v := randW(rng, d)
+	rho := 2.5
+	aug := NewAugmented(base, rho, v)
+	w := randW(rng, d)
+
+	// Value identity
+	dist := linalg.Dist2(w, v)
+	wantVal := base.Value(w) + 0.5*rho*dist*dist
+	if got := aug.Value(w); math.Abs(got-wantVal) > 1e-10*math.Max(1, math.Abs(wantVal)) {
+		t.Fatalf("Augmented.Value=%v, want %v", got, wantVal)
+	}
+
+	// Gradient identity
+	gBase := make([]float64, d)
+	base.Gradient(w, gBase)
+	gAug := make([]float64, d)
+	gotVal := aug.Gradient(w, gAug)
+	if math.Abs(gotVal-wantVal) > 1e-10*math.Max(1, math.Abs(wantVal)) {
+		t.Fatalf("Augmented.Gradient value=%v, want %v", gotVal, wantVal)
+	}
+	for j := 0; j < d; j++ {
+		want := gBase[j] + rho*(w[j]-v[j])
+		if math.Abs(gAug[j]-want) > 1e-10*math.Max(1, math.Abs(want)) {
+			t.Fatalf("Augmented grad[%d]=%v, want %v", j, gAug[j], want)
+		}
+	}
+
+	// Hessian identity: H_aug u = H_base u + rho*u
+	u := randW(rng, d)
+	huBase := make([]float64, d)
+	base.HessianAt(w).Apply(u, huBase)
+	huAug := make([]float64, d)
+	aug.HessianAt(w).Apply(u, huAug)
+	for j := 0; j < d; j++ {
+		want := huBase[j] + rho*u[j]
+		if math.Abs(huAug[j]-want) > 1e-10*math.Max(1, math.Abs(want)) {
+			t.Fatalf("Augmented Hv[%d]=%v, want %v", j, huAug[j], want)
+		}
+	}
+}
+
+func TestAugmentedMinimizerMovesTowardAnchor(t *testing.T) {
+	// As rho -> infinity the augmented minimizer approaches V; check the
+	// gradient at V shrinks relative to rho.
+	rng := rand.New(rand.NewSource(32))
+	base := randProblem(rng, 20, 3, 2, 0.1)
+	d := base.Dim()
+	v := randW(rng, d)
+	g := make([]float64, d)
+	aug := NewAugmented(base, 1e8, v)
+	aug.Gradient(v, g)
+	// At w=V the prox term vanishes; gradient = base gradient, small
+	// relative to curvature rho.
+	if linalg.Nrm2(g)/1e8 > 1e-3 {
+		t.Fatalf("prox term should dominate: |g|/rho = %v", linalg.Nrm2(g)/1e8)
+	}
+}
+
+func TestAugmentedDimensionValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	base := randProblem(rng, 10, 3, 2, 0.1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong anchor dimension")
+		}
+	}()
+	NewAugmented(base, 1, make([]float64, base.Dim()+1))
+}
+
+func TestScaledIdentities(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	base := randProblem(rng, 15, 4, 3, 0.2)
+	d := base.Dim()
+	factor := 3.5
+	sc := &Scaled{Base: base, Factor: factor}
+	w := randW(rng, d)
+	if got, want := sc.Value(w), factor*base.Value(w); math.Abs(got-want) > 1e-10*math.Max(1, math.Abs(want)) {
+		t.Fatalf("Scaled.Value=%v, want %v", got, want)
+	}
+	gBase := make([]float64, d)
+	base.Gradient(w, gBase)
+	gSc := make([]float64, d)
+	sc.Gradient(w, gSc)
+	for j := range gSc {
+		if math.Abs(gSc[j]-factor*gBase[j]) > 1e-10*math.Max(1, math.Abs(gBase[j])) {
+			t.Fatal("Scaled gradient mismatch")
+		}
+	}
+	u := randW(rng, d)
+	hBase, hSc := make([]float64, d), make([]float64, d)
+	base.HessianAt(w).Apply(u, hBase)
+	sc.HessianAt(w).Apply(u, hSc)
+	for j := range hSc {
+		if math.Abs(hSc[j]-factor*hBase[j]) > 1e-10*math.Max(1, math.Abs(hBase[j])) {
+			t.Fatal("Scaled Hessian mismatch")
+		}
+	}
+}

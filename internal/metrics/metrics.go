@@ -1,0 +1,148 @@
+// Package metrics holds the measurement vocabulary of the evaluation:
+// convergence traces over virtual time, time-to-threshold queries (the
+// paper's theta = (F(x_k) - F(x*))/F(x*) criterion behind Figure 3), and
+// speedup ratios.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Point is one epoch's measurement in a convergence trace.
+type Point struct {
+	Epoch int
+	// Time is the virtual wall time at the end of the epoch.
+	Time time.Duration
+	// Objective is the global training objective F.
+	Objective float64
+	// TestAccuracy is in [0,1]; NaN when not measured.
+	TestAccuracy float64
+	// GradNorm is ||grad F|| when measured; NaN otherwise.
+	GradNorm float64
+}
+
+// Trace is a solver's convergence history on one dataset.
+type Trace struct {
+	Solver  string
+	Dataset string
+	Points  []Point
+}
+
+// Append adds a point.
+func (t *Trace) Append(p Point) { t.Points = append(t.Points, p) }
+
+// Final returns the last point; ok is false for an empty trace.
+func (t *Trace) Final() (Point, bool) {
+	if len(t.Points) == 0 {
+		return Point{}, false
+	}
+	return t.Points[len(t.Points)-1], true
+}
+
+// BestObjective returns the smallest objective seen.
+func (t *Trace) BestObjective() float64 {
+	best := math.Inf(1)
+	for _, p := range t.Points {
+		if p.Objective < best {
+			best = p.Objective
+		}
+	}
+	return best
+}
+
+// TimeToObjective returns the virtual time of the first point whose
+// objective is <= target; ok is false if the trace never reaches it.
+func (t *Trace) TimeToObjective(target float64) (time.Duration, bool) {
+	for _, p := range t.Points {
+		if p.Objective <= target {
+			return p.Time, true
+		}
+	}
+	return 0, false
+}
+
+// EpochsToObjective returns the first epoch whose objective is <= target.
+func (t *Trace) EpochsToObjective(target float64) (int, bool) {
+	for _, p := range t.Points {
+		if p.Objective <= target {
+			return p.Epoch, true
+		}
+	}
+	return 0, false
+}
+
+// AvgEpochTime returns total time divided by the number of epochs — the
+// quantity plotted in the paper's Figure 2.
+func (t *Trace) AvgEpochTime() time.Duration {
+	if len(t.Points) == 0 {
+		return 0
+	}
+	last := t.Points[len(t.Points)-1]
+	epochs := last.Epoch
+	if epochs <= 0 {
+		epochs = len(t.Points)
+	}
+	return last.Time / time.Duration(epochs)
+}
+
+// RelativeTarget converts the paper's theta criterion into an absolute
+// objective target: F* (1 + theta) for positive F*, and the symmetric
+// form otherwise.
+func RelativeTarget(fStar, theta float64) float64 {
+	return fStar + theta*math.Abs(fStar)
+}
+
+// TimeToRelative returns the time to reach theta-relative suboptimality
+// (F - F*)/|F*| <= theta, the criterion of the paper's Figure 3.
+func (t *Trace) TimeToRelative(fStar, theta float64) (time.Duration, bool) {
+	return t.TimeToObjective(RelativeTarget(fStar, theta))
+}
+
+// SpeedupRatio returns how much faster `fast` reaches the theta target
+// than `slow` (the paper's Figure 3 ratio: slow time / fast time).
+// ok is false when either trace misses the target.
+func SpeedupRatio(slow, fast *Trace, fStar, theta float64) (float64, bool) {
+	ts, okS := slow.TimeToRelative(fStar, theta)
+	tf, okF := fast.TimeToRelative(fStar, theta)
+	if !okS || !okF || tf <= 0 {
+		return 0, false
+	}
+	return float64(ts) / float64(tf), true
+}
+
+// Accuracy returns the fraction of pred equal to want.
+func Accuracy(pred, want []int) float64 {
+	if len(pred) != len(want) {
+		panic("metrics: Accuracy length mismatch")
+	}
+	if len(pred) == 0 {
+		return 0
+	}
+	correct := 0
+	for i := range pred {
+		if pred[i] == want[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(pred))
+}
+
+// ConfusionMatrix returns counts[trueClass][predictedClass].
+func ConfusionMatrix(pred, want []int, classes int) [][]int {
+	m := make([][]int, classes)
+	for i := range m {
+		m[i] = make([]int, classes)
+	}
+	for i := range pred {
+		if want[i] >= 0 && want[i] < classes && pred[i] >= 0 && pred[i] < classes {
+			m[want[i]][pred[i]]++
+		}
+	}
+	return m
+}
+
+func (p Point) String() string {
+	return fmt.Sprintf("epoch %d t=%v F=%.6g acc=%.4f", p.Epoch, p.Time, p.Objective, p.TestAccuracy)
+}

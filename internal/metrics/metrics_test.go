@@ -1,0 +1,138 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func sampleTrace() *Trace {
+	return &Trace{
+		Solver:  "s",
+		Dataset: "d",
+		Points: []Point{
+			{Epoch: 0, Time: 0, Objective: 10},
+			{Epoch: 1, Time: time.Second, Objective: 5},
+			{Epoch: 2, Time: 2 * time.Second, Objective: 2},
+			{Epoch: 3, Time: 3 * time.Second, Objective: 1.1},
+		},
+	}
+}
+
+func TestFinal(t *testing.T) {
+	tr := sampleTrace()
+	p, ok := tr.Final()
+	if !ok || p.Epoch != 3 {
+		t.Fatalf("Final=%+v ok=%v", p, ok)
+	}
+	var empty Trace
+	if _, ok := empty.Final(); ok {
+		t.Fatal("empty trace returned a final point")
+	}
+}
+
+func TestBestObjective(t *testing.T) {
+	tr := sampleTrace()
+	tr.Append(Point{Epoch: 4, Time: 4 * time.Second, Objective: 1.5}) // worse than best
+	if got := tr.BestObjective(); got != 1.1 {
+		t.Fatalf("BestObjective=%v", got)
+	}
+}
+
+func TestTimeToObjective(t *testing.T) {
+	tr := sampleTrace()
+	d, ok := tr.TimeToObjective(5)
+	if !ok || d != time.Second {
+		t.Fatalf("TimeToObjective(5)=%v ok=%v", d, ok)
+	}
+	d, ok = tr.TimeToObjective(4.9)
+	if !ok || d != 2*time.Second {
+		t.Fatalf("TimeToObjective(4.9)=%v ok=%v", d, ok)
+	}
+	if _, ok := tr.TimeToObjective(0.5); ok {
+		t.Fatal("unreachable target reported reached")
+	}
+}
+
+func TestEpochsToObjective(t *testing.T) {
+	tr := sampleTrace()
+	e, ok := tr.EpochsToObjective(2)
+	if !ok || e != 2 {
+		t.Fatalf("EpochsToObjective=%v ok=%v", e, ok)
+	}
+}
+
+func TestAvgEpochTime(t *testing.T) {
+	tr := sampleTrace()
+	if got := tr.AvgEpochTime(); got != time.Second {
+		t.Fatalf("AvgEpochTime=%v, want 1s", got)
+	}
+	var empty Trace
+	if empty.AvgEpochTime() != 0 {
+		t.Fatal("empty trace AvgEpochTime")
+	}
+}
+
+func TestRelativeTargetAndTimeToRelative(t *testing.T) {
+	// fStar=1, theta=0.1 -> target 1.1 reached at t=3s.
+	tr := sampleTrace()
+	if got := RelativeTarget(1, 0.1); math.Abs(got-1.1) > 1e-12 {
+		t.Fatalf("RelativeTarget=%v", got)
+	}
+	d, ok := tr.TimeToRelative(1, 0.1)
+	if !ok || d != 3*time.Second {
+		t.Fatalf("TimeToRelative=%v ok=%v", d, ok)
+	}
+	// Negative fStar handled via |fStar|.
+	if got := RelativeTarget(-2, 0.5); math.Abs(got-(-1)) > 1e-12 {
+		t.Fatalf("RelativeTarget(-2,0.5)=%v", got)
+	}
+}
+
+func TestSpeedupRatio(t *testing.T) {
+	slow := sampleTrace() // reaches 1.1 at 3s
+	fast := &Trace{Points: []Point{
+		{Epoch: 1, Time: time.Second, Objective: 1.05},
+	}}
+	r, ok := SpeedupRatio(slow, fast, 1, 0.1)
+	if !ok || math.Abs(r-3) > 1e-12 {
+		t.Fatalf("SpeedupRatio=%v ok=%v", r, ok)
+	}
+	// Missing target on one side.
+	never := &Trace{Points: []Point{{Epoch: 1, Time: time.Second, Objective: 100}}}
+	if _, ok := SpeedupRatio(never, fast, 1, 0.1); ok {
+		t.Fatal("speedup computed for unreachable target")
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	if got := Accuracy([]int{1, 2, 3}, []int{1, 0, 3}); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("Accuracy=%v", got)
+	}
+	if Accuracy(nil, nil) != 0 {
+		t.Fatal("empty accuracy should be 0")
+	}
+}
+
+func TestAccuracyMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Accuracy([]int{1}, []int{1, 2})
+}
+
+func TestConfusionMatrix(t *testing.T) {
+	m := ConfusionMatrix([]int{0, 1, 1}, []int{0, 0, 1}, 2)
+	if m[0][0] != 1 || m[0][1] != 1 || m[1][1] != 1 || m[1][0] != 0 {
+		t.Fatalf("confusion=%v", m)
+	}
+}
+
+func TestPointString(t *testing.T) {
+	p := Point{Epoch: 2, Time: time.Second, Objective: 1.5, TestAccuracy: 0.9}
+	if p.String() == "" {
+		t.Fatal("empty String")
+	}
+}
