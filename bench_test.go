@@ -9,6 +9,7 @@ package newtonadmm
 
 import (
 	"io"
+	"math/rand"
 	"testing"
 
 	"newtonadmm/internal/cg"
@@ -18,6 +19,7 @@ import (
 	"newtonadmm/internal/harness"
 	"newtonadmm/internal/linalg"
 	"newtonadmm/internal/loss"
+	"newtonadmm/internal/sparse"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -92,6 +94,16 @@ func benchProblem(b *testing.B, n, p, classes int) (*loss.Softmax, []float64) {
 	return prob, w
 }
 
+// BenchmarkSoftmaxValue measures the fused score + log-sum-exp objective
+// evaluation (one MulNTReduce launch; every line-search step pays this).
+func BenchmarkSoftmaxValue(b *testing.B) {
+	prob, w := benchProblem(b, 2000, 784, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prob.Value(w)
+	}
+}
+
 // BenchmarkSoftmaxGradient measures the fused objective+gradient kernel
 // (the dominant cost of every epoch) on an MNIST-shaped shard.
 func BenchmarkSoftmaxGradient(b *testing.B) {
@@ -148,6 +160,60 @@ func BenchmarkDeviceMulNT(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		dev.MulNT(a, w, m, s)
+	}
+}
+
+// benchCSR builds an E18-flavoured sparse operand set: many features,
+// low density.
+func benchCSR(b *testing.B) (*device.Device, *sparse.CSR, []float64, []float64, []float64, int) {
+	b.Helper()
+	dev := device.New("bench-sparse", 0)
+	b.Cleanup(dev.Close)
+	rng := rand.New(rand.NewSource(11))
+	n, p, m, density := 4000, 5000, 9, 0.01
+	var entries []sparse.Coord
+	for i := 0; i < n; i++ {
+		for j := 0; j < p; j++ {
+			if rng.Float64() < density {
+				entries = append(entries, sparse.Coord{Row: i, Col: j, Val: rng.NormFloat64()})
+			}
+		}
+	}
+	csr, err := sparse.FromCoords(n, p, entries)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := make([]float64, m*p)
+	for i := range w {
+		w[i] = 0.01 * float64(i%11)
+	}
+	s := make([]float64, n*m)
+	d := make([]float64, n*m)
+	for i := range d {
+		d[i] = 0.1 * float64(i%7)
+	}
+	return dev, csr, w, s, d, m
+}
+
+// BenchmarkSparseMulNT measures the raw CSR score-matrix kernel (the E18
+// code path).
+func BenchmarkSparseMulNT(b *testing.B) {
+	dev, csr, w, s, _, m := benchCSR(b)
+	b.SetBytes(int64(8 * (csr.NNZ() + len(w) + len(s))))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		csr.MulNT(dev, w, m, s)
+	}
+}
+
+// BenchmarkSparseMulTN measures the raw CSR gradient-accumulation kernel.
+func BenchmarkSparseMulTN(b *testing.B) {
+	dev, csr, _, _, d, m := benchCSR(b)
+	g := make([]float64, m*csr.NumCols)
+	b.SetBytes(int64(8 * (csr.NNZ() + len(d) + len(g))))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		csr.MulTN(dev, d, m, g)
 	}
 }
 

@@ -1,0 +1,3 @@
+module newtonadmm
+
+go 1.24

@@ -69,6 +69,8 @@ func SolveGIANT(clusterCfg cluster.Config, ds *datasets.Dataset, opts GiantOptio
 			return err
 		}
 		rec := dist.NewRecorder("giant", ds, local, opts.EvalTestAccuracy)
+		opts := opts
+		opts.CG.Work = &cg.Workspace{} // per-rank scratch, reused every epoch
 		dim := ds.Dim()
 		x := make([]float64, dim)
 		g := make([]float64, dim)

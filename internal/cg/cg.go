@@ -17,6 +17,38 @@ type Options struct {
 	// RelTol is the relative residual tolerance theta in (0,1);
 	// <= 0 selects 1e-4 (the paper's setting for the Figure 1 study).
 	RelTol float64
+	// Work optionally supplies reusable iteration scratch; nil allocates
+	// per call. Outer solvers that run CG every iteration (Newton,
+	// Newton-ADMM ranks) pass one Workspace so the inner solve does no
+	// steady-state allocation.
+	Work *Workspace
+}
+
+// Workspace holds the CG iteration vectors (residual, directions,
+// right-hand side, preconditioner scratch). A Workspace may be reused
+// across solves of the same or different dimensions; it grows to the
+// largest dimension seen.
+type Workspace struct {
+	r, z, p, hp, b, invd []float64
+}
+
+// vec returns a zeroed length-dim view of buf, growing it if needed.
+func (w *Workspace) vec(buf *[]float64, dim int) []float64 {
+	if cap(*buf) < dim {
+		*buf = make([]float64, dim)
+	}
+	v := (*buf)[:dim]
+	linalg.Zero(v)
+	return v
+}
+
+// workspace returns the scratch to use: the caller-provided one, or a
+// fresh private one matching the old allocate-per-call behaviour.
+func (o Options) workspace() *Workspace {
+	if o.Work != nil {
+		return o.Work
+	}
+	return &Workspace{}
 }
 
 // Result reports how the CG iteration terminated.
@@ -48,9 +80,10 @@ func Solve(h loss.HessianOperator, b, x []float64, opts Options) Result {
 	}
 	opts = opts.withDefaults(dim)
 
-	r := make([]float64, dim)  // residual b - Hx
-	p := make([]float64, dim)  // search direction
-	hp := make([]float64, dim) // H p
+	ws := opts.workspace()
+	r := ws.vec(&ws.r, dim)   // residual b - Hx
+	p := ws.vec(&ws.p, dim)   // search direction
+	hp := ws.vec(&ws.hp, dim) // H p
 
 	bNorm := linalg.Nrm2(b)
 	if bNorm == 0 {
@@ -103,7 +136,8 @@ func Solve(h loss.HessianOperator, b, x []float64, opts Options) Result {
 // curvature), it falls back to the steepest-descent direction -g so the
 // outer line search always receives a descent direction.
 func NewtonDirection(h loss.HessianOperator, g, p []float64, opts Options) Result {
-	b := make([]float64, len(g))
+	ws := opts.workspace()
+	b := ws.vec(&ws.b, len(g))
 	linalg.Waxpby(-1, g, 0, g, b) // b = -g
 	linalg.Zero(p)
 	res := Solve(h, b, p, opts)

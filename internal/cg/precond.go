@@ -20,8 +20,9 @@ func SolvePrecond(h loss.HessianOperator, diag, b, x []float64, opts Options) Re
 	}
 	opts = opts.withDefaults(dim)
 
+	ws := opts.workspace()
 	const floor = 1e-12
-	invd := make([]float64, dim)
+	invd := ws.vec(&ws.invd, dim)
 	for j, v := range diag {
 		if v < floor {
 			v = floor
@@ -34,10 +35,10 @@ func SolvePrecond(h loss.HessianOperator, diag, b, x []float64, opts Options) Re
 		}
 	}
 
-	r := make([]float64, dim)
-	z := make([]float64, dim)
-	p := make([]float64, dim)
-	hp := make([]float64, dim)
+	r := ws.vec(&ws.r, dim)
+	z := ws.vec(&ws.z, dim)
+	p := ws.vec(&ws.p, dim)
+	hp := ws.vec(&ws.hp, dim)
 
 	bNorm := linalg.Nrm2(b)
 	if bNorm == 0 {
@@ -86,7 +87,8 @@ func SolvePrecond(h loss.HessianOperator, diag, b, x []float64, opts Options) Re
 // NewtonDirectionPrecond solves H p = -g with Jacobi-preconditioned CG,
 // falling back to steepest descent like NewtonDirection.
 func NewtonDirectionPrecond(h loss.HessianOperator, diag, g, p []float64, opts Options) Result {
-	b := make([]float64, len(g))
+	ws := opts.workspace()
+	b := ws.vec(&ws.b, len(g))
 	linalg.Waxpby(-1, g, 0, g, b)
 	linalg.Zero(p)
 	res := SolvePrecond(h, diag, b, p, opts)

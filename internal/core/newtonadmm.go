@@ -174,6 +174,9 @@ func runRank(node *cluster.Node, local *dist.Local, ds *datasets.Dataset, opts O
 		Jacobi:     opts.Jacobi,
 		LineSearch: opts.LineSearch,
 	}
+	// All epochs of this rank share one CG workspace (zero steady-state
+	// allocation in the inner solves).
+	newtonOpts.CG.Work = &cg.Workspace{}
 
 	rec.Observe(node, 0, z)
 	for k := 1; k <= opts.Epochs; k++ {

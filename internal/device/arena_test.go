@@ -1,0 +1,214 @@
+package device
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Tests for the scratch arena, the fused MulNTReduce primitive, and the
+// zero-allocation guarantee of steady-state kernel launches.
+
+func TestMulNTReduceMatchesSeparatePasses(t *testing.T) {
+	d := New("fused", 5)
+	defer d.Close()
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 20; trial++ {
+		n, p, m := 1+rng.Intn(200), 1+rng.Intn(30), 1+rng.Intn(9)
+		a := randMatrix(rng, n, p)
+		b := randVec(rng, m*p)
+		s1 := make([]float64, n*m)
+		d.MulNT(a, b, m, s1)
+		want := d.ParallelReduce(n, 0, func(lo, hi int) float64 {
+			var acc float64
+			for i := lo * m; i < hi*m; i++ {
+				acc += s1[i]
+			}
+			return acc
+		})
+		s2 := make([]float64, n*m)
+		got := d.MulNTReduce(a, b, m, s2, func(lo, hi int) float64 {
+			var acc float64
+			for i := lo * m; i < hi*m; i++ {
+				acc += s2[i]
+			}
+			return acc
+		})
+		// The fused launch uses the same chunk split as the separate
+		// passes, so the chunk-ordered partial sums must agree bitwise.
+		if got != want {
+			t.Fatalf("trial %d: fused reduce %v != separate passes %v", trial, got, want)
+		}
+		for i := range s1 {
+			if s1[i] != s2[i] {
+				t.Fatalf("trial %d: fused scores differ at %d: %v vs %v", trial, i, s1[i], s2[i])
+			}
+		}
+	}
+}
+
+func TestMulNTReduceDeterministicAcrossRuns(t *testing.T) {
+	d := New("det", 7)
+	defer d.Close()
+	rng := rand.New(rand.NewSource(42))
+	n, p, m := 500, 20, 4
+	a := randMatrix(rng, n, p)
+	b := randVec(rng, m*p)
+	s := make([]float64, n*m)
+	fn := func(lo, hi int) float64 {
+		var acc float64
+		for i := lo * m; i < hi*m; i++ {
+			acc += s[i]
+		}
+		return acc
+	}
+	ref := d.MulNTReduce(a, b, m, s, fn)
+	for run := 0; run < 10; run++ {
+		if got := d.MulNTReduce(a, b, m, s, fn); got != ref {
+			t.Fatalf("run %d: MulNTReduce = %v, want %v (nondeterministic reduction)", run, got, ref)
+		}
+	}
+}
+
+func TestMulTNDeterministicAcrossRuns(t *testing.T) {
+	d := New("det-tn", 6)
+	defer d.Close()
+	rng := rand.New(rand.NewSource(43))
+	n, p, m := 500, 24, 5
+	a := randMatrix(rng, n, p)
+	dm := randVec(rng, n*m)
+	ref := make([]float64, m*p)
+	d.MulTN(a, dm, m, ref)
+	got := make([]float64, m*p)
+	for run := 0; run < 10; run++ {
+		d.MulTN(a, dm, m, got)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("run %d: nondeterministic MulTN at %d: %v vs %v", run, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestFusedGradientMatchesUnfusedPipeline(t *testing.T) {
+	d := New("fused-grad", 5)
+	defer d.Close()
+	rng := rand.New(rand.NewSource(45))
+	for trial := 0; trial < 20; trial++ {
+		n, p, m := 1+rng.Intn(300), 1+rng.Intn(30), 1+rng.Intn(9)
+		a := randMatrix(rng, n, p)
+		b := randVec(rng, m*p)
+		// Row functor: halve each score row in place, return its sum.
+		mkFn := func(s []float64) func(lo, hi int) float64 {
+			return func(lo, hi int) float64 {
+				var acc float64
+				for i := lo * m; i < hi*m; i++ {
+					s[i] *= 0.5
+					acc += s[i]
+				}
+				return acc
+			}
+		}
+		s1 := make([]float64, n*m)
+		g1 := make([]float64, m*p)
+		d.MulNTReduce(a, b, m, s1, mkFn(s1))
+		d.MulTN(a, s1, m, g1)
+
+		s2 := make([]float64, n*m)
+		g2 := make([]float64, m*p)
+		d.FusedGradient(a, b, m, s2, mkFn(s2), g2)
+
+		for i := range s1 {
+			if s1[i] != s2[i] {
+				t.Fatalf("trial %d: fused scores differ at %d: %v vs %v", trial, i, s1[i], s2[i])
+			}
+		}
+		// G must be bitwise identical: the panel split never reorders
+		// any element's accumulation.
+		for i := range g1 {
+			if g1[i] != g2[i] {
+				t.Fatalf("trial %d: fused gradient differs at %d: %v vs %v", trial, i, g1[i], g2[i])
+			}
+		}
+	}
+}
+
+func TestFusedGradientDeterministicAcrossRuns(t *testing.T) {
+	d := New("fused-det", 6)
+	defer d.Close()
+	rng := rand.New(rand.NewSource(46))
+	n, p, m := 500, 20, 4
+	a := randMatrix(rng, n, p)
+	b := randVec(rng, m*p)
+	s := make([]float64, n*m)
+	g := make([]float64, m*p)
+	fn := func(lo, hi int) float64 {
+		var acc float64
+		for i := lo * m; i < hi*m; i++ {
+			acc += s[i]
+		}
+		return acc
+	}
+	ref := d.FusedGradient(a, b, m, s, fn, g)
+	gRef := append([]float64(nil), g...)
+	for run := 0; run < 5; run++ {
+		if got := d.FusedGradient(a, b, m, s, fn, g); got != ref {
+			t.Fatalf("run %d: FusedGradient partial %v, want %v", run, got, ref)
+		}
+		for i := range gRef {
+			if g[i] != gRef[i] {
+				t.Fatalf("run %d: nondeterministic fused gradient at %d", run, i)
+			}
+		}
+	}
+}
+
+func TestScratchPartsPooled(t *testing.T) {
+	d := New("arena", 4)
+	defer d.Close()
+	parts := d.ScratchParts(3, 100)
+	if len(parts) != 3 || len(parts[0]) != 100 {
+		t.Fatalf("ScratchParts shape = %dx%d, want 3x100", len(parts), len(parts[0]))
+	}
+	first := &parts[0][0]
+	// Same shape again: must reuse the same backing store.
+	parts2 := d.ScratchParts(3, 100)
+	if &parts2[0][0] != first {
+		t.Fatal("ScratchParts reallocated for an already-seen shape")
+	}
+	// Smaller shape: still served from the same arena.
+	parts3 := d.ScratchParts(2, 50)
+	if &parts3[0][0] != first {
+		t.Fatal("ScratchParts reallocated for a smaller shape")
+	}
+	// Larger shape grows the arena.
+	parts4 := d.ScratchParts(4, 200)
+	if len(parts4) != 4 || len(parts4[0]) != 200 {
+		t.Fatalf("ScratchParts growth shape = %dx%d, want 4x200", len(parts4), len(parts4[0]))
+	}
+}
+
+func TestKernelLaunchesZeroAllocsSteadyState(t *testing.T) {
+	d := New("allocs", 4)
+	defer d.Close()
+	rng := rand.New(rand.NewSource(44))
+	n, p, m := 600, 32, 6
+	a := randMatrix(rng, n, p)
+	b := randVec(rng, m*p)
+	dm := randVec(rng, n*m)
+	s := make([]float64, n*m)
+	g := make([]float64, m*p)
+	fn := func(lo, hi int) float64 { return float64(hi - lo) }
+
+	if allocs := testing.AllocsPerRun(20, func() { d.MulNT(a, b, m, s) }); allocs != 0 {
+		t.Fatalf("MulNT allocates %v per call in steady state, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(20, func() { d.MulTN(a, dm, m, g) }); allocs != 0 {
+		t.Fatalf("MulTN allocates %v per call in steady state, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(20, func() { d.MulNTReduce(a, b, m, s, fn) }); allocs != 0 {
+		t.Fatalf("MulNTReduce allocates %v per call in steady state, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(20, func() { d.FusedGradient(a, b, m, s, fn, g) }); allocs != 0 {
+		t.Fatalf("FusedGradient allocates %v per call in steady state, want 0", allocs)
+	}
+}

@@ -8,12 +8,17 @@
 //     goroutine spawning, mirroring a GPU's persistent execution engine and
 //     keeping launch overhead at a few microseconds, the same order as a
 //     real CUDA kernel launch);
+//   - a per-device scratch arena pools the chunk accumulators reduction
+//     kernels need, so steady-state launches perform zero heap allocation
+//     (the analogue of a GPU memory pool: cudaMalloc per kernel would
+//     dominate small launches exactly like make() per MulTN did here);
 //   - the device keeps FLOP, byte, and launch counters so experiments can
 //     report arithmetic intensity and throughput like a GPU profiler would.
 //
 // Solvers are written purely against this API, so swapping in a real GPU
 // backend would not change any solver code — which is the property the
-// substitution must preserve (see DESIGN.md).
+// substitution must preserve (see DESIGN.md). PERF.md documents the
+// kernel design, the arena lifecycle, and the determinism guarantee.
 package device
 
 import (
@@ -25,21 +30,64 @@ import (
 	"newtonadmm/internal/linalg"
 )
 
+// Kernel is a launched device program: Run is invoked once per contiguous
+// chunk of the launch range. Long-lived kernel objects (the built-in
+// matrix kernels, the loss functors) are reused across launches so a
+// steady-state launch allocates nothing; the closure-based ParallelFor
+// helpers wrap ad-hoc functions for callers off the hot path.
+type Kernel interface {
+	// Run executes chunk `chunk`, covering rows [lo, hi).
+	Run(chunk, lo, hi int)
+}
+
+// chunkFunc adapts a chunk-indexed closure to Kernel. Func values are
+// pointer-shaped, so the interface conversion itself does not allocate.
+type chunkFunc func(chunk, lo, hi int)
+
+func (f chunkFunc) Run(chunk, lo, hi int) { f(chunk, lo, hi) }
+
+// rangeFunc adapts a plain range closure to Kernel.
+type rangeFunc func(lo, hi int)
+
+func (f rangeFunc) Run(_, lo, hi int) { f(lo, hi) }
+
 // Device is a software compute accelerator with a fixed-size worker pool.
 // A Device is safe for use from a single logical stream at a time (like a
-// CUDA stream); cluster ranks each own one Device.
+// CUDA stream); cluster ranks each own one Device. The scratch arena is
+// tied to that single-stream discipline: at most one launch uses it at a
+// time.
 type Device struct {
 	name    string
 	workers int
 
 	mu     sync.Mutex // serializes kernel launches on this device
-	tasks  chan func()
+	work   chan int   // chunk indices of the in-flight launch
 	wg     sync.WaitGroup
 	closed atomic.Bool
+
+	// In-flight launch state, published to workers by the channel sends
+	// (the send/receive pair orders these writes before worker reads).
+	cur       Kernel
+	curN      int
+	curChunks int
 
 	launches atomic.Int64
 	flops    atomic.Int64
 	bytes    atomic.Int64
+
+	// Scratch arena: pooled, growable buffers keyed by launch shape
+	// (chunks x size). Grow-only; steady-state launches of any
+	// previously seen shape allocate nothing.
+	partFlat []float64   // backing store for chunk accumulators
+	parts    [][]float64 // per-chunk views into partFlat
+	partials []float64   // per-chunk scalar partials for reductions
+
+	// Built-in kernels, reused across launches (parameter structs, not
+	// closures, so launching them never allocates).
+	mulNT    mulNTKernel
+	mulTN    mulTNKernel
+	mulNTRed mulNTReduceKernel
+	fusedGK  fusedGradKernel
 }
 
 // Stats is a snapshot of a device's accounting counters.
@@ -58,7 +106,7 @@ func New(name string, workers int) *Device {
 	d := &Device{
 		name:    name,
 		workers: workers,
-		tasks:   make(chan func(), workers),
+		work:    make(chan int, workers),
 	}
 	for i := 0; i < workers; i++ {
 		go d.worker()
@@ -67,8 +115,11 @@ func New(name string, workers int) *Device {
 }
 
 func (d *Device) worker() {
-	for fn := range d.tasks {
-		fn()
+	for c := range d.work {
+		n, chunks := d.curN, d.curChunks
+		lo := c * n / chunks
+		hi := (c + 1) * n / chunks
+		d.cur.Run(c, lo, hi)
 		d.wg.Done()
 	}
 }
@@ -76,7 +127,7 @@ func (d *Device) worker() {
 // Close shuts down the worker pool. The device must not be used afterwards.
 func (d *Device) Close() {
 	if d.closed.CompareAndSwap(false, true) {
-		close(d.tasks)
+		close(d.work)
 	}
 }
 
@@ -144,13 +195,44 @@ func (d *Device) ChunkCount(n, grain int) int {
 	return d.chunkCount(n, grain)
 }
 
-// ParallelForChunks launches a kernel over [0, n) split into contiguous
-// chunks; fn(chunk, lo, hi) runs on the worker pool for each chunk and
-// the call blocks until all complete. The chunk index lets reduction
-// kernels store partials at fixed positions so they can be combined in a
-// deterministic order regardless of worker scheduling. Returns the
-// number of chunks.
-func (d *Device) ParallelForChunks(n, grain int, fn func(chunk, lo, hi int)) int {
+// ScratchParts returns `chunks` scratch accumulators of `size` float64s
+// each from the device arena, backed by one contiguous allocation. The
+// contents are stale (kernels zero their own chunk in-parallel); the
+// buffers are valid until the next ScratchParts call. The arena grows
+// monotonically, so any previously seen launch shape is served without
+// allocating.
+func (d *Device) ScratchParts(chunks, size int) [][]float64 {
+	if need := chunks * size; cap(d.partFlat) < need {
+		d.partFlat = make([]float64, need)
+	}
+	flat := d.partFlat[:chunks*size]
+	if cap(d.parts) < chunks {
+		d.parts = make([][]float64, chunks)
+	}
+	ps := d.parts[:chunks]
+	for c := range ps {
+		ps[c] = flat[c*size : (c+1)*size]
+	}
+	return ps
+}
+
+// ScratchPartials returns a pooled []float64 of per-chunk scalar partials
+// (contents stale), valid until the next ScratchPartials call.
+func (d *Device) ScratchPartials(chunks int) []float64 {
+	if cap(d.partials) < chunks {
+		d.partials = make([]float64, chunks)
+	}
+	return d.partials[:chunks]
+}
+
+// Launch executes k over [0, n) split into contiguous chunks on the
+// worker pool and blocks until all chunks complete, like a synchronous
+// kernel launch. The chunk split depends only on (n, grain, workers), so
+// chunk-ordered reductions are bitwise deterministic across runs. Launch
+// performs no heap allocation: reusing a persistent Kernel object makes
+// the whole call allocation-free, which is what the hot-path kernels do.
+// Returns the number of chunks.
+func (d *Device) Launch(n, grain int, k Kernel) int {
 	if n <= 0 {
 		return 0
 	}
@@ -160,20 +242,29 @@ func (d *Device) ParallelForChunks(n, grain int, fn func(chunk, lo, hi int)) int
 	d.launches.Add(1)
 	chunks := d.chunkCount(n, grain)
 	if chunks == 1 {
-		fn(0, 0, n)
+		k.Run(0, 0, n)
 		return 1
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.cur, d.curN, d.curChunks = k, n, chunks
 	d.wg.Add(chunks)
 	for c := 0; c < chunks; c++ {
-		c := c
-		lo := c * n / chunks
-		hi := (c + 1) * n / chunks
-		d.tasks <- func() { fn(c, lo, hi) }
+		d.work <- c
 	}
 	d.wg.Wait()
+	d.cur = nil
 	return chunks
+}
+
+// ParallelForChunks launches a kernel over [0, n) split into contiguous
+// chunks; fn(chunk, lo, hi) runs on the worker pool for each chunk and
+// the call blocks until all complete. The chunk index lets reduction
+// kernels store partials at fixed positions so they can be combined in a
+// deterministic order regardless of worker scheduling. Returns the
+// number of chunks.
+func (d *Device) ParallelForChunks(n, grain int, fn func(chunk, lo, hi int)) int {
+	return d.Launch(n, grain, chunkFunc(fn))
 }
 
 // ParallelFor launches a kernel over [0, n): the range is split into
@@ -182,7 +273,7 @@ func (d *Device) ParallelForChunks(n, grain int, fn func(chunk, lo, hi int)) int
 // each chunk. ParallelFor blocks until all chunks complete, like a
 // synchronous kernel launch.
 func (d *Device) ParallelFor(n, grain int, fn func(lo, hi int)) {
-	d.ParallelForChunks(n, grain, func(_, lo, hi int) { fn(lo, hi) })
+	d.Launch(n, grain, rangeFunc(fn))
 }
 
 // ParallelReduce launches a kernel over [0, n) where each chunk produces
@@ -193,7 +284,7 @@ func (d *Device) ParallelReduce(n, grain int, fn func(lo, hi int) float64) float
 	if n <= 0 {
 		return 0
 	}
-	partials := make([]float64, d.chunkCount(n, grain))
+	partials := d.ScratchPartials(d.chunkCount(n, grain))
 	d.ParallelForChunks(n, grain, func(chunk, lo, hi int) {
 		partials[chunk] = fn(lo, hi)
 	})
@@ -204,6 +295,18 @@ func (d *Device) ParallelReduce(n, grain int, fn func(lo, hi int) float64) float
 	return total
 }
 
+// mulNTKernel is the persistent parameter block of the MulNT launch.
+type mulNTKernel struct {
+	a *linalg.Matrix
+	b []float64
+	m int
+	s []float64
+}
+
+func (k *mulNTKernel) Run(_, lo, hi int) {
+	linalg.MulNTRange(k.a, k.b, k.m, k.s, lo, hi)
+}
+
 // MulNT computes S = A * B^T on the device: A is n x p dense, B is m x p
 // row-major, S is n x m row-major (overwritten). This is the "scores"
 // kernel of the softmax loss.
@@ -211,32 +314,192 @@ func (d *Device) MulNT(a *linalg.Matrix, b []float64, m int, s []float64) {
 	if len(s) != a.Rows*m {
 		panic("device: MulNT output dimension mismatch")
 	}
-	d.ParallelFor(a.Rows, 0, func(lo, hi int) {
-		linalg.MulNTRange(a, b, m, s, lo, hi)
-	})
+	k := &d.mulNT
+	k.a, k.b, k.m, k.s = a, b, m, s
+	d.Launch(a.Rows, 0, k)
+	k.a, k.b, k.s = nil, nil, nil
 	d.AddFLOPs(2 * int64(a.Rows) * int64(a.Cols) * int64(m))
 	d.AddBytes(8 * (int64(a.Rows)*int64(a.Cols) + int64(len(b)) + int64(len(s))))
 }
 
+// mulNTReduceKernel fuses the score kernel with a row functor: each chunk
+// computes its tile of S and immediately reduces it while the tile is
+// still cache-hot, storing the partial at its chunk slot.
+type mulNTReduceKernel struct {
+	a        *linalg.Matrix
+	b        []float64
+	m        int
+	s        []float64
+	fn       func(lo, hi int) float64
+	partials []float64
+}
+
+func (k *mulNTReduceKernel) Run(chunk, lo, hi int) {
+	linalg.MulNTRange(k.a, k.b, k.m, k.s, lo, hi)
+	k.partials[chunk] = k.fn(lo, hi)
+}
+
+// MulNTReduce computes S = A * B^T and applies fn over each row range of
+// the fresh output tile in the same launch, returning the chunk-ordered
+// sum of fn's partials. This is the fused score + log-sum-exp primitive:
+// the softmax loss uses it to evaluate objective, residuals, and
+// probabilities in one pass over S instead of a matmul launch followed by
+// a second full sweep of S. fn must only touch rows [lo, hi) of S and
+// must be safe to run concurrently on disjoint ranges. Passing a
+// long-lived fn keeps the call allocation-free.
+func (d *Device) MulNTReduce(a *linalg.Matrix, b []float64, m int, s []float64, fn func(lo, hi int) float64) float64 {
+	if len(s) != a.Rows*m {
+		panic("device: MulNTReduce output dimension mismatch")
+	}
+	if a.Rows == 0 {
+		return 0
+	}
+	chunks := d.chunkCount(a.Rows, 0)
+	k := &d.mulNTRed
+	k.a, k.b, k.m, k.s = a, b, m, s
+	k.fn = fn
+	k.partials = d.ScratchPartials(chunks)
+	d.Launch(a.Rows, 0, k)
+	var total float64
+	for _, p := range k.partials {
+		total += p
+	}
+	k.a, k.b, k.s, k.fn, k.partials = nil, nil, nil, nil, nil
+	d.AddFLOPs(2 * int64(a.Rows) * int64(a.Cols) * int64(m))
+	d.AddBytes(8 * (int64(a.Rows)*int64(a.Cols) + int64(len(b)) + int64(len(s))))
+	return total
+}
+
+// GradPanel is the row-panel width of the fused gradient kernels (dense
+// here and the CSR twin in internal/sparse): score, functor, and
+// accumulation sweeps interleave in panels of this many rows so each
+// panel of A is still cache-resident when the transposed accumulation
+// re-reads it (A is the only O(n·p) operand; without panelling it
+// streams from memory twice per gradient). 48 rows of even MNIST-width
+// features is ~300 KiB — L2-resident on anything modern.
+const GradPanel = 48
+
+// fusedGradKernel runs the whole gradient pipeline per chunk: for each
+// row panel it computes the score tile, applies the row functor (log-
+// sum-exp + residual, in place), and immediately accumulates the
+// panel's outer products into the chunk accumulator while the panel of
+// A is hot.
+type fusedGradKernel struct {
+	a        *linalg.Matrix
+	b        []float64
+	m        int
+	s        []float64
+	fn       func(lo, hi int) float64
+	partials []float64
+	g        []float64
+	parts    [][]float64 // nil on the single-chunk fast path
+}
+
+func (k *fusedGradKernel) Run(chunk, lo, hi int) {
+	dst := k.g
+	if k.parts != nil {
+		dst = k.parts[chunk]
+		linalg.Zero(dst)
+	}
+	var sum float64
+	for plo := lo; plo < hi; plo += GradPanel {
+		phi := plo + GradPanel
+		if phi > hi {
+			phi = hi
+		}
+		linalg.MulNTRange(k.a, k.b, k.m, k.s, plo, phi)
+		sum += k.fn(plo, phi)
+		linalg.MulTNRange(k.a, k.s, k.m, dst, plo, phi)
+	}
+	k.partials[chunk] = sum
+}
+
+// FusedGradient runs S = A·Bᵀ, applies fn to each fresh row range of S
+// (which may rewrite its rows in place — the residual transform), and
+// accumulates G = Sᵀ·A, all in one launch that streams A once. It
+// returns the chunk-ordered sum of fn's partials; G is overwritten.
+// This is the single-launch gradient (and Hessian-vector) pipeline of
+// the softmax loss: one pass over A and one pass over the score tile
+// instead of two and three. G is bitwise identical to the unfused
+// MulNT/fn/MulTN sequence (the panel split never reorders per-element
+// accumulation); the returned scalar regroups fn's partials by panel,
+// which is deterministic for a fixed worker count.
+func (d *Device) FusedGradient(a *linalg.Matrix, b []float64, m int, s []float64, fn func(lo, hi int) float64, g []float64) float64 {
+	if len(s) != a.Rows*m {
+		panic("device: FusedGradient score dimension mismatch")
+	}
+	if len(g) != m*a.Cols {
+		panic("device: FusedGradient output dimension mismatch")
+	}
+	linalg.Zero(g)
+	if a.Rows == 0 {
+		return 0
+	}
+	chunks := d.chunkCount(a.Rows, 0)
+	k := &d.fusedGK
+	k.a, k.b, k.m, k.s, k.fn, k.g = a, b, m, s, fn, g
+	k.partials = d.ScratchPartials(chunks)
+	if chunks > 1 {
+		k.parts = d.ScratchParts(chunks, len(g))
+	}
+	d.Launch(a.Rows, 0, k)
+	for _, part := range k.parts {
+		linalg.Add(g, part)
+	}
+	var total float64
+	for _, p := range k.partials {
+		total += p
+	}
+	k.a, k.b, k.s, k.fn, k.g, k.parts, k.partials = nil, nil, nil, nil, nil, nil, nil
+	d.AddFLOPs(4 * int64(a.Rows) * int64(a.Cols) * int64(m))
+	d.AddBytes(8 * (int64(a.Rows)*int64(a.Cols) + int64(len(b)) + int64(len(s)) + int64(len(g))))
+	return total
+}
+
+// mulTNKernel is the persistent parameter block of the MulTN launch.
+// With a single chunk it accumulates straight into g; otherwise each
+// chunk zeroes and fills its arena accumulator in parallel.
+type mulTNKernel struct {
+	a     *linalg.Matrix
+	d     []float64
+	m     int
+	g     []float64
+	parts [][]float64 // nil on the single-chunk fast path
+}
+
+func (k *mulTNKernel) Run(chunk, lo, hi int) {
+	dst := k.g
+	if k.parts != nil {
+		dst = k.parts[chunk]
+		linalg.Zero(dst)
+	}
+	linalg.MulTNRange(k.a, k.d, k.m, dst, lo, hi)
+}
+
 // MulTN computes G = D^T * A on the device: D is n x m, A is n x p, G is
-// m x p (overwritten). Each chunk accumulates into a private buffer and
-// the partials are reduced in chunk order — the standard GPU strategy
+// m x p (overwritten). Each chunk accumulates into a pooled arena buffer
+// and the partials are reduced in chunk order — the standard GPU strategy
 // for transposed gradient accumulation without atomics, kept bitwise
-// deterministic across runs.
+// deterministic across runs. Steady-state calls perform zero heap
+// allocation (the arena replaces the per-call accumulator allocations of
+// the naive implementation).
 func (d *Device) MulTN(a *linalg.Matrix, dmat []float64, m int, g []float64) {
 	if len(g) != m*a.Cols {
 		panic("device: MulTN output dimension mismatch")
 	}
 	linalg.Zero(g)
-	parts := make([][]float64, d.chunkCount(a.Rows, 0))
-	d.ParallelForChunks(a.Rows, 0, func(chunk, lo, hi int) {
-		part := make([]float64, len(g))
-		linalg.MulTNRange(a, dmat, m, part, lo, hi)
-		parts[chunk] = part
-	})
-	for _, part := range parts {
+	k := &d.mulTN
+	k.a, k.d, k.m, k.g = a, dmat, m, g
+	if a.Rows > 0 {
+		if chunks := d.chunkCount(a.Rows, 0); chunks > 1 {
+			k.parts = d.ScratchParts(chunks, len(g))
+		}
+	}
+	d.Launch(a.Rows, 0, k)
+	for _, part := range k.parts {
 		linalg.Add(g, part)
 	}
+	k.a, k.d, k.g, k.parts = nil, nil, nil, nil
 	d.AddFLOPs(2 * int64(a.Rows) * int64(a.Cols) * int64(m))
 	d.AddBytes(8 * (int64(a.Rows)*int64(a.Cols) + int64(len(dmat)) + int64(len(g))))
 }

@@ -1,0 +1,116 @@
+package loss
+
+import (
+	"math/rand"
+	"testing"
+
+	"newtonadmm/internal/linalg"
+	"newtonadmm/internal/sparse"
+)
+
+// Allocation regression tests: once a Softmax problem's scratch is warm,
+// the whole Newton-CG hot path — Value, Gradient, HessianAt, Apply,
+// Accuracy — must perform zero heap allocations per evaluation.
+// testing.AllocsPerRun performs one warm-up call before measuring, which
+// is what creates the lazily-allocated scratch and functors.
+
+func allocProblem(t *testing.T, sparseX bool) *Softmax {
+	t.Helper()
+	rng := rand.New(rand.NewSource(61))
+	n, p, classes := 300, 40, 7
+	x := linalg.NewMatrix(n, p)
+	for i := range x.Data {
+		if !sparseX || rng.Float64() < 0.3 {
+			x.Data[i] = rng.NormFloat64()
+		}
+	}
+	y := make([]int, n)
+	for i := range y {
+		y[i] = rng.Intn(classes)
+	}
+	var feats Features
+	if sparseX {
+		feats = Sparse{M: sparse.FromDense(x)}
+	} else {
+		feats = Dense{M: x}
+	}
+	s, err := NewSoftmax(testDev, feats, y, classes, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func testEvalAllocs(t *testing.T, sparseX bool) {
+	t.Helper()
+	s := allocProblem(t, sparseX)
+	w := randW(rand.New(rand.NewSource(62)), s.Dim())
+	g := make([]float64, s.Dim())
+
+	if allocs := testing.AllocsPerRun(10, func() { s.Value(w) }); allocs != 0 {
+		t.Errorf("Value allocates %v per call in steady state, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(10, func() { s.Gradient(w, g) }); allocs != 0 {
+		t.Errorf("Gradient allocates %v per call in steady state, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(10, func() { s.HessianAt(w) }); allocs != 0 {
+		t.Errorf("HessianAt allocates %v per call in steady state, want 0", allocs)
+	}
+	h := s.HessianAt(w)
+	v := randW(rand.New(rand.NewSource(63)), s.Dim())
+	hv := make([]float64, s.Dim())
+	if allocs := testing.AllocsPerRun(10, func() { h.Apply(v, hv) }); allocs != 0 {
+		t.Errorf("Hessian Apply allocates %v per call in steady state, want 0", allocs)
+	}
+}
+
+func TestDenseEvalZeroAllocsSteadyState(t *testing.T)  { testEvalAllocs(t, false) }
+func TestSparseEvalZeroAllocsSteadyState(t *testing.T) { testEvalAllocs(t, true) }
+
+func TestAccuracyZeroAllocsSteadyState(t *testing.T) {
+	s := allocProblem(t, false)
+	w := randW(rand.New(rand.NewSource(64)), s.Dim())
+	x := s.X
+	y := s.Y
+	if allocs := testing.AllocsPerRun(10, func() { s.Accuracy(x, y, w) }); allocs != 0 {
+		t.Errorf("Accuracy allocates %v per call in steady state, want 0", allocs)
+	}
+}
+
+func TestPredictIntoMatchesPredict(t *testing.T) {
+	s := allocProblem(t, false)
+	w := randW(rand.New(rand.NewSource(65)), s.Dim())
+	want := s.Predict(s.X, w)
+	got := make([]int, s.X.Rows())
+	s.PredictInto(s.X, w, got)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PredictInto differs from Predict at %d: %d vs %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestHessianOperatorReboundByHessianAt(t *testing.T) {
+	// The operator shares problem-owned scratch: a second HessianAt call
+	// rebinds it to the new anchor, and applying it must give the new
+	// anchor's Hessian-vector product.
+	s := allocProblem(t, false)
+	rng := rand.New(rand.NewSource(66))
+	w1 := randW(rng, s.Dim())
+	w2 := randW(rng, s.Dim())
+	v := randW(rng, s.Dim())
+
+	h2 := s.HessianAt(w2)
+	want := make([]float64, s.Dim())
+	h2.Apply(v, want)
+
+	s.HessianAt(w1)
+	h := s.HessianAt(w2) // rebind back to w2
+	got := make([]float64, s.Dim())
+	h.Apply(v, got)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rebound Hessian differs at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}

@@ -1,27 +1,24 @@
 package loss
 
+import "newtonadmm/internal/linalg"
+
 // HessianDiag fills diag (length Dim()) with the diagonal of the softmax
 // Hessian at w:
 //
 //	H[(c,j),(c,j)] = sum_i a_ij^2 * p_ic (1 - p_ic) + L2,
 //
-// computed as one fused device kernel. The diagonal is what a Jacobi
-// preconditioner for CG needs — an optional optimization beyond the
-// paper, exposed through cg.Options.Jacobi.
+// computed as one fused device kernel (scores and probabilities in a
+// single MulNTReduce launch, overwriting the score tile in place). The
+// diagonal is what a Jacobi preconditioner for CG needs — an optional
+// optimization beyond the paper, exposed through cg.Options.Jacobi.
 func (s *Softmax) HessianDiag(w, diag []float64) {
 	if len(diag) != s.Dim() {
 		panic("loss: HessianDiag dimension mismatch")
 	}
 	n, m, p := s.X.Rows(), s.C-1, s.X.Cols()
 	s.ensureScratch()
-	s.X.MulNT(s.Dev, w, m, s.scores)
-	probs := s.resid
-	s.Dev.ParallelFor(n, 0, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			row := s.scores[i*m : (i+1)*m]
-			lseRow(row, probs[i*m:(i+1)*m])
-		}
-	})
+	s.X.MulNTReduce(s.Dev, w, m, s.scores, s.probFn)
+	probs := s.scores
 
 	for j := range diag {
 		diag[j] = s.L2
@@ -29,8 +26,8 @@ func (s *Softmax) HessianDiag(w, diag []float64) {
 	switch x := s.X.(type) {
 	case Dense:
 		// Accumulate per class block: diag[c*p+j] += a_ij^2 * w_ic where
-		// w_ic = p_ic(1-p_ic). Parallelize over rows with private
-		// accumulators like the gradient kernel.
+		// w_ic = p_ic(1-p_ic). Parallelize over rows with arena-pooled
+		// chunk accumulators like the gradient kernel.
 		accumulateDiagDense(s, x, probs, diag, n, m, p)
 	case Sparse:
 		accumulateDiagSparse(s, x, probs, diag, n, m)
@@ -42,9 +39,10 @@ func (s *Softmax) HessianDiag(w, diag []float64) {
 }
 
 func accumulateDiagDense(s *Softmax, x Dense, probs, diag []float64, n, m, p int) {
-	parts := make([][]float64, s.Dev.ChunkCount(n, 0))
+	parts := s.Dev.ScratchParts(s.Dev.ChunkCount(n, 0), len(diag))
 	s.Dev.ParallelForChunks(n, 0, func(chunk, lo, hi int) {
-		part := make([]float64, len(diag))
+		part := parts[chunk]
+		linalg.Zero(part)
 		for i := lo; i < hi; i++ {
 			row := x.M.Row(i)
 			pr := probs[i*m : (i+1)*m]
@@ -59,16 +57,16 @@ func accumulateDiagDense(s *Softmax, x Dense, probs, diag []float64, n, m, p int
 				}
 			}
 		}
-		parts[chunk] = part
 	})
 	reduceDiagParts(diag, parts)
 }
 
 func accumulateDiagSparse(s *Softmax, x Sparse, probs, diag []float64, n, m int) {
 	p := x.M.NumCols
-	parts := make([][]float64, s.Dev.ChunkCount(n, 0))
+	parts := s.Dev.ScratchParts(s.Dev.ChunkCount(n, 0), len(diag))
 	s.Dev.ParallelForChunks(n, 0, func(chunk, lo, hi int) {
-		part := make([]float64, len(diag))
+		part := parts[chunk]
+		linalg.Zero(part)
 		for i := lo; i < hi; i++ {
 			pr := probs[i*m : (i+1)*m]
 			start, end := x.M.RowPtr[i], x.M.RowPtr[i+1]
@@ -84,7 +82,6 @@ func accumulateDiagSparse(s *Softmax, x Sparse, probs, diag []float64, n, m int)
 				}
 			}
 		}
-		parts[chunk] = part
 	})
 	reduceDiagParts(diag, parts)
 }

@@ -24,7 +24,9 @@ type Problem interface {
 	Gradient(w, g []float64) float64
 	// HessianAt returns an operator applying the Hessian at w. The
 	// operator caches per-sample quantities so repeated applications
-	// inside CG cost two matrix products each.
+	// inside CG cost two matrix products each. The operator may share
+	// scratch with the problem: it stays valid until the next HessianAt
+	// call on the same problem.
 	HessianAt(w []float64) HessianOperator
 }
 
@@ -51,6 +53,15 @@ type Features interface {
 	// MulNT computes S = X * W^T where W is m x p row-major; S is
 	// Rows() x m row-major and is overwritten.
 	MulNT(dev *device.Device, w []float64, m int, s []float64)
+	// MulNTReduce computes S = X * W^T and applies fn to each row range
+	// of the fresh tile in the same launch, returning the chunk-ordered
+	// sum of fn's partials (the fused score + log-sum-exp primitive).
+	MulNTReduce(dev *device.Device, w []float64, m int, s []float64, fn func(lo, hi int) float64) float64
+	// FusedGradient computes S = X * W^T, applies fn to each fresh row
+	// range of S (in place; the residual transform), and accumulates
+	// G = S^T * X, all in one launch that streams X once. Returns the
+	// sum of fn's partials; G is overwritten.
+	FusedGradient(dev *device.Device, w []float64, m int, s []float64, fn func(lo, hi int) float64, g []float64) float64
 	// MulTN computes G = D^T * X where D is Rows() x m row-major; G is
 	// m x p row-major and is overwritten.
 	MulTN(dev *device.Device, d []float64, m int, g []float64)
@@ -70,6 +81,16 @@ func (d Dense) Cols() int { return d.M.Cols }
 // MulNT computes S = X * W^T on the device.
 func (d Dense) MulNT(dev *device.Device, w []float64, m int, s []float64) {
 	dev.MulNT(d.M, w, m, s)
+}
+
+// MulNTReduce runs the fused score + row-functor launch on the device.
+func (d Dense) MulNTReduce(dev *device.Device, w []float64, m int, s []float64, fn func(lo, hi int) float64) float64 {
+	return dev.MulNTReduce(d.M, w, m, s, fn)
+}
+
+// FusedGradient runs the single-launch score+functor+accumulate pipeline.
+func (d Dense) FusedGradient(dev *device.Device, w []float64, m int, s []float64, fn func(lo, hi int) float64, g []float64) float64 {
+	return dev.FusedGradient(d.M, w, m, s, fn, g)
 }
 
 // MulTN computes G = D^T * X on the device.
@@ -92,6 +113,16 @@ func (s Sparse) Cols() int { return s.M.NumCols }
 // MulNT computes S = X * W^T on the device.
 func (s Sparse) MulNT(dev *device.Device, w []float64, m int, out []float64) {
 	s.M.MulNT(dev, w, m, out)
+}
+
+// MulNTReduce runs the fused score + row-functor launch on the device.
+func (s Sparse) MulNTReduce(dev *device.Device, w []float64, m int, out []float64, fn func(lo, hi int) float64) float64 {
+	return s.M.MulNTReduce(dev, w, m, out, fn)
+}
+
+// FusedGradient runs the single-launch score+functor+accumulate pipeline.
+func (s Sparse) FusedGradient(dev *device.Device, w []float64, m int, out []float64, fn func(lo, hi int) float64, g []float64) float64 {
+	return s.M.FusedGradient(dev, w, m, out, fn, g)
 }
 
 // MulTN computes G = D^T * X on the device.

@@ -19,7 +19,11 @@ import (
 //
 // All bulk work (scores, probabilities, gradient accumulation) runs as
 // device kernels, and the log-sum-exp stabilization of paper §6 guarantees
-// every exponential has a non-positive argument.
+// every exponential has a non-positive argument. The score matrix and its
+// log-sum-exp / residual sweep are fused into a single MulNTReduce launch
+// (one pass over the n x m tile while it is cache-hot), and every scratch
+// buffer and kernel functor is cached on the problem, so steady-state
+// Value/Gradient/Hessian evaluations perform zero heap allocations.
 type Softmax struct {
 	X   Features
 	Y   []int // labels in [0, C)
@@ -27,8 +31,25 @@ type Softmax struct {
 	L2  float64
 	Dev *device.Device
 
-	scores []float64 // n x (C-1) scratch
-	resid  []float64 // n x (C-1) scratch
+	// scores is the n x (C-1) fused scratch tile: Value leaves raw scores
+	// in it, Gradient and HessianDiag overwrite it in place with
+	// probabilities/residuals during the same launch.
+	scores []float64
+
+	// Persistent fused-launch functors, created alongside the scratch so
+	// steady-state evaluations pass the same func values to the device
+	// (no per-call closure allocation).
+	valueFn func(lo, hi int) float64
+	gradFn  func(lo, hi int) float64
+	probFn  func(lo, hi int) float64
+
+	hess *softmaxHessian // cached Hessian operator, rebound by HessianAt
+
+	// Prediction scratch (grow-only, shared by Predict/Accuracy).
+	predScores []float64
+	predTarget []int
+	predFn     func(lo, hi int)
+	predOut    []int
 }
 
 // NewSoftmax validates inputs and returns the objective.
@@ -58,9 +79,46 @@ func (s *Softmax) Dim() int { return (s.C - 1) * s.X.Cols() }
 
 func (s *Softmax) ensureScratch() {
 	n, m := s.X.Rows(), s.C-1
-	if len(s.scores) != n*m {
-		s.scores = make([]float64, n*m)
-		s.resid = make([]float64, n*m)
+	if len(s.scores) == n*m && s.valueFn != nil {
+		return
+	}
+	s.scores = make([]float64, n*m)
+	// The functors close over the problem, not over per-call state, so
+	// they are created exactly once per scratch shape.
+	s.valueFn = func(lo, hi int) float64 {
+		var part float64
+		for i := lo; i < hi; i++ {
+			row := s.scores[i*m : (i+1)*m]
+			part += lseRow(row, nil)
+			if yi := s.Y[i]; yi < m {
+				part -= row[yi]
+			}
+		}
+		return part
+	}
+	s.gradFn = func(lo, hi int) float64 {
+		var part float64
+		for i := lo; i < hi; i++ {
+			row := s.scores[i*m : (i+1)*m]
+			yi := s.Y[i]
+			var sc float64
+			if yi < m {
+				sc = row[yi] // read the label score before the in-place overwrite
+			}
+			part += lseRow(row, row) // scores -> probabilities in place
+			if yi < m {
+				part -= sc
+				row[yi] -= 1 // residual = prob - onehot
+			}
+		}
+		return part
+	}
+	s.probFn = func(lo, hi int) float64 {
+		for i := lo; i < hi; i++ {
+			row := s.scores[i*m : (i+1)*m]
+			lseRow(row, row)
+		}
+		return 0
 	}
 }
 
@@ -68,7 +126,8 @@ func (s *Softmax) ensureScratch() {
 // M = max(0, s_0..s_{m-1}), alpha = e^{-M} + sum_c e^{s_c - M},
 // returning M + log(alpha) and leaving probabilities in prob if non-nil
 // (prob_c = e^{s_c - M} / alpha; the implicit reference class has
-// probability e^{-M}/alpha, not stored).
+// probability e^{-M}/alpha, not stored). prob may alias scores: each
+// element is read before it is overwritten.
 func lseRow(scores []float64, prob []float64) float64 {
 	m := 0.0
 	for _, v := range scores {
@@ -89,133 +148,150 @@ func lseRow(scores []float64, prob []float64) float64 {
 	return m + math.Log(alpha)
 }
 
-// Value evaluates the objective at w.
+// Value evaluates the objective at w. Scores and their log-sum-exp sweep
+// run as one fused launch.
 func (s *Softmax) Value(w []float64) float64 {
 	s.ensureScratch()
-	m := s.C - 1
-	s.X.MulNT(s.Dev, w, m, s.scores)
-	total := s.Dev.ParallelReduce(s.X.Rows(), 0, func(lo, hi int) float64 {
-		var part float64
-		for i := lo; i < hi; i++ {
-			row := s.scores[i*m : (i+1)*m]
-			part += lseRow(row, nil)
-			if yi := s.Y[i]; yi < m {
-				part -= row[yi]
-			}
-		}
-		return part
-	})
+	total := s.X.MulNTReduce(s.Dev, w, s.C-1, s.scores, s.valueFn)
 	nrm := linalg.Nrm2(w)
 	return total + 0.5*s.L2*nrm*nrm
 }
 
 // Gradient fills g with the gradient at w and returns the objective value.
-// The score matrix is computed once and shared by both (the "fused" kernel
-// the paper runs on the GPU).
+// Score matrix, log-sum-exp, residual, and gradient accumulation run as
+// ONE fused launch (the "fused" kernel the paper runs on the GPU): the
+// residual overwrites the score tile in place and the outer products
+// accumulate panel by panel while the features are cache-hot, so each
+// evaluation streams X once and the n x m scratch exactly once.
 func (s *Softmax) Gradient(w, g []float64) float64 {
 	if len(g) != s.Dim() {
 		panic("loss: gradient buffer dimension mismatch")
 	}
 	s.ensureScratch()
-	m := s.C - 1
-	s.X.MulNT(s.Dev, w, m, s.scores)
-	total := s.Dev.ParallelReduce(s.X.Rows(), 0, func(lo, hi int) float64 {
-		var part float64
-		for i := lo; i < hi; i++ {
-			row := s.scores[i*m : (i+1)*m]
-			prow := s.resid[i*m : (i+1)*m]
-			part += lseRow(row, prow)
-			if yi := s.Y[i]; yi < m {
-				part -= row[yi]
-				prow[yi] -= 1 // residual = prob - onehot
-			}
-		}
-		return part
-	})
-	s.X.MulTN(s.Dev, s.resid, m, g)
+	total := s.X.FusedGradient(s.Dev, w, s.C-1, s.scores, s.gradFn, g)
 	linalg.Axpy(s.L2, w, g)
 	nrm := linalg.Nrm2(w)
 	return total + 0.5*s.L2*nrm*nrm
 }
 
 // softmaxHessian caches the per-sample probabilities at a fixed w so each
-// CG iteration costs two feature products.
+// CG iteration costs two feature products. The operator and its buffers
+// are owned by the parent Softmax and rebound on every HessianAt call.
 type softmaxHessian struct {
-	s     *Softmax
-	probs []float64 // n x (C-1)
-	u     []float64 // n x (C-1) scratch for X*v
+	s       *Softmax
+	probs   []float64 // n x (C-1), probabilities at the anchor w
+	u       []float64 // n x (C-1) scratch for X*v
+	probFn  func(lo, hi int) float64
+	applyFn func(lo, hi int) float64
 }
 
 // HessianAt returns the Hessian operator at w. The Gauss structure of the
 // softmax Hessian is H = X^T diag-blocks(P) X + L2*I where each sample's
 // block is diag(p_i) - p_i p_i^T over the C-1 explicit classes.
+//
+// The operator reuses scratch cached on the problem: it stays valid until
+// the next HessianAt call on the same Softmax, which rebinds the shared
+// buffers to the new anchor point (the Problem contract already promises
+// no concurrent use).
 func (s *Softmax) HessianAt(w []float64) HessianOperator {
 	n, m := s.X.Rows(), s.C-1
-	h := &softmaxHessian{
-		s:     s,
-		probs: make([]float64, n*m),
-		u:     make([]float64, n*m),
-	}
-	s.X.MulNT(s.Dev, w, m, h.probs)
-	s.Dev.ParallelFor(n, 0, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			row := h.probs[i*m : (i+1)*m]
-			lseRow(row, row) // overwrite scores with probabilities in place
+	h := s.hess
+	if h == nil || len(h.probs) != n*m {
+		h = &softmaxHessian{
+			s:     s,
+			probs: make([]float64, n*m),
+			u:     make([]float64, n*m),
 		}
-	})
+		h.probFn = func(lo, hi int) float64 {
+			for i := lo; i < hi; i++ {
+				row := h.probs[i*m : (i+1)*m]
+				lseRow(row, row) // overwrite scores with probabilities in place
+			}
+			return 0
+		}
+		h.applyFn = func(lo, hi int) float64 {
+			for i := lo; i < hi; i++ {
+				p := h.probs[i*m : (i+1)*m]
+				u := h.u[i*m : (i+1)*m]
+				var pu float64
+				for c := 0; c < m; c++ {
+					pu += p[c] * u[c]
+				}
+				for c := 0; c < m; c++ {
+					u[c] = p[c] * (u[c] - pu)
+				}
+			}
+			return 0
+		}
+		s.hess = h
+	}
+	s.X.MulNTReduce(s.Dev, w, m, h.probs, h.probFn)
 	return h
 }
 
-// Apply computes hv = H v:
+// Apply computes hv = H v in one fused launch:
 //
-//	u_i = X_i . v-blocks            (one MulNT)
-//	r_{i,c} = p_{i,c} (u_{i,c} - <p_i, u_i>)
-//	hv = X^T r + L2 * v             (one MulTN)
+//	u_i = X_i . v-blocks, r_{i,c} = p_{i,c} (u_{i,c} - <p_i, u_i>)
+//	in place over u, and hv = X^T r + L2 * v — the same single-pass
+//	pipeline as Gradient, so each CG iteration streams X once.
 func (h *softmaxHessian) Apply(v, hv []float64) {
 	s := h.s
 	if len(v) != s.Dim() || len(hv) != s.Dim() {
 		panic("loss: HessVec dimension mismatch")
 	}
-	n, m := s.X.Rows(), s.C-1
-	s.X.MulNT(s.Dev, v, m, h.u)
-	s.Dev.ParallelFor(n, 0, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			p := h.probs[i*m : (i+1)*m]
-			u := h.u[i*m : (i+1)*m]
-			var pu float64
-			for c := 0; c < m; c++ {
-				pu += p[c] * u[c]
-			}
-			for c := 0; c < m; c++ {
-				u[c] = p[c] * (u[c] - pu)
+	s.X.FusedGradient(s.Dev, v, s.C-1, h.u, h.applyFn, hv)
+	linalg.Axpy(s.L2, v, hv)
+}
+
+func (s *Softmax) ensurePredict(rows int) {
+	m := s.C - 1
+	if need := rows * m; cap(s.predScores) < need {
+		s.predScores = make([]float64, need)
+	}
+	if s.predFn == nil {
+		s.predFn = func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				row := s.predScores[i*m : (i+1)*m]
+				best, bestScore := s.C-1, 0.0 // reference class has score 0
+				for c, v := range row {
+					if v > bestScore {
+						best, bestScore = c, v
+					}
+				}
+				s.predTarget[i] = best
 			}
 		}
-	})
-	s.X.MulTN(s.Dev, h.u, m, hv)
-	linalg.Axpy(s.L2, v, hv)
+	}
 }
 
 // Predict returns the argmax class for every row of x under weights w,
 // following the paper's classification rule (§5): the reference class
 // C-1 wins when every explicit score is negative.
 func (s *Softmax) Predict(x Features, w []float64) []int {
-	m := s.C - 1
-	scores := make([]float64, x.Rows()*m)
-	x.MulNT(s.Dev, w, m, scores)
 	out := make([]int, x.Rows())
-	s.Dev.ParallelFor(x.Rows(), 0, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			row := scores[i*m : (i+1)*m]
-			best, bestScore := s.C-1, 0.0 // reference class has score 0
-			for c, v := range row {
-				if v > bestScore {
-					best, bestScore = c, v
-				}
-			}
-			out[i] = best
-		}
-	})
+	s.PredictInto(x, w, out)
 	return out
+}
+
+// PredictInto writes the argmax class of every row of x into out
+// (length x.Rows()), reusing cached score scratch so steady-state calls
+// allocate nothing. This is what the evaluation harness calls every
+// trace point.
+func (s *Softmax) PredictInto(x Features, w []float64, out []int) {
+	rows := x.Rows()
+	if len(out) != rows {
+		panic("loss: PredictInto output dimension mismatch")
+	}
+	if rows == 0 {
+		return
+	}
+	m := s.C - 1
+	s.ensurePredict(rows)
+	scores := s.predScores[:rows*m]
+	x.MulNT(s.Dev, w, m, scores)
+	s.predTarget = out
+	s.Dev.ParallelFor(rows, 0, s.predFn)
+	s.predTarget = nil
 }
 
 // Accuracy returns the fraction of rows of x classified as y under w.
@@ -223,7 +299,11 @@ func (s *Softmax) Accuracy(x Features, y []int, w []float64) float64 {
 	if x.Rows() == 0 {
 		return 0
 	}
-	pred := s.Predict(x, w)
+	if cap(s.predOut) < x.Rows() {
+		s.predOut = make([]int, x.Rows())
+	}
+	pred := s.predOut[:x.Rows()]
+	s.PredictInto(x, w, pred)
 	correct := 0
 	for i, p := range pred {
 		if p == y[i] {

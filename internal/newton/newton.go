@@ -68,6 +68,11 @@ func Solve(prob loss.Problem, x []float64, opts Options) Result {
 	g := make([]float64, dim)
 	p := make([]float64, dim)
 	scratch := make([]float64, dim)
+	if opts.CG.Work == nil {
+		// One workspace for the whole run: the inner CG solves of every
+		// outer iteration reuse the same vectors instead of allocating.
+		opts.CG.Work = &cg.Workspace{}
+	}
 	useJacobi := opts.Jacobi && loss.CanDiag(prob)
 	var diag []float64
 	if useJacobi {

@@ -1,0 +1,190 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+
+	"newtonadmm/internal/device"
+)
+
+// Property tests for the blocked CSR kernels against the retained naive
+// references (bitwise), plus allocation regression tests for the arena
+// paths.
+
+func randCSR(rng *rand.Rand, rows, cols int, density float64) *CSR {
+	return FromDense(randSparseDense(rng, rows, cols, density))
+}
+
+func randWeights(rng *rand.Rand, n int, zeroFrac float64) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		if rng.Float64() >= zeroFrac {
+			v[i] = rng.NormFloat64()
+		}
+	}
+	return v
+}
+
+func TestCSRBlockedMulNTBitwiseMatchesRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(201))
+	for trial := 0; trial < 120; trial++ {
+		n, p, m := 1+rng.Intn(30), 1+rng.Intn(40), 1+rng.Intn(11)
+		a := randCSR(rng, n, p, 0.3)
+		b := randWeights(rng, m*p, 0.1)
+		lo := rng.Intn(n)
+		hi := lo + rng.Intn(n-lo) + 1
+		got := make([]float64, n*m)
+		want := make([]float64, n*m)
+		a.mulNTRange(b, m, got, lo, hi)
+		a.mulNTRangeRef(b, m, want, lo, hi)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d (n=%d p=%d m=%d): blocked CSR MulNT differs at %d: %v vs %v",
+					trial, n, p, m, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestCSRBlockedMulTNBitwiseMatchesRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	for trial := 0; trial < 120; trial++ {
+		n, p, m := 1+rng.Intn(30), 1+rng.Intn(40), 1+rng.Intn(11)
+		a := randCSR(rng, n, p, 0.3)
+		d := randWeights(rng, n*m, 0.4) // exercise the zero-weight dispatch
+		lo := rng.Intn(n)
+		hi := lo + rng.Intn(n-lo) + 1
+		got := make([]float64, m*p)
+		want := make([]float64, m*p)
+		a.mulTNRange(d, m, got, lo, hi)
+		a.mulTNRangeRef(d, m, want, lo, hi)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d (n=%d p=%d m=%d): blocked CSR MulTN differs at %d: %v vs %v",
+					trial, n, p, m, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestCSRMulNTReduceMatchesSeparatePasses(t *testing.T) {
+	dev := device.New("csr-fused", 4)
+	defer dev.Close()
+	rng := rand.New(rand.NewSource(203))
+	for trial := 0; trial < 20; trial++ {
+		n, p, m := 1+rng.Intn(60), 1+rng.Intn(30), 1+rng.Intn(9)
+		a := randCSR(rng, n, p, 0.4)
+		b := randWeights(rng, m*p, 0)
+		s1 := make([]float64, n*m)
+		a.MulNT(dev, b, m, s1)
+		want := dev.ParallelReduce(n, 0, func(lo, hi int) float64 {
+			var acc float64
+			for i := lo * m; i < hi*m; i++ {
+				acc += s1[i]
+			}
+			return acc
+		})
+		s2 := make([]float64, n*m)
+		got := a.MulNTReduce(dev, b, m, s2, func(lo, hi int) float64 {
+			var acc float64
+			for i := lo * m; i < hi*m; i++ {
+				acc += s2[i]
+			}
+			return acc
+		})
+		if got != want {
+			t.Fatalf("trial %d: fused reduce %v != separate passes %v", trial, got, want)
+		}
+		for i := range s1 {
+			if s1[i] != s2[i] {
+				t.Fatalf("trial %d: fused scores differ at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestCSRFusedGradientMatchesUnfusedPipeline(t *testing.T) {
+	dev := device.New("csr-fused-grad", 5)
+	defer dev.Close()
+	rng := rand.New(rand.NewSource(206))
+	for trial := 0; trial < 20; trial++ {
+		n, p, m := 1+rng.Intn(120), 1+rng.Intn(40), 1+rng.Intn(9)
+		a := randCSR(rng, n, p, 0.3)
+		b := randWeights(rng, m*p, 0)
+		mkFn := func(s []float64) func(lo, hi int) float64 {
+			return func(lo, hi int) float64 {
+				var acc float64
+				for i := lo * m; i < hi*m; i++ {
+					s[i] *= 0.5
+					acc += s[i]
+				}
+				return acc
+			}
+		}
+		s1 := make([]float64, n*m)
+		g1 := make([]float64, m*p)
+		a.MulNTReduce(dev, b, m, s1, mkFn(s1))
+		a.MulTN(dev, s1, m, g1)
+
+		s2 := make([]float64, n*m)
+		g2 := make([]float64, m*p)
+		a.FusedGradient(dev, b, m, s2, mkFn(s2), g2)
+
+		for i := range s1 {
+			if s1[i] != s2[i] {
+				t.Fatalf("trial %d: fused CSR scores differ at %d", trial, i)
+			}
+		}
+		for i := range g1 {
+			if g1[i] != g2[i] {
+				t.Fatalf("trial %d: fused CSR gradient differs at %d: %v vs %v", trial, i, g1[i], g2[i])
+			}
+		}
+	}
+}
+
+func TestCSRMulTNDeterministicAcrossRuns(t *testing.T) {
+	dev := device.New("csr-det", 7)
+	defer dev.Close()
+	rng := rand.New(rand.NewSource(204))
+	n, p, m := 300, 25, 5
+	a := randCSR(rng, n, p, 0.2)
+	d := randWeights(rng, n*m, 0.2)
+	ref := make([]float64, m*p)
+	a.MulTN(dev, d, m, ref)
+	got := make([]float64, m*p)
+	for run := 0; run < 5; run++ {
+		a.MulTN(dev, d, m, got)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("run %d: nondeterministic CSR MulTN at %d: %v vs %v", run, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestCSRProductsZeroAllocsSteadyState(t *testing.T) {
+	dev := device.New("csr-allocs", 4)
+	defer dev.Close()
+	rng := rand.New(rand.NewSource(205))
+	n, p, m := 400, 30, 6
+	a := randCSR(rng, n, p, 0.3)
+	b := randWeights(rng, m*p, 0)
+	d := randWeights(rng, n*m, 0.1)
+	s := make([]float64, n*m)
+	g := make([]float64, m*p)
+	fn := func(lo, hi int) float64 { return float64(hi - lo) }
+
+	if allocs := testing.AllocsPerRun(20, func() { a.MulNT(dev, b, m, s) }); allocs != 0 {
+		t.Fatalf("CSR MulNT allocates %v per call in steady state, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(20, func() { a.MulTN(dev, d, m, g) }); allocs != 0 {
+		t.Fatalf("CSR MulTN allocates %v per call in steady state, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(20, func() { a.MulNTReduce(dev, b, m, s, fn) }); allocs != 0 {
+		t.Fatalf("CSR MulNTReduce allocates %v per call in steady state, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(20, func() { a.FusedGradient(dev, b, m, s, fn, g) }); allocs != 0 {
+		t.Fatalf("CSR FusedGradient allocates %v per call in steady state, want 0", allocs)
+	}
+}

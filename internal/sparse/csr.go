@@ -3,6 +3,13 @@
 // dataset has ~280k features where forming dense structures (let alone the
 // Hessian) is infeasible; CSR plus Hessian-free products is the code path
 // that makes that experiment possible.
+//
+// The products mirror the dense kernel layer: register-blocked over four
+// output classes (each nonzero's value and column index are loaded once
+// and feed four outputs), chunk accumulators drawn from the device scratch
+// arena (zero steady-state allocation), and a fused MulNTReduce launch.
+// The unexported *ref methods keep the naive loops as the bitwise
+// reference for property tests.
 package sparse
 
 import (
@@ -16,11 +23,23 @@ import (
 // CSR is a compressed sparse row matrix. Row i's nonzeros are
 // Col[RowPtr[i]:RowPtr[i+1]] / Val[RowPtr[i]:RowPtr[i+1]], with column
 // indices strictly increasing within a row.
+//
+// Like the loss objectives that own them, a CSR matrix is a single-stream
+// structure for compute: its product methods reuse per-matrix kernel
+// state, so concurrent products on the same CSR are not allowed (reads
+// like At/ToDense are safe).
 type CSR struct {
 	NumRows, NumCols int
 	RowPtr           []int
 	Col              []int
 	Val              []float64
+
+	// Persistent kernel parameter blocks, reused across launches so
+	// steady-state products allocate nothing.
+	kNT    csrMulNTKernel
+	kTN    csrMulTNKernel
+	kNTRed csrMulNTReduceKernel
+	kFused csrFusedGradKernel
 }
 
 // Coord is a single (row, col, value) entry used to build CSR matrices.
@@ -122,6 +141,151 @@ func (m *CSR) RowSubset(idx []int) *CSR {
 	return s
 }
 
+// mulNTRange computes the blocked S = A * B^T tile for rows [lo,hi):
+// four classes at a time, so each stored (value, column) pair is loaded
+// once per quad instead of once per class, and the four accumulators form
+// independent dependency chains. Each accumulator sums in nonzero order
+// exactly like the reference, so results are bitwise identical to
+// mulNTRangeRef.
+func (m *CSR) mulNTRange(b []float64, mRows int, s []float64, lo, hi int) {
+	p := m.NumCols
+	rowPtr, col, val := m.RowPtr, m.Col, m.Val
+	for i := lo; i < hi; i++ {
+		si := s[i*mRows : (i+1)*mRows]
+		start, end := rowPtr[i], rowPtr[i+1]
+		cols := col[start:end]
+		vals := val[start:end]
+		c := 0
+		for ; c+4 <= mRows; c += 4 {
+			b0 := b[c*p : c*p+p]
+			b1 := b[(c+1)*p : (c+1)*p+p]
+			b2 := b[(c+2)*p : (c+2)*p+p]
+			b3 := b[(c+3)*p : (c+3)*p+p]
+			var acc0, acc1, acc2, acc3 float64
+			for k, j := range cols {
+				v := vals[k]
+				acc0 += v * b0[j]
+				acc1 += v * b1[j]
+				acc2 += v * b2[j]
+				acc3 += v * b3[j]
+			}
+			si[c] = acc0
+			si[c+1] = acc1
+			si[c+2] = acc2
+			si[c+3] = acc3
+		}
+		for ; c < mRows; c++ {
+			bc := b[c*p : c*p+p]
+			var acc float64
+			for k, j := range cols {
+				acc += vals[k] * bc[j]
+			}
+			si[c] = acc
+		}
+	}
+}
+
+// mulNTRangeRef is the naive reference for mulNTRange (property tests).
+func (m *CSR) mulNTRangeRef(b []float64, mRows int, s []float64, lo, hi int) {
+	p := m.NumCols
+	for i := lo; i < hi; i++ {
+		si := s[i*mRows : (i+1)*mRows]
+		start, end := m.RowPtr[i], m.RowPtr[i+1]
+		for c := 0; c < mRows; c++ {
+			bc := b[c*p : (c+1)*p]
+			var acc float64
+			for k := start; k < end; k++ {
+				acc += m.Val[k] * bc[m.Col[k]]
+			}
+			si[c] = acc
+		}
+	}
+}
+
+// mulTNRange accumulates the blocked G += D^T * A contribution of rows
+// [lo,hi) into g. Four classes share each nonzero's scattered update, and
+// quads containing a zero weight fall back to the reference per-class
+// loop so the w==0 skip semantics match mulTNRangeRef bitwise (per
+// element, contributions arrive in the same (row, nonzero) order).
+func (m *CSR) mulTNRange(d []float64, mRows int, g []float64, lo, hi int) {
+	p := m.NumCols
+	rowPtr, col, val := m.RowPtr, m.Col, m.Val
+	for i := lo; i < hi; i++ {
+		di := d[i*mRows : (i+1)*mRows]
+		start, end := rowPtr[i], rowPtr[i+1]
+		cols := col[start:end]
+		vals := val[start:end]
+		c := 0
+		for ; c+4 <= mRows; c += 4 {
+			w0, w1, w2, w3 := di[c], di[c+1], di[c+2], di[c+3]
+			if w0 == 0 || w1 == 0 || w2 == 0 || w3 == 0 {
+				csrQuadSkip(g, cols, vals, di, c, c+4, p)
+				continue
+			}
+			g0 := g[c*p : c*p+p]
+			g1 := g[(c+1)*p : (c+1)*p+p]
+			g2 := g[(c+2)*p : (c+2)*p+p]
+			g3 := g[(c+3)*p : (c+3)*p+p]
+			for k, j := range cols {
+				v := vals[k]
+				g0[j] += w0 * v
+				g1[j] += w1 * v
+				g2[j] += w2 * v
+				g3[j] += w3 * v
+			}
+		}
+		if c < mRows {
+			csrQuadSkip(g, cols, vals, di, c, mRows, p)
+		}
+	}
+}
+
+// csrQuadSkip is the per-class tail of the blocked CSR MulTN kernel: the
+// reference scatter loop with the zero-weight skip for classes [c0,c1).
+func csrQuadSkip(g []float64, cols []int, vals, di []float64, c0, c1, p int) {
+	for c := c0; c < c1; c++ {
+		w := di[c]
+		if w == 0 {
+			continue
+		}
+		gc := g[c*p : c*p+p]
+		for k, j := range cols {
+			gc[j] += w * vals[k]
+		}
+	}
+}
+
+// mulTNRangeRef is the naive reference for mulTNRange (property tests).
+func (m *CSR) mulTNRangeRef(d []float64, mRows int, g []float64, lo, hi int) {
+	p := m.NumCols
+	for i := lo; i < hi; i++ {
+		di := d[i*mRows : (i+1)*mRows]
+		start, end := m.RowPtr[i], m.RowPtr[i+1]
+		for c := 0; c < mRows; c++ {
+			w := di[c]
+			if w == 0 {
+				continue
+			}
+			gc := g[c*p : (c+1)*p]
+			for k := start; k < end; k++ {
+				gc[m.Col[k]] += w * m.Val[k]
+			}
+		}
+	}
+}
+
+// csrMulNTKernel is the persistent parameter block of the CSR MulNT launch.
+type csrMulNTKernel struct {
+	m *CSR
+	b []float64
+	r int
+	s []float64
+}
+
+func (k *csrMulNTKernel) Run(_, lo, hi int) {
+	k.m.mulNTRange(k.b, k.r, k.s, lo, hi)
+}
+
 // MulNT computes S = A * B^T on the device: A is this CSR (n x p), B is
 // m x p row-major dense, S is n x m row-major (overwritten).
 func (m *CSR) MulNT(dev *device.Device, b []float64, mRows int, s []float64) {
@@ -131,29 +295,155 @@ func (m *CSR) MulNT(dev *device.Device, b []float64, mRows int, s []float64) {
 	if len(s) != m.NumRows*mRows {
 		panic("sparse: MulNT output dimension mismatch")
 	}
-	p := m.NumCols
-	dev.ParallelFor(m.NumRows, 0, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			si := s[i*mRows : (i+1)*mRows]
-			start, end := m.RowPtr[i], m.RowPtr[i+1]
-			for c := 0; c < mRows; c++ {
-				bc := b[c*p : (c+1)*p]
-				var acc float64
-				for k := start; k < end; k++ {
-					acc += m.Val[k] * bc[m.Col[k]]
-				}
-				si[c] = acc
-			}
-		}
-	})
+	k := &m.kNT
+	k.m, k.b, k.r, k.s = m, b, mRows, s
+	dev.Launch(m.NumRows, 0, k)
+	k.b, k.s = nil, nil
 	dev.AddFLOPs(2 * int64(m.NNZ()) * int64(mRows))
 	dev.AddBytes(8 * (int64(m.NNZ()) + int64(len(b)) + int64(len(s))))
 }
 
+// csrMulNTReduceKernel fuses the CSR score kernel with a row functor.
+type csrMulNTReduceKernel struct {
+	m        *CSR
+	b        []float64
+	r        int
+	s        []float64
+	fn       func(lo, hi int) float64
+	partials []float64
+}
+
+func (k *csrMulNTReduceKernel) Run(chunk, lo, hi int) {
+	k.m.mulNTRange(k.b, k.r, k.s, lo, hi)
+	k.partials[chunk] = k.fn(lo, hi)
+}
+
+// MulNTReduce computes S = A * B^T and applies fn over each row range of
+// the fresh output tile in the same launch, returning the chunk-ordered
+// sum of partials — the CSR twin of device.MulNTReduce. fn must only
+// touch rows [lo, hi) of S and be safe on disjoint ranges concurrently.
+func (m *CSR) MulNTReduce(dev *device.Device, b []float64, mRows int, s []float64, fn func(lo, hi int) float64) float64 {
+	if len(b) != mRows*m.NumCols {
+		panic("sparse: MulNTReduce B dimension mismatch")
+	}
+	if len(s) != m.NumRows*mRows {
+		panic("sparse: MulNTReduce output dimension mismatch")
+	}
+	if m.NumRows == 0 {
+		return 0
+	}
+	chunks := dev.ChunkCount(m.NumRows, 0)
+	k := &m.kNTRed
+	k.m, k.b, k.r, k.s = m, b, mRows, s
+	k.fn = fn
+	k.partials = dev.ScratchPartials(chunks)
+	dev.Launch(m.NumRows, 0, k)
+	var total float64
+	for _, p := range k.partials {
+		total += p
+	}
+	k.b, k.s, k.fn, k.partials = nil, nil, nil, nil
+	dev.AddFLOPs(2 * int64(m.NNZ()) * int64(mRows))
+	dev.AddBytes(8 * (int64(m.NNZ()) + int64(len(b)) + int64(len(s))))
+	return total
+}
+
+// csrFusedGradKernel runs the whole CSR gradient pipeline per chunk —
+// the sparse twin of the dense fusedGradKernel, panelled by
+// device.GradPanel so each panel's CSR rows are still cache-resident
+// for the scatter-accumulation sweep.
+type csrFusedGradKernel struct {
+	m        *CSR
+	b        []float64
+	r        int
+	s        []float64
+	fn       func(lo, hi int) float64
+	partials []float64
+	g        []float64
+	parts    [][]float64 // nil on the single-chunk fast path
+}
+
+func (k *csrFusedGradKernel) Run(chunk, lo, hi int) {
+	dst := k.g
+	if k.parts != nil {
+		dst = k.parts[chunk]
+		linalg.Zero(dst)
+	}
+	var sum float64
+	for plo := lo; plo < hi; plo += device.GradPanel {
+		phi := plo + device.GradPanel
+		if phi > hi {
+			phi = hi
+		}
+		k.m.mulNTRange(k.b, k.r, k.s, plo, phi)
+		sum += k.fn(plo, phi)
+		k.m.mulTNRange(k.s, k.r, dst, plo, phi)
+	}
+	k.partials[chunk] = sum
+}
+
+// FusedGradient runs S = A·Bᵀ, applies fn to each fresh row range of S
+// (in place), and accumulates G = Sᵀ·A in one launch that streams the
+// CSR data once — the sparse twin of device.FusedGradient, with the same
+// bitwise guarantee for G and chunk/panel-deterministic partials.
+func (m *CSR) FusedGradient(dev *device.Device, b []float64, mRows int, s []float64, fn func(lo, hi int) float64, g []float64) float64 {
+	if len(b) != mRows*m.NumCols {
+		panic("sparse: FusedGradient B dimension mismatch")
+	}
+	if len(s) != m.NumRows*mRows {
+		panic("sparse: FusedGradient score dimension mismatch")
+	}
+	if len(g) != mRows*m.NumCols {
+		panic("sparse: FusedGradient output dimension mismatch")
+	}
+	linalg.Zero(g)
+	if m.NumRows == 0 {
+		return 0
+	}
+	chunks := dev.ChunkCount(m.NumRows, 0)
+	k := &m.kFused
+	k.m, k.b, k.r, k.s, k.fn, k.g = m, b, mRows, s, fn, g
+	k.partials = dev.ScratchPartials(chunks)
+	if chunks > 1 {
+		k.parts = dev.ScratchParts(chunks, len(g))
+	}
+	dev.Launch(m.NumRows, 0, k)
+	for _, part := range k.parts {
+		linalg.Add(g, part)
+	}
+	var total float64
+	for _, p := range k.partials {
+		total += p
+	}
+	k.b, k.s, k.fn, k.g, k.parts, k.partials = nil, nil, nil, nil, nil, nil
+	dev.AddFLOPs(4 * int64(m.NNZ()) * int64(mRows))
+	dev.AddBytes(8 * (int64(m.NNZ()) + int64(len(b)) + int64(len(s)) + int64(len(g))))
+	return total
+}
+
+// csrMulTNKernel is the persistent parameter block of the CSR MulTN
+// launch; with a single chunk it accumulates straight into g.
+type csrMulTNKernel struct {
+	m     *CSR
+	d     []float64
+	r     int
+	g     []float64
+	parts [][]float64 // nil on the single-chunk fast path
+}
+
+func (k *csrMulTNKernel) Run(chunk, lo, hi int) {
+	dst := k.g
+	if k.parts != nil {
+		dst = k.parts[chunk]
+		linalg.Zero(dst)
+	}
+	k.m.mulTNRange(k.d, k.r, dst, lo, hi)
+}
+
 // MulTN computes G = D^T * A on the device: D is n x m dense, A is this
-// CSR (n x p), G is m x p (overwritten). Chunk-private accumulators are
-// reduced in chunk order, as in the dense device kernel, so results are
-// deterministic across runs.
+// CSR (n x p), G is m x p (overwritten). Chunk-private arena accumulators
+// are reduced in chunk order, as in the dense device kernel, so results
+// are deterministic across runs; steady-state calls allocate nothing.
 func (m *CSR) MulTN(dev *device.Device, d []float64, mRows int, g []float64) {
 	if len(d) != m.NumRows*mRows {
 		panic("sparse: MulTN D dimension mismatch")
@@ -161,30 +451,19 @@ func (m *CSR) MulTN(dev *device.Device, d []float64, mRows int, g []float64) {
 	if len(g) != mRows*m.NumCols {
 		panic("sparse: MulTN output dimension mismatch")
 	}
-	p := m.NumCols
 	linalg.Zero(g)
-	parts := make([][]float64, dev.ChunkCount(m.NumRows, 0))
-	dev.ParallelForChunks(m.NumRows, 0, func(chunk, lo, hi int) {
-		part := make([]float64, len(g))
-		for i := lo; i < hi; i++ {
-			di := d[i*mRows : (i+1)*mRows]
-			start, end := m.RowPtr[i], m.RowPtr[i+1]
-			for c := 0; c < mRows; c++ {
-				w := di[c]
-				if w == 0 {
-					continue
-				}
-				gc := part[c*p : (c+1)*p]
-				for k := start; k < end; k++ {
-					gc[m.Col[k]] += w * m.Val[k]
-				}
-			}
+	k := &m.kTN
+	k.m, k.d, k.r, k.g = m, d, mRows, g
+	if m.NumRows > 0 {
+		if chunks := dev.ChunkCount(m.NumRows, 0); chunks > 1 {
+			k.parts = dev.ScratchParts(chunks, len(g))
 		}
-		parts[chunk] = part
-	})
-	for _, part := range parts {
+	}
+	dev.Launch(m.NumRows, 0, k)
+	for _, part := range k.parts {
 		linalg.Add(g, part)
 	}
+	k.d, k.g, k.parts = nil, nil, nil
 	dev.AddFLOPs(2 * int64(m.NNZ()) * int64(mRows))
 	dev.AddBytes(8 * (int64(m.NNZ()) + int64(len(d)) + int64(len(g))))
 }
