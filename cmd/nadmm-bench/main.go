@@ -1,5 +1,7 @@
 // Command nadmm-bench regenerates the paper's evaluation artifacts: every
-// table and figure (plus the ablations) as text tables and series.
+// table and figure (plus the ablations) as text tables and series. The
+// `serve` subcommand instead load-tests the online inference subsystem
+// (see serve.go).
 //
 // Examples:
 //
@@ -7,6 +9,8 @@
 //	nadmm-bench -run fig2 -scale 0.5
 //	nadmm-bench -all -quick
 //	nadmm-bench -run fig1 -network 1g
+//	nadmm-bench serve -preset mnist -mode closed -concurrency 64 -compare
+//	nadmm-bench serve -model model.gob -addr http://localhost:8080 -mode open -rate 5000
 package main
 
 import (
@@ -23,6 +27,11 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("nadmm-bench: ")
+
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		runServeBench(os.Args[2:])
+		return
+	}
 
 	var (
 		list    = flag.Bool("list", false, "list the available experiments")

@@ -1,0 +1,210 @@
+package main
+
+// The `serve` subcommand: a deterministic closed/open-loop load
+// generator for the online inference subsystem. It either spins up the
+// full serving stack in-process (train-or-load a model, build the
+// micro-batching server, drive its batcher directly — the configuration
+// used for the numbers in PERF.md) or drives a live nadmm-serve endpoint
+// over HTTP with -addr.
+//
+// -compare runs the same load twice — once with batching disabled
+// (max-batch 1) and once with the configured batch — and reports the
+// micro-batching speedup.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"runtime"
+	"time"
+
+	"newtonadmm"
+	"newtonadmm/internal/serve"
+)
+
+func runServeBench(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	var (
+		model   = fs.String("model", "", "serve this checkpoint (gob); overrides -preset")
+		preset  = fs.String("preset", "mnist", "train a fresh model on this preset: higgs, mnist, cifar, e18")
+		scale   = fs.Float64("scale", 0.25, "preset size multiplier for the training run")
+		epochs  = fs.Int("epochs", 5, "training epochs for the fresh model")
+		addr    = fs.String("addr", "", "drive a live server at this base URL (e.g. http://localhost:8080) instead of in-process")
+		mode    = fs.String("mode", "closed", "load mode: closed (fixed concurrency) or open (fixed arrival rate)")
+		conc    = fs.Int("concurrency", 64, "closed-loop workers / open-loop outstanding cap")
+		rate    = fs.Float64("rate", 0, "open-loop arrival rate, requests/second")
+		dur     = fs.Duration("duration", 5*time.Second, "measured window")
+		warmup  = fs.Duration("warmup", 0, "warmup before measuring (0 = duration/10)")
+		maxB    = fs.Int("max-batch", 64, "micro-batch size cap (in-process)")
+		linger  = fs.Duration("linger", 200*time.Microsecond, "micro-batch flush window (in-process)")
+		queue   = fs.Int("queue", 1024, "admission queue depth (in-process)")
+		nRows   = fs.Int("rows", 256, "distinct request rows generated from the model shape")
+		seed    = fs.Int64("seed", 1, "request-row generator seed")
+		sample  = fs.Int("sample", 1, "record latency for 1 in N requests (closed loop; all requests still count)")
+		compare = fs.Bool("compare", false, "also run one-shot and batch-1 baselines and report the speedup")
+	)
+	fs.Parse(args)
+
+	cfg := serve.LoadConfig{
+		Mode: *mode, Concurrency: *conc, Rate: *rate,
+		Duration: *dur, Warmup: *warmup, SampleEvery: *sample,
+	}
+
+	if *addr != "" {
+		// Remote mode: the server's shape is whatever is running there;
+		// probe /healthz for the feature count.
+		target := &serve.HTTPTarget{Base: *addr}
+		m, err := fetchRemoteMeta(*addr)
+		if err != nil {
+			log.Fatalf("probing %s: %v", *addr, err)
+		}
+		fmt.Printf("### serve bench — remote %s: model v%d (%d classes, %d features)\n",
+			*addr, m.Version, m.Classes, m.Features)
+		rows := benchRows(*nRows, m.Features, *seed)
+		res, err := serve.RunLoad(target, rows, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printLoadResult("http", res)
+		return
+	}
+
+	m := benchModel(*model, *preset, *scale, *epochs)
+	fmt.Printf("### serve bench — model: %d classes, %d features (solver %s)\n",
+		m.Classes, m.Features, m.Solver)
+	fmt.Printf("### mode=%s concurrency=%d duration=%v max-batch=%d linger=%v queue=%d\n\n",
+		*mode, *conc, *dur, *maxB, *linger, *queue)
+	rows := benchRows(*nRows, m.Features, *seed)
+
+	run := func(maxBatch int, linger time.Duration) serve.LoadResult {
+		srv, err := newtonadmm.Serve(m, newtonadmm.ServeOptions{
+			MaxBatch: maxBatch, Linger: linger, QueueDepth: *queue, Workers: 0,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		res, err := serve.RunLoad(srv.Batcher(), rows, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	if *compare {
+		// The batched run goes first: the one-shot baseline allocates
+		// per request and leaves the process with a bloated heap and GC
+		// debt that would unfairly depress any phase after it. A forced
+		// GC between phases keeps them independent.
+		batched := run(*maxB, *linger)
+		runtime.GC()
+		// Baseline 1: the same zero-alloc serving stack pinned to
+		// batch-size 1 (no coalescing, no linger).
+		base := run(1, -1)
+		runtime.GC()
+		// Baseline 2: batch-size-1 serving as it existed before the
+		// batching subsystem — a one-shot Model.Predict per request
+		// (fresh device, scorer, and staging every call).
+		oneShot, err := serve.RunLoad(oneShotTarget{m: m}, rows, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printLoadResult("one-shot", oneShot)
+		printLoadResult("batch-1 ", base)
+		printLoadResult(fmt.Sprintf("batch-%-2d", *maxB), batched)
+		if oneShot.Throughput > 0 {
+			fmt.Printf("\nbatched vs one-shot per-request serving: %.2fx (%.0f -> %.0f req/s)\n",
+				batched.Throughput/oneShot.Throughput, oneShot.Throughput, batched.Throughput)
+		}
+		if base.Throughput > 0 {
+			fmt.Printf("batched vs zero-alloc batch-1 pipeline:  %.2fx (%.0f -> %.0f req/s)\n",
+				batched.Throughput/base.Throughput, base.Throughput, batched.Throughput)
+		}
+		return
+	}
+	printLoadResult("batched ", run(*maxB, *linger))
+}
+
+// oneShotTarget serves each request the way the public API did before
+// the batching subsystem existed: one Model.Predict call per request,
+// paying device construction, scorer setup, and staging allocation
+// every time.
+type oneShotTarget struct{ m *newtonadmm.Model }
+
+func (t oneShotTarget) Predict(row []float64) (int, error) {
+	out, err := t.m.Predict([][]float64{row})
+	if err != nil {
+		return 0, err
+	}
+	return out[0], nil
+}
+
+// benchModel loads or trains the model to serve.
+func benchModel(path, preset string, scale float64, epochs int) *newtonadmm.Model {
+	if path != "" {
+		m, err := newtonadmm.LoadModel(path)
+		if err != nil {
+			log.Fatalf("loading %s: %v", path, err)
+		}
+		return m
+	}
+	ds, err := newtonadmm.PresetDataset(preset, scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("training %s (scale %g, %d epochs) ...", ds.Name(), scale, epochs)
+	m, err := newtonadmm.Train(ds, newtonadmm.Options{
+		Epochs: epochs, Network: "none", EvalTestAccuracy: false,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return m
+}
+
+// benchRows generates the deterministic request-row set.
+func benchRows(n, features int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = make([]float64, features)
+		for j := range rows[i] {
+			rows[i][j] = rng.NormFloat64()
+		}
+	}
+	return rows
+}
+
+func printLoadResult(label string, r serve.LoadResult) {
+	l := r.Latency
+	fmt.Printf("%s  %10.0f req/s   ok=%d rejected=%d errors=%d shed=%d\n",
+		label, r.Throughput, r.Done, r.Rejected, r.Errors, r.Shed)
+	fmt.Printf("%s  latency mean=%v p50=%v p95=%v p99=%v max=%v\n",
+		label, l.Mean, l.P50, l.P95, l.P99, l.Max)
+}
+
+// fetchRemoteMeta reads /healthz of a live server.
+func fetchRemoteMeta(base string) (serve.ModelMeta, error) {
+	var health struct {
+		Model serve.ModelMeta `json:"model"`
+	}
+	if err := getJSON(base+"/healthz", &health); err != nil {
+		return serve.ModelMeta{}, err
+	}
+	if health.Model.Features <= 0 {
+		return serve.ModelMeta{}, fmt.Errorf("server reported no model")
+	}
+	return health.Model, nil
+}
+
+func getJSON(url string, v any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(v)
+}

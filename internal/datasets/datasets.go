@@ -98,14 +98,21 @@ func Generate(cfg Config) (*Dataset, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	p, m := cfg.Features, cfg.Classes-1
-	// Planted weights, scaled so score magnitudes are O(Separation).
-	wTrue := make([]float64, m*p)
-	for i := range wTrue {
-		wTrue[i] = cfg.Separation * rng.NormFloat64() / math.Sqrt(float64(p))
-	}
 	scales := make([]float64, p)
+	var scaleEnergy float64
 	for j := range scales {
 		scales[j] = math.Pow(float64(j+1), -cfg.Decay)
+		scaleEnergy += scales[j] * scales[j]
+	}
+	// Planted weights, normalized by the feature-scale energy so that the
+	// per-class score standard deviation is Separation regardless of Decay
+	// (features have E[x_j^2] = scales[j]^2 in both the dense and the
+	// sparse branch, so Var(<x, w_c>) = sum_j scales[j]^2 w_cj^2). Without
+	// this the decayed presets planted signal far below their label noise
+	// and test accuracy stayed at chance (see ROADMAP).
+	wTrue := make([]float64, m*p)
+	for i := range wTrue {
+		wTrue[i] = cfg.Separation * rng.NormFloat64() / math.Sqrt(scaleEnergy)
 	}
 
 	total := cfg.Samples + cfg.TestSamples

@@ -83,8 +83,8 @@ func E18Like(scale float64) Config {
 		Seed:        104,
 		Sparsity:    0.02,
 		Decay:       0.4,
-		Noise:       1.5,
-		Separation:  5,
+		Noise:       1.2,
+		Separation:  8,
 	}
 }
 

@@ -125,11 +125,16 @@ func (d *Device) worker() {
 }
 
 // Close shuts down the worker pool. The device must not be used afterwards.
+// Close is idempotent.
 func (d *Device) Close() {
 	if d.closed.CompareAndSwap(false, true) {
 		close(d.work)
 	}
 }
+
+// Closed reports whether Close has been called. The serving layer's model
+// registry uses it to assert retired predictors released their devices.
+func (d *Device) Closed() bool { return d.closed.Load() }
 
 // Name returns the device name.
 func (d *Device) Name() string { return d.name }

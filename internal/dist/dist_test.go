@@ -163,4 +163,3 @@ func TestRecorderObserveFrozenAndConsistent(t *testing.T) {
 		t.Fatalf("test accuracy %v outside [0,1]", acc)
 	}
 }
-

@@ -2,7 +2,7 @@
 // the paper's evaluation (plus the ablations motivated by its design
 // claims) and renders their results as text tables and series. Both the
 // nadmm-bench CLI and the repository's testing.B benchmarks drive this
-// package; EXPERIMENTS.md records the paper-vs-measured outcomes.
+// package (see DESIGN.md for where the harness sits in the tree).
 package harness
 
 import (
@@ -21,7 +21,7 @@ import (
 // RunConfig tunes an experiment run.
 type RunConfig struct {
 	// Scale multiplies the preset dataset sizes; <=0 selects 1. The
-	// EXPERIMENTS.md results use 1; CI smoke tests use Quick instead.
+	// full-scale runs use 1; CI smoke tests use Quick instead.
 	Scale float64
 	// Epochs overrides the experiment's default epoch budget when > 0.
 	Epochs int

@@ -50,6 +50,11 @@ type Softmax struct {
 	predTarget []int
 	predFn     func(lo, hi int)
 	predOut    []int
+
+	// Probability scratch: ProbaInto expands the n x (C-1) score tile
+	// into n x C probabilities (reference class included) in one launch.
+	probaTarget []float64
+	probaFn     func(lo, hi int) float64
 }
 
 // NewSoftmax validates inputs and returns the objective.
@@ -69,6 +74,20 @@ func NewSoftmax(dev *device.Device, x Features, y []int, classes int, l2 float64
 		}
 	}
 	return &Softmax{X: x, Y: y, C: classes, L2: l2, Dev: dev}, nil
+}
+
+// NewScorer returns a training-data-free Softmax used purely for
+// inference: PredictInto, ProbaInto, and Accuracy against explicitly
+// passed features all work; Value/Gradient/HessianAt (which need the
+// training set) must not be called. This is what the serving layer's
+// Predictor wraps — it reuses the same cached prediction scratch and
+// device arena as the training-side evaluations, so steady-state scoring
+// performs zero heap allocations.
+func NewScorer(dev *device.Device, classes int) (*Softmax, error) {
+	if classes < 2 {
+		return nil, fmt.Errorf("loss: need at least 2 classes, got %d", classes)
+	}
+	return &Softmax{X: Dense{M: linalg.NewMatrix(0, 0)}, Y: nil, C: classes, Dev: dev}, nil
 }
 
 // N returns the number of local samples.
@@ -292,6 +311,62 @@ func (s *Softmax) PredictInto(x Features, w []float64, out []int) {
 	s.predTarget = out
 	s.Dev.ParallelFor(rows, 0, s.predFn)
 	s.predTarget = nil
+}
+
+// probaRow expands one row of explicit-class scores into the full
+// C-class probability vector (reference class last), using the same
+// stabilization as lseRow. dst has length len(scores)+1 and must not
+// alias scores.
+func probaRow(scores, dst []float64) {
+	m := 0.0
+	for _, v := range scores {
+		if v > m {
+			m = v
+		}
+	}
+	ref := math.Exp(-m)
+	alpha := ref
+	for c, v := range scores {
+		e := math.Exp(v - m)
+		dst[c] = e
+		alpha += e
+	}
+	inv := 1 / alpha
+	for c := range scores {
+		dst[c] *= inv
+	}
+	dst[len(scores)] = ref * inv
+}
+
+// ProbaInto writes the softmax class probabilities of every row of x
+// under weights w into out, row-major x.Rows() x C with the reference
+// class in column C-1. Scores and the probability transform run as one
+// fused MulNTReduce launch, and all scratch is cached on the problem, so
+// steady-state calls allocate nothing. This is the /v1/proba kernel of
+// the serving layer.
+func (s *Softmax) ProbaInto(x Features, w []float64, out []float64) {
+	rows := x.Rows()
+	if len(out) != rows*s.C {
+		panic("loss: ProbaInto output dimension mismatch")
+	}
+	if rows == 0 {
+		return
+	}
+	m := s.C - 1
+	s.ensurePredict(rows)
+	if s.probaFn == nil {
+		s.probaFn = func(lo, hi int) float64 {
+			mm := s.C - 1
+			for i := lo; i < hi; i++ {
+				probaRow(s.predScores[i*mm:(i+1)*mm], s.probaTarget[i*s.C:(i+1)*s.C])
+			}
+			return 0
+		}
+	}
+	scores := s.predScores[:rows*m]
+	s.probaTarget = out
+	x.MulNTReduce(s.Dev, w, m, scores, s.probaFn)
+	s.probaTarget = nil
 }
 
 // Accuracy returns the fraction of rows of x classified as y under w.

@@ -1,0 +1,208 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket geometry: log2 major buckets subdivided linearly, the
+// coarse HDR layout every serving stack uses. Durations are recorded in
+// nanoseconds; with 32 sub-buckets per octave the relative quantile error
+// is bounded by 1/32 ≈ 3%, constant across the microsecond-to-minute
+// range a latency distribution spans.
+const (
+	histSubBits = 5 // sub-buckets per octave = 2^5
+	histSub     = 1 << histSubBits
+	histOctaves = 40 // covers up to 2^40 ns ≈ 18 minutes
+	histBuckets = histOctaves * histSub
+)
+
+// Histogram is a fixed-footprint log-bucketed latency histogram safe for
+// concurrent Observe calls (lock-free atomic counters). It powers the
+// serving layer's request-latency and batch-size accounting: the batcher
+// records every request, /metricz renders quantiles, and the load
+// generator reports p50/p95/p99 from the same type.
+//
+// The zero value is NOT ready to use; call NewHistogram.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds; saturates, fine for reporting
+	min     atomic.Int64
+	max     atomic.Int64
+	buckets []atomic.Int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	h := &Histogram{buckets: make([]atomic.Int64, histBuckets)}
+	h.min.Store(math.MaxInt64)
+	return h
+}
+
+// bucketIndex maps a nanosecond value to its bucket. Values below one
+// sub-bucket land in the linear first octave; the index is monotone in v.
+func bucketIndex(v int64) int {
+	if v < histSub {
+		return int(v) // first octave is exact
+	}
+	// Position of the leading bit selects the octave; the histSubBits
+	// bits below it select the sub-bucket.
+	octave := bits.Len64(uint64(v)) - 1
+	sub := (v >> (uint(octave) - histSubBits)) & (histSub - 1)
+	idx := (octave-histSubBits+1)*histSub + int(sub)
+	if idx >= histBuckets {
+		return histBuckets - 1
+	}
+	return idx
+}
+
+// bucketLower returns the smallest value mapping to bucket idx (the
+// inverse of bucketIndex on bucket boundaries).
+func bucketLower(idx int) int64 {
+	if idx < histSub {
+		return int64(idx)
+	}
+	octave := idx/histSub + histSubBits - 1
+	sub := int64(idx % histSub)
+	return (1 << uint(octave)) | (sub << (uint(octave) - histSubBits))
+}
+
+// Observe records one duration. Negative durations count as zero.
+func (h *Histogram) Observe(d time.Duration) {
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// ObserveValue records a plain count (e.g. a batch size) as nanoseconds,
+// so the same quantile machinery serves non-duration distributions.
+func (h *Histogram) ObserveValue(v int64) { h.Observe(time.Duration(v)) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Mean returns the mean observation; zero when empty.
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Min and Max return the observed extremes (zero when empty).
+func (h *Histogram) Min() time.Duration {
+	if h.count.Load() == 0 {
+		return 0
+	}
+	return time.Duration(h.min.Load())
+}
+
+// Max returns the largest observation (zero when empty).
+func (h *Histogram) Max() time.Duration {
+	if h.count.Load() == 0 {
+		return 0
+	}
+	return time.Duration(h.max.Load())
+}
+
+// Quantile returns the q-quantile (q in [0,1]) of the recorded
+// distribution, with linear interpolation inside the winning bucket.
+// Concurrent Observe calls may skew an in-flight Quantile by the races'
+// worth of samples — acceptable for monitoring, which is its job.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(n-1)
+	var seen float64
+	for i := range h.buckets {
+		c := float64(h.buckets[i].Load())
+		if c == 0 {
+			continue
+		}
+		if seen+c > rank {
+			lo := bucketLower(i)
+			var hi int64
+			if i+1 < histBuckets {
+				hi = bucketLower(i + 1)
+			} else {
+				hi = h.max.Load()
+			}
+			frac := (rank - seen + 0.5) / c
+			v := float64(lo) + frac*float64(hi-lo)
+			if mx := h.max.Load(); v > float64(mx) {
+				v = float64(mx)
+			}
+			if mn := h.min.Load(); v < float64(mn) {
+				v = float64(mn)
+			}
+			return time.Duration(v)
+		}
+		seen += c
+	}
+	return time.Duration(h.max.Load())
+}
+
+// Snapshot is a point-in-time summary of a histogram.
+type Snapshot struct {
+	Count          int64
+	Mean, Min, Max time.Duration
+	P50, P95, P99  time.Duration
+}
+
+// Snapshot returns the standard reporting summary.
+func (h *Histogram) Snapshot() Snapshot {
+	return Snapshot{
+		Count: h.Count(),
+		Mean:  h.Mean(), Min: h.Min(), Max: h.Max(),
+		P50: h.Quantile(0.50), P95: h.Quantile(0.95), P99: h.Quantile(0.99),
+	}
+}
+
+func (s Snapshot) String() string {
+	return fmt.Sprintf("n=%d mean=%v min=%v p50=%v p95=%v p99=%v max=%v",
+		s.Count, s.Mean, s.Min, s.P50, s.P95, s.P99, s.Max)
+}
+
+// WriteMetrics renders the histogram in the flat `name_stat value` text
+// format of /metricz. Durations are reported in seconds.
+func (h *Histogram) WriteMetrics(w io.Writer, name string) {
+	s := h.Snapshot()
+	fmt.Fprintf(w, "%s_count %d\n", name, s.Count)
+	for _, q := range []struct {
+		suffix string
+		v      time.Duration
+	}{
+		{"mean", s.Mean}, {"p50", s.P50}, {"p95", s.P95}, {"p99", s.P99}, {"max", s.Max},
+	} {
+		fmt.Fprintf(w, "%s_%s_seconds %.9f\n", name, q.suffix, q.v.Seconds())
+	}
+}

@@ -1,0 +1,146 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketIndexMonotoneAndInverse(t *testing.T) {
+	prev := -1
+	for _, v := range []int64{0, 1, 2, 31, 32, 33, 63, 64, 100, 1023, 1024,
+		1 << 20, 1<<20 + 7, 1 << 30, 1 << 39, 1 << 45} {
+		idx := bucketIndex(v)
+		if idx < prev {
+			t.Fatalf("bucketIndex not monotone at %d: %d < %d", v, idx, prev)
+		}
+		prev = idx
+		if idx < histBuckets-1 {
+			if lo := bucketLower(idx); lo > v {
+				t.Fatalf("bucketLower(%d)=%d exceeds member %d", idx, lo, v)
+			}
+			if hi := bucketLower(idx + 1); hi <= v && idx+1 < histBuckets {
+				t.Fatalf("value %d outside bucket %d: next lower %d", v, idx, hi)
+			}
+		}
+	}
+	// Boundary round-trip: every bucket's lower bound maps to itself.
+	for idx := 0; idx < histBuckets; idx++ {
+		if got := bucketIndex(bucketLower(idx)); got != idx {
+			t.Fatalf("round trip bucket %d -> %d", idx, got)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram()
+	// 1..1000 microseconds uniformly: quantiles are known exactly.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count %d", h.Count())
+	}
+	for _, c := range []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 500 * time.Microsecond},
+		{0.95, 950 * time.Microsecond},
+		{0.99, 990 * time.Microsecond},
+	} {
+		got := h.Quantile(c.q)
+		// Log buckets bound relative error by ~1/32 plus interpolation.
+		if rel := (got.Seconds() - c.want.Seconds()) / c.want.Seconds(); rel < -0.05 || rel > 0.05 {
+			t.Errorf("q%.2f = %v, want ~%v", c.q, got, c.want)
+		}
+	}
+	if h.Min() != time.Microsecond || h.Max() != 1000*time.Microsecond {
+		t.Errorf("min=%v max=%v", h.Min(), h.Max())
+	}
+	if mean := h.Mean(); mean < 480*time.Microsecond || mean > 520*time.Microsecond {
+		t.Errorf("mean %v", mean)
+	}
+}
+
+func TestHistogramAgainstExactQuantiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	h := NewHistogram()
+	vals := make([]float64, 5000)
+	for i := range vals {
+		// Log-normal-ish latencies spanning 3 decades.
+		v := time.Duration(1000 * (1 + rng.ExpFloat64()*500))
+		vals[i] = float64(v)
+		h.Observe(v)
+	}
+	sort.Float64s(vals)
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99} {
+		exact := vals[int(q*float64(len(vals)-1))]
+		got := float64(h.Quantile(q))
+		if rel := (got - exact) / exact; rel < -0.08 || rel > 0.08 {
+			t.Errorf("q%v: got %v, exact %v (rel %.3f)", q, got, exact, rel)
+		}
+	}
+}
+
+func TestHistogramEmptyAndClamp(t *testing.T) {
+	h := NewHistogram()
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	h.Observe(-5 * time.Second) // clamps to zero
+	if h.Max() != 0 || h.Count() != 1 {
+		t.Fatalf("negative observation not clamped: max=%v", h.Max())
+	}
+	h.Observe(time.Hour * 24) // beyond the last octave still lands somewhere
+	if h.Quantile(1) > 24*time.Hour {
+		t.Fatalf("q1 %v exceeds max", h.Quantile(1))
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram()
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(rng.Intn(1e6)))
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("lost observations: %d", h.Count())
+	}
+	var sum int64
+	for i := range h.buckets {
+		sum += h.buckets[i].Load()
+	}
+	if sum != workers*per {
+		t.Fatalf("bucket sum %d != %d", sum, workers*per)
+	}
+}
+
+func TestHistogramWriteMetrics(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(time.Millisecond)
+	var b strings.Builder
+	h.WriteMetrics(&b, "request_latency")
+	out := b.String()
+	for _, want := range []string{
+		"request_latency_count 1",
+		"request_latency_p50_seconds 0.001",
+		"request_latency_p99_seconds",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics output missing %q:\n%s", want, out)
+		}
+	}
+}

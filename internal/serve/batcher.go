@@ -1,0 +1,598 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"newtonadmm/internal/metrics"
+)
+
+// Errors returned by the batcher's admission path.
+var (
+	// ErrQueueFull is backpressure: the bounded admission queue is at
+	// capacity and the request was rejected (never enqueued, never
+	// dropped silently). Callers translate it to HTTP 429.
+	ErrQueueFull = errors.New("serve: admission queue full")
+	// ErrClosed means the batcher was shut down.
+	ErrClosed = errors.New("serve: batcher closed")
+	// ErrNoModel means no model is registered to score against.
+	ErrNoModel = errors.New("serve: no model loaded")
+	// ErrModelShapeChanged means a hot swap changed the model's class
+	// count between a request's admission and its scoring. The request
+	// was valid when sent — callers should retry against the new shape
+	// (the HTTP layer maps this to 503, not 4xx).
+	ErrModelShapeChanged = errors.New("serve: model shape changed by hot swap; retry")
+)
+
+// Scorer is the batch-scoring surface the batcher drives; *Predictor is
+// the production implementation. Tests substitute fakes to exercise
+// queueing behavior independent of the kernel layer.
+type Scorer interface {
+	Classes() int
+	Features() int
+	PredictDense(rows [][]float64, out []int) error
+	PredictCSR(idx [][]int, val [][]float64, out []int) error
+	ProbaDense(rows [][]float64, out []float64) error
+	ProbaCSR(idx [][]int, val [][]float64, out []float64) error
+}
+
+// ScorerSource hands out the current scorer with a release function, so
+// a batch holds one model snapshot for its whole launch while hot swaps
+// proceed concurrently; *Registry is the production implementation.
+type ScorerSource interface {
+	Acquire() (Scorer, func(), error)
+}
+
+// BatcherConfig tunes the dynamic micro-batcher.
+type BatcherConfig struct {
+	// MaxBatch is the largest number of rows coalesced into one kernel
+	// launch; <= 0 selects 64.
+	MaxBatch int
+	// MaxLinger bounds how long the first request of a batch waits for
+	// stragglers before the batch launches anyway; < 0 disables
+	// lingering (launch as soon as the queue is drained), 0 selects
+	// 200µs.
+	MaxLinger time.Duration
+	// QueueDepth bounds the admission queue; <= 0 selects 4*MaxBatch.
+	QueueDepth int
+}
+
+func (c BatcherConfig) withDefaults() BatcherConfig {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.MaxLinger == 0 {
+		c.MaxLinger = 200 * time.Microsecond
+	}
+	if c.MaxLinger < 0 {
+		c.MaxLinger = 0
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.MaxBatch
+	}
+	return c
+}
+
+// request is one in-flight prediction. Requests are pooled; the done
+// channel is created once per pooled object and reused.
+type request struct {
+	// Exactly one of dense or (idx, val) is set. The slices are caller-
+	// owned and only read until done is signaled (the caller blocks, so
+	// they stay valid; the predictor stages its own copy).
+	dense []float64
+	idx   []int
+	val   []float64
+
+	// probaOut non-nil requests the full probability vector (length
+	// Classes); the batcher copies the row's probabilities into it.
+	probaOut []float64
+
+	class int
+	err   error
+	// enq is only stamped on sampled requests (1 in latencySampleEvery):
+	// the admission path is the serving hot path, and two clock reads
+	// plus a histogram update per request are measurable at the request
+	// rates a single batcher sustains. Sampling keeps /metricz honest
+	// while keeping the hot path lean.
+	enq  time.Time
+	done chan struct{}
+}
+
+// latencySampleEvery is the server-side latency sampling stride (the
+// load generator always measures every request client-side).
+const latencySampleEvery = 8
+
+// BatcherStats is a snapshot of the batcher's counters.
+type BatcherStats struct {
+	Submitted int64 // accepted into the queue
+	Rejected  int64 // refused with ErrQueueFull
+	Completed int64 // answered (including per-row errors)
+	Batches   int64 // kernel batches launched
+}
+
+// Batcher coalesces concurrent single-row prediction requests into
+// micro-batches scored by one fused launch — continuous batching with a
+// bounded admission queue and linger-based flush, the standard serving
+// discipline for amortizing per-request overhead into batched matrix
+// kernels.
+type Batcher struct {
+	cfg    BatcherConfig
+	source ScorerSource
+
+	queue chan *request
+	stop  chan struct{}
+
+	// closeMu guards the closed flag vs. in-flight submits: Submit holds
+	// the read side while enqueueing, Close takes the write side before
+	// signaling stop, so after Close returns the loop's final drain sees
+	// every accepted request.
+	closeMu sync.RWMutex
+	closed  bool
+	wg      sync.WaitGroup
+
+	pool sync.Pool // *request
+
+	submitted  atomic.Int64
+	rejected   atomic.Int64
+	completed  atomic.Int64
+	batches    atomic.Int64
+	sampleTick atomic.Int64
+
+	// Latency is enqueue-to-answer per request; BatchSize records rows
+	// per launched batch through the same histogram machinery.
+	Latency   *metrics.Histogram
+	BatchSize *metrics.Histogram
+
+	// Batch assembly scratch (loop goroutine only; grow-only).
+	batch    []*request
+	dDense   [][]float64
+	dReqs    []*request
+	sIdx     [][]int
+	sVal     [][]float64
+	sReqs    []*request
+	outInt   []int
+	outProba []float64
+}
+
+// NewBatcher starts the batching loop over the given scorer source.
+func NewBatcher(source ScorerSource, cfg BatcherConfig) *Batcher {
+	b := &Batcher{
+		cfg:       cfg.withDefaults(),
+		source:    source,
+		stop:      make(chan struct{}),
+		Latency:   metrics.NewHistogram(),
+		BatchSize: metrics.NewHistogram(),
+	}
+	b.queue = make(chan *request, b.cfg.QueueDepth)
+	b.pool.New = func() any { return &request{done: make(chan struct{}, 1)} }
+	b.wg.Add(1)
+	go b.loop()
+	return b
+}
+
+// Config returns the effective (defaulted) configuration.
+func (b *Batcher) Config() BatcherConfig { return b.cfg }
+
+// Stats returns a snapshot of the batcher counters.
+func (b *Batcher) Stats() BatcherStats {
+	return BatcherStats{
+		Submitted: b.submitted.Load(),
+		Rejected:  b.rejected.Load(),
+		Completed: b.completed.Load(),
+		Batches:   b.batches.Load(),
+	}
+}
+
+// Close shuts the batcher down: subsequent submits fail with ErrClosed,
+// already-accepted requests are answered (scored or rejected with
+// ErrClosed), and the loop exits. Close is idempotent and blocks until
+// the loop drains.
+func (b *Batcher) Close() {
+	b.closeMu.Lock()
+	already := b.closed
+	b.closed = true
+	b.closeMu.Unlock()
+	if !already {
+		close(b.stop)
+	}
+	b.wg.Wait()
+}
+
+func (b *Batcher) getReq() *request {
+	return b.pool.Get().(*request)
+}
+
+// putReq clears the request's payload references before pooling it, so
+// idle pooled requests never pin callers' row or probability buffers
+// (the same retention discipline clearScratch enforces on the batch
+// scratch), and drains a stray completion signal so a reused request
+// never sees a stale one (possible only if a caller abandoned a
+// ticket).
+func (b *Batcher) putReq(r *request) {
+	r.dense, r.idx, r.val, r.probaOut = nil, nil, nil, nil
+	r.class, r.err = 0, nil
+	r.enq = time.Time{}
+	select {
+	case <-r.done:
+	default:
+	}
+	b.pool.Put(r)
+}
+
+// submit enqueues r with backpressure; it never blocks.
+func (b *Batcher) submit(r *request) error {
+	b.closeMu.RLock()
+	defer b.closeMu.RUnlock()
+	if b.closed {
+		return ErrClosed
+	}
+	if b.sampleTick.Add(1)%latencySampleEvery == 0 {
+		r.enq = time.Now() // stamped before the enqueue: the loop reads it
+	}
+	select {
+	case b.queue <- r:
+		b.submitted.Add(1)
+		return nil
+	default:
+		b.rejected.Add(1)
+		return ErrQueueFull
+	}
+}
+
+// Ticket is a handle for one submitted request; Wait blocks for the
+// result. Tickets are single-use.
+type Ticket struct {
+	r *request
+	b *Batcher
+}
+
+// Wait blocks until the request is answered and returns the predicted
+// class. If the request asked for probabilities they have been copied
+// into the submitted buffer by the time Wait returns.
+func (t Ticket) Wait() (int, error) {
+	<-t.r.done
+	class, err := t.r.class, t.r.err
+	t.b.putReq(t.r)
+	return class, err
+}
+
+// SubmitDense enqueues one dense row; probaOut, when non-nil, must have
+// Classes entries and receives the probability vector. A nil row is
+// rejected (it would be indistinguishable from a sparse request in the
+// batch partition); an explicit all-zero row is a zero-filled slice of
+// Features entries, or SubmitCSR with empty indices/values.
+func (b *Batcher) SubmitDense(row []float64, probaOut []float64) (Ticket, error) {
+	if row == nil {
+		return Ticket{}, errors.New("serve: nil dense row")
+	}
+	r := b.getReq()
+	r.dense = row
+	r.probaOut = probaOut
+	if err := b.submit(r); err != nil {
+		b.putReq(r)
+		return Ticket{}, err
+	}
+	return Ticket{r: r, b: b}, nil
+}
+
+// SubmitCSR enqueues one sparse row (strictly increasing indices).
+func (b *Batcher) SubmitCSR(idx []int, val []float64, probaOut []float64) (Ticket, error) {
+	r := b.getReq()
+	r.idx, r.val = idx, val
+	r.probaOut = probaOut
+	if err := b.submit(r); err != nil {
+		b.putReq(r)
+		return Ticket{}, err
+	}
+	return Ticket{r: r, b: b}, nil
+}
+
+// Predict scores one dense row through the micro-batcher.
+func (b *Batcher) Predict(row []float64) (int, error) {
+	t, err := b.SubmitDense(row, nil)
+	if err != nil {
+		return 0, err
+	}
+	return t.Wait()
+}
+
+// PredictCSR scores one sparse row through the micro-batcher.
+func (b *Batcher) PredictCSR(idx []int, val []float64) (int, error) {
+	t, err := b.SubmitCSR(idx, val, nil)
+	if err != nil {
+		return 0, err
+	}
+	return t.Wait()
+}
+
+// Proba scores one dense row and fills out (length Classes) with the
+// class probabilities, returning the predicted class.
+func (b *Batcher) Proba(row []float64, out []float64) (int, error) {
+	t, err := b.SubmitDense(row, out)
+	if err != nil {
+		return 0, err
+	}
+	return t.Wait()
+}
+
+// ProbaCSR is Proba for one sparse row.
+func (b *Batcher) ProbaCSR(idx []int, val []float64, out []float64) (int, error) {
+	t, err := b.SubmitCSR(idx, val, out)
+	if err != nil {
+		return 0, err
+	}
+	return t.Wait()
+}
+
+// loop is the batching goroutine: collect a batch (greedy drain, then
+// linger), score it, answer every request, repeat.
+func (b *Batcher) loop() {
+	defer b.wg.Done()
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		// Block for the first request of the next batch.
+		var first *request
+		select {
+		case first = <-b.queue:
+		case <-b.stop:
+			b.drainReject()
+			return
+		}
+		b.batch = append(b.batch[:0], first)
+		stopping := b.fill(timer)
+		b.scoreBatch(b.batch)
+		b.clearScratch()
+		if stopping {
+			b.drainReject()
+			return
+		}
+	}
+}
+
+// fill grows the current batch to MaxBatch: greedy non-blocking drain
+// first, then a linger window measured from the first request's arrival.
+// Returns true when shutdown was requested mid-fill.
+func (b *Batcher) fill(timer *time.Timer) bool {
+	for len(b.batch) < b.cfg.MaxBatch {
+		select {
+		case r := <-b.queue:
+			b.batch = append(b.batch, r)
+			continue
+		default:
+		}
+		break
+	}
+	if len(b.batch) >= b.cfg.MaxBatch || b.cfg.MaxLinger <= 0 {
+		return false
+	}
+	// Linger from batch formation (the first dequeue), so no request
+	// waits in the batcher more than ~MaxLinger before its launch
+	// starts.
+	timer.Reset(b.cfg.MaxLinger)
+	defer func() {
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+	}()
+	for len(b.batch) < b.cfg.MaxBatch {
+		select {
+		case r := <-b.queue:
+			b.batch = append(b.batch, r)
+		case <-timer.C:
+			return false
+		case <-b.stop:
+			return true
+		}
+	}
+	return false
+}
+
+// drainReject answers every request still queued after shutdown.
+func (b *Batcher) drainReject() {
+	for {
+		select {
+		case r := <-b.queue:
+			r.err = ErrClosed
+			b.finish(r)
+		default:
+			return
+		}
+	}
+}
+
+func (b *Batcher) finish(r *request) {
+	if !r.enq.IsZero() { // latency-sampled request
+		b.Latency.Observe(time.Since(r.enq))
+	}
+	b.completed.Add(1)
+	r.done <- struct{}{}
+}
+
+// clearScratch drops the batch-assembly scratch's pointers once a batch
+// completes, so the grow-only arrays don't pin finished requests (and
+// transitively their callers' row buffers) until the next batch of the
+// same size happens to overwrite the slots. Only the batcher's own
+// slices are touched — the request objects now belong to their waiters.
+func (b *Batcher) clearScratch() {
+	for i := range b.batch {
+		b.batch[i] = nil
+	}
+	for i := range b.dReqs {
+		b.dReqs[i], b.dDense[i] = nil, nil
+	}
+	for i := range b.sReqs {
+		b.sReqs[i], b.sIdx[i], b.sVal[i] = nil, nil, nil
+	}
+}
+
+// scoreBatch scores one coalesced batch: requests are partitioned into a
+// dense and a CSR sub-batch (each still one launch); if any request in a
+// sub-batch wants probabilities the whole sub-batch is scored through
+// ProbaInto (classes via argmax, same launch), otherwise PredictInto.
+func (b *Batcher) scoreBatch(batch []*request) {
+	if len(batch) == 0 {
+		return
+	}
+	b.batches.Add(1)
+	b.BatchSize.ObserveValue(int64(len(batch)))
+
+	scorer, release, err := b.source.Acquire()
+	if err != nil {
+		for _, r := range batch {
+			r.err = err
+			b.finish(r)
+		}
+		return
+	}
+	defer release()
+
+	// Partition into dense and sparse sub-batches.
+	b.dDense, b.dReqs = b.dDense[:0], b.dReqs[:0]
+	b.sIdx, b.sVal, b.sReqs = b.sIdx[:0], b.sVal[:0], b.sReqs[:0]
+	for _, r := range batch {
+		if r.dense != nil {
+			b.dDense = append(b.dDense, r.dense)
+			b.dReqs = append(b.dReqs, r)
+		} else {
+			b.sIdx = append(b.sIdx, r.idx)
+			b.sVal = append(b.sVal, r.val)
+			b.sReqs = append(b.sReqs, r)
+		}
+	}
+	b.scoreSub(scorer, false, b.dReqs)
+	b.scoreSub(scorer, true, b.sReqs)
+}
+
+// scoreSub scores one kind-homogeneous sub-batch (sparse selects the
+// CSR staging, otherwise the dense staging; both are one launch). The
+// kind flag instead of scorer-method closures keeps the steady-state
+// path allocation-free.
+func (b *Batcher) scoreSub(scorer Scorer, sparse bool, reqs []*request) {
+	n := len(reqs)
+	if n == 0 {
+		return
+	}
+	classes := scorer.Classes()
+	anyProba := false
+	for _, r := range reqs {
+		if r.probaOut != nil {
+			anyProba = true
+			break
+		}
+	}
+	var err error
+	if anyProba {
+		if cap(b.outProba) < n*classes {
+			b.outProba = make([]float64, n*classes)
+		}
+		probs := b.outProba[:n*classes]
+		if sparse {
+			err = scorer.ProbaCSR(b.sIdx, b.sVal, probs)
+		} else {
+			err = scorer.ProbaDense(b.dDense, probs)
+		}
+		if err == nil {
+			for i, r := range reqs {
+				deliverProba(r, probs[i*classes:(i+1)*classes], classes)
+			}
+		}
+	} else {
+		if cap(b.outInt) < n {
+			b.outInt = make([]int, n)
+		}
+		out := b.outInt[:n]
+		if sparse {
+			err = scorer.PredictCSR(b.sIdx, b.sVal, out)
+		} else {
+			err = scorer.PredictDense(b.dDense, out)
+		}
+		if err == nil {
+			for i, r := range reqs {
+				r.class = out[i]
+			}
+		}
+	}
+	b.finishSub(reqs, err)
+}
+
+// deliverProba hands one request its class and probability vector. A
+// hot swap may change the model's class count between admission (when
+// the caller sized probaOut) and scoring; that request fails with an
+// explicit error instead of a silently truncated or padded vector —
+// the retried request sees the new shape.
+func deliverProba(r *request, row []float64, classes int) {
+	if r.probaOut != nil && len(r.probaOut) != classes {
+		r.err = fmt.Errorf("%w (now %d classes, request expected %d)", ErrModelShapeChanged, classes, len(r.probaOut))
+		return
+	}
+	r.class = argmaxProba(row)
+	if r.probaOut != nil {
+		copy(r.probaOut, row)
+	}
+}
+
+// finishSub answers a sub-batch. A staging/validation error from the
+// scorer is fanned out to every request of the sub-batch after retrying
+// each row individually, so one malformed row cannot fail its batchmates
+// (the retry is off the steady-state path: it only runs on errors).
+func (b *Batcher) finishSub(reqs []*request, err error) {
+	if err == nil {
+		for _, r := range reqs {
+			b.finish(r)
+		}
+		return
+	}
+	if len(reqs) == 1 {
+		reqs[0].err = err
+		b.finish(reqs[0])
+		return
+	}
+	scorer, release, aerr := b.source.Acquire()
+	if aerr != nil {
+		for _, r := range reqs {
+			r.err = err
+			b.finish(r)
+		}
+		return
+	}
+	defer release()
+	classes := scorer.Classes()
+	var out [1]int
+	for _, r := range reqs {
+		var rerr error
+		if r.probaOut != nil && len(r.probaOut) != classes {
+			rerr = fmt.Errorf("%w (now %d classes, request expected %d)", ErrModelShapeChanged, classes, len(r.probaOut))
+		} else if r.dense != nil {
+			if r.probaOut != nil {
+				rerr = scorer.ProbaDense([][]float64{r.dense}, r.probaOut)
+				if rerr == nil {
+					r.class = argmaxProba(r.probaOut)
+				}
+			} else {
+				rerr = scorer.PredictDense([][]float64{r.dense}, out[:])
+				r.class = out[0]
+			}
+		} else {
+			if r.probaOut != nil {
+				rerr = scorer.ProbaCSR([][]int{r.idx}, [][]float64{r.val}, r.probaOut)
+				if rerr == nil {
+					r.class = argmaxProba(r.probaOut)
+				}
+			} else {
+				rerr = scorer.PredictCSR([][]int{r.idx}, [][]float64{r.val}, out[:])
+				r.class = out[0]
+			}
+		}
+		r.err = rerr
+		b.finish(r)
+	}
+}

@@ -1,0 +1,300 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"newtonadmm/internal/metrics"
+)
+
+// Target is what the load generator drives: the in-process Batcher
+// implements it directly, HTTPTarget drives a live server over the wire.
+type Target interface {
+	Predict(row []float64) (int, error)
+}
+
+// LoadConfig configures a load-generation run. The generator is
+// deterministic given the same rows, config, and target behavior: closed
+// loop walks the row set in a fixed per-worker stride, open loop fires
+// on a fixed schedule.
+type LoadConfig struct {
+	// Mode is "closed" (Concurrency workers in submit-wait loops; the
+	// classic throughput probe) or "open" (requests fired at Rate per
+	// second regardless of completions; the latency-under-load probe).
+	Mode string
+	// Concurrency is the closed-loop worker count and the open-loop
+	// outstanding-request cap; <= 0 selects 32.
+	Concurrency int
+	// Rate is the open-loop arrival rate in requests/second (required
+	// for open mode).
+	Rate float64
+	// Duration is the measured window; <= 0 selects 3s.
+	Duration time.Duration
+	// Warmup runs the same traffic before measurement starts (scratch
+	// buffers grow, batches form) without recording; <= 0 selects 10% of
+	// Duration.
+	Warmup time.Duration
+	// SampleEvery thins closed-loop latency recording to one request in
+	// SampleEvery per worker (<= 1 records every request). Throughput
+	// counts every request either way; at millions of requests per run
+	// the sampled quantiles are statistically indistinguishable while
+	// the measurement loop stays off the clock for the rest — the same
+	// discipline the batcher applies to its own /metricz histogram.
+	SampleEvery int
+}
+
+func (c LoadConfig) withDefaults() LoadConfig {
+	if c.Mode == "" {
+		c.Mode = "closed"
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 32
+	}
+	if c.Duration <= 0 {
+		c.Duration = 3 * time.Second
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = c.Duration / 10
+	}
+	if c.SampleEvery < 1 {
+		c.SampleEvery = 1
+	}
+	return c
+}
+
+// LoadResult is the report of one load-generation run.
+type LoadResult struct {
+	Mode        string
+	Concurrency int
+	Duration    time.Duration
+	Done        int64 // successful predictions in the measured window
+	Rejected    int64 // ErrQueueFull responses (backpressure)
+	Errors      int64 // other errors
+	Shed        int64 // open loop only: arrivals skipped at the outstanding cap
+	Throughput  float64
+	Latency     metrics.Snapshot
+}
+
+func (r LoadResult) String() string {
+	l := r.Latency
+	return fmt.Sprintf("%s c=%d: %.0f req/s (%d ok, %d rejected, %d errors, %d shed) latency p50=%v p95=%v p99=%v max=%v",
+		r.Mode, r.Concurrency, r.Throughput, r.Done, r.Rejected, r.Errors, r.Shed, l.P50, l.P95, l.P99, l.Max)
+}
+
+// RunLoad drives target with the given rows and returns the measured
+// throughput and latency distribution.
+func RunLoad(target Target, rows [][]float64, cfg LoadConfig) (LoadResult, error) {
+	cfg = cfg.withDefaults()
+	if len(rows) == 0 {
+		return LoadResult{}, errors.New("serve: load generator needs at least one row")
+	}
+	switch cfg.Mode {
+	case "closed":
+		return runClosedLoop(target, rows, cfg), nil
+	case "open":
+		if cfg.Rate <= 0 {
+			return LoadResult{}, errors.New("serve: open-loop mode needs Rate > 0")
+		}
+		return runOpenLoop(target, rows, cfg), nil
+	default:
+		return LoadResult{}, fmt.Errorf("serve: unknown load mode %q (want closed or open)", cfg.Mode)
+	}
+}
+
+type loadCounters struct {
+	done, rejected, errs atomic.Int64
+	hist                 *metrics.Histogram
+}
+
+func (c *loadCounters) record(start time.Time, err error, measuring bool) {
+	if !measuring {
+		return
+	}
+	switch {
+	case err == nil:
+		c.done.Add(1)
+		c.hist.Observe(time.Since(start))
+	case errors.Is(err, ErrQueueFull):
+		c.rejected.Add(1)
+	default:
+		c.errs.Add(1)
+	}
+}
+
+// recordFast counts an unsampled request (no clock, no histogram).
+func (c *loadCounters) recordFast(err error, measuring bool) {
+	if !measuring {
+		return
+	}
+	switch {
+	case err == nil:
+		c.done.Add(1)
+	case errors.Is(err, ErrQueueFull):
+		c.rejected.Add(1)
+	default:
+		c.errs.Add(1)
+	}
+}
+
+func runClosedLoop(target Target, rows [][]float64, cfg LoadConfig) LoadResult {
+	ctr := &loadCounters{hist: metrics.NewHistogram()}
+	warmupEnd := time.Now().Add(cfg.Warmup)
+	var measureStart, measureEnd time.Time
+	deadline := warmupEnd.Add(cfg.Duration)
+
+	var startOnce sync.Once
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			i := worker // fixed stride walk: deterministic row sequence per worker
+			for {
+				// Block head: the one fully timed request. Its clock read
+				// doubles as the deadline and warmup-phase check for the
+				// whole block (overshoot is bounded by SampleEvery-1).
+				t0 := time.Now()
+				if t0.After(deadline) {
+					return
+				}
+				measuring := t0.After(warmupEnd)
+				if measuring {
+					startOnce.Do(func() { measureStart = t0 })
+				}
+				row := rows[i%len(rows)]
+				i += cfg.Concurrency
+				_, err := target.Predict(row)
+				ctr.record(t0, err, measuring)
+				// Block tail: counted but not clocked.
+				for j := 1; j < cfg.SampleEvery; j++ {
+					row = rows[i%len(rows)]
+					i += cfg.Concurrency
+					_, err = target.Predict(row)
+					ctr.recordFast(err, measuring)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	measureEnd = time.Now()
+
+	res := LoadResult{
+		Mode: "closed", Concurrency: cfg.Concurrency,
+		Done: ctr.done.Load(), Rejected: ctr.rejected.Load(), Errors: ctr.errs.Load(),
+		Latency: ctr.hist.Snapshot(),
+	}
+	if measureStart.IsZero() {
+		measureStart = warmupEnd
+	}
+	res.Duration = measureEnd.Sub(measureStart)
+	if res.Duration > 0 {
+		res.Throughput = float64(res.Done) / res.Duration.Seconds()
+	}
+	return res
+}
+
+func runOpenLoop(target Target, rows [][]float64, cfg LoadConfig) LoadResult {
+	ctr := &loadCounters{hist: metrics.NewHistogram()}
+	var shed atomic.Int64
+	interval := time.Duration(float64(time.Second) / cfg.Rate)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	warmupEnd := time.Now().Add(cfg.Warmup)
+	deadline := warmupEnd.Add(cfg.Duration)
+
+	// Outstanding-request cap: an overloaded target sheds arrivals here
+	// instead of accumulating unbounded goroutines (counted, not hidden).
+	sem := make(chan struct{}, cfg.Concurrency)
+	var wg sync.WaitGroup
+	next := time.Now()
+	i := 0
+	for {
+		now := time.Now()
+		if now.After(deadline) {
+			break
+		}
+		if wait := next.Sub(now); wait > 0 {
+			time.Sleep(wait)
+		}
+		measuring := time.Now().After(warmupEnd)
+		row := rows[i%len(rows)]
+		i++
+		next = next.Add(interval)
+		select {
+		case sem <- struct{}{}:
+			wg.Add(1)
+			go func(row []float64) {
+				defer wg.Done()
+				t0 := time.Now()
+				_, err := target.Predict(row)
+				ctr.record(t0, err, measuring)
+				<-sem
+			}(row)
+		default:
+			if measuring {
+				shed.Add(1)
+			}
+		}
+	}
+	wg.Wait()
+
+	res := LoadResult{
+		Mode: "open", Concurrency: cfg.Concurrency,
+		Done: ctr.done.Load(), Rejected: ctr.rejected.Load(), Errors: ctr.errs.Load(),
+		Shed:     shed.Load(),
+		Latency:  ctr.hist.Snapshot(),
+		Duration: cfg.Duration,
+	}
+	if res.Duration > 0 {
+		res.Throughput = float64(res.Done) / res.Duration.Seconds()
+	}
+	return res
+}
+
+// HTTPTarget drives a live nadmm-serve endpoint: each Predict posts one
+// dense instance to <base>/v1/predict.
+type HTTPTarget struct {
+	Base   string // e.g. "http://127.0.0.1:8080"
+	Client *http.Client
+}
+
+// Predict posts the row and returns the predicted class.
+func (t *HTTPTarget) Predict(row []float64) (int, error) {
+	body, err := json.Marshal(map[string]any{"instances": []any{row}})
+	if err != nil {
+		return 0, err
+	}
+	client := t.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Post(t.Base+"/v1/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		io.Copy(io.Discard, resp.Body)
+		return 0, ErrQueueFull
+	}
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return 0, fmt.Errorf("serve: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(b))
+	}
+	var pr predictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		return 0, err
+	}
+	if len(pr.Predictions) != 1 {
+		return 0, fmt.Errorf("serve: got %d predictions for 1 instance", len(pr.Predictions))
+	}
+	return pr.Predictions[0], nil
+}

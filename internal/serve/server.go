@@ -1,0 +1,256 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"time"
+)
+
+// Server is the kserve-style HTTP surface over the batcher and registry:
+//
+//	POST /v1/predict  {"instances":[[...], {"indices":[...],"values":[...]}, ...]}
+//	POST /v1/proba    same body, returns class probabilities as well
+//	GET  /healthz     serving readiness + current model metadata
+//	GET  /metricz     flat text metrics (latency quantiles, counters)
+//	POST /v1/reload   hot-swap the model via the configured reloader
+//
+// Dense instances are JSON arrays of Features numbers; sparse instances
+// are {"indices":[...],"values":[...]} objects with strictly increasing
+// zero-based indices. The two kinds may be mixed in one request.
+type Server struct {
+	reg    *Registry
+	bat    *Batcher
+	reload func() (int64, error) // optional hot-reload hook
+	mux    *http.ServeMux
+	start  time.Time
+}
+
+// NewServer wires the HTTP surface. reload may be nil, which disables
+// /v1/reload.
+func NewServer(reg *Registry, bat *Batcher, reload func() (int64, error)) *Server {
+	s := &Server{reg: reg, bat: bat, reload: reload, mux: http.NewServeMux(), start: time.Now()}
+	s.mux.HandleFunc("/v1/predict", func(w http.ResponseWriter, r *http.Request) { s.handlePredict(w, r, false) })
+	s.mux.HandleFunc("/v1/proba", func(w http.ResponseWriter, r *http.Request) { s.handlePredict(w, r, true) })
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metricz", s.handleMetricz)
+	s.mux.HandleFunc("/v1/reload", s.handleReload)
+	return s
+}
+
+// Handler returns the root http.Handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Batcher returns the server's batcher (for stats and tests).
+func (s *Server) Batcher() *Batcher { return s.bat }
+
+type sparseInstance struct {
+	Indices []int     `json:"indices"`
+	Values  []float64 `json:"values"`
+}
+
+type predictRequest struct {
+	Instances []json.RawMessage `json:"instances"`
+}
+
+type predictResponse struct {
+	Predictions   []int       `json:"predictions"`
+	Probabilities [][]float64 `json:"probabilities,omitempty"`
+	ModelVersion  int64       `json:"model_version"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// statusFor maps serving errors to HTTP statuses: backpressure is 429;
+// missing model, shutdown, and mid-request hot-swap shape changes are
+// 503 (transient — the request was valid when sent, retry succeeds);
+// everything else is a 400-class request problem (bad shapes, bad
+// indices).
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrNoModel), errors.Is(err, ErrClosed), errors.Is(err, ErrModelShapeChanged):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request, proba bool) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req predictRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Instances) == 0 {
+		writeError(w, http.StatusBadRequest, "no instances")
+		return
+	}
+	meta, ok := s.reg.Meta()
+	if !ok {
+		writeError(w, http.StatusServiceUnavailable, "no model loaded")
+		return
+	}
+
+	resp := predictResponse{
+		Predictions:  make([]int, len(req.Instances)),
+		ModelVersion: meta.Version,
+	}
+	if proba {
+		resp.Probabilities = make([][]float64, len(req.Instances))
+		for i := range resp.Probabilities {
+			resp.Probabilities[i] = make([]float64, meta.Classes)
+		}
+	}
+
+	// Submit every instance before waiting on any, so the instances of
+	// one HTTP request coalesce into the same micro-batches.
+	tickets := make([]Ticket, 0, len(req.Instances))
+	submitErr := error(nil)
+	for i, raw := range req.Instances {
+		var probaOut []float64
+		if proba {
+			probaOut = resp.Probabilities[i]
+		}
+		t, err := s.submitInstance(raw, probaOut)
+		if err != nil {
+			submitErr = fmt.Errorf("instance %d: %w", i, err)
+			break
+		}
+		tickets = append(tickets, t)
+	}
+	var waitErr error
+	for i, t := range tickets {
+		class, err := t.Wait()
+		if err != nil && waitErr == nil {
+			waitErr = fmt.Errorf("instance %d: %w", i, err)
+		}
+		resp.Predictions[i] = class
+	}
+	if submitErr != nil {
+		writeError(w, statusFor(submitErr), "%v", submitErr)
+		return
+	}
+	if waitErr != nil {
+		writeError(w, statusFor(waitErr), "%v", waitErr)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// submitInstance parses one instance (dense JSON array or sparse
+// indices/values object) and enqueues it.
+func (s *Server) submitInstance(raw json.RawMessage, probaOut []float64) (Ticket, error) {
+	trimmed := firstByte(raw)
+	switch trimmed {
+	case '[':
+		var row []float64
+		if err := json.Unmarshal(raw, &row); err != nil {
+			return Ticket{}, fmt.Errorf("bad dense instance: %w", err)
+		}
+		return s.bat.SubmitDense(row, probaOut)
+	case '{':
+		// Strict decoding: a typo'd key must be a 400, not a silently
+		// all-zero row scored as the reference class.
+		var sp sparseInstance
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&sp); err != nil {
+			return Ticket{}, fmt.Errorf("bad sparse instance: %w", err)
+		}
+		if sp.Indices == nil || sp.Values == nil {
+			return Ticket{}, fmt.Errorf("sparse instance needs both \"indices\" and \"values\"")
+		}
+		return s.bat.SubmitCSR(sp.Indices, sp.Values, probaOut)
+	default:
+		return Ticket{}, fmt.Errorf("instance must be an array or an {indices, values} object")
+	}
+}
+
+func firstByte(raw json.RawMessage) byte {
+	for _, c := range raw {
+		switch c {
+		case ' ', '\t', '\n', '\r':
+			continue
+		}
+		return c
+	}
+	return 0
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	meta, ok := s.reg.Meta()
+	if !ok {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "no model"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"model":          meta,
+		"uptime_seconds": time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	st := s.bat.Stats()
+	fmt.Fprintf(w, "serve_requests_submitted %d\n", st.Submitted)
+	fmt.Fprintf(w, "serve_requests_rejected %d\n", st.Rejected)
+	fmt.Fprintf(w, "serve_requests_completed %d\n", st.Completed)
+	fmt.Fprintf(w, "serve_batches %d\n", st.Batches)
+	if st.Batches > 0 {
+		fmt.Fprintf(w, "serve_batch_rows_mean %.2f\n", float64(st.Completed)/float64(st.Batches))
+	}
+	s.bat.Latency.WriteMetrics(w, "serve_request_latency")
+	fmt.Fprintf(w, "serve_batch_size_p50 %d\n", int64(s.bat.BatchSize.Quantile(0.5)))
+	fmt.Fprintf(w, "serve_batch_size_max %d\n", int64(s.bat.BatchSize.Max()))
+	if meta, ok := s.reg.Meta(); ok {
+		fmt.Fprintf(w, "serve_model_version %d\n", meta.Version)
+		if p, rel, err := s.reg.AcquirePredictor(); err == nil {
+			ds := p.Device().Stats()
+			rel()
+			fmt.Fprintf(w, "serve_device_launches %d\n", ds.Launches)
+			fmt.Fprintf(w, "serve_device_flops %d\n", ds.FLOPs)
+			fmt.Fprintf(w, "serve_device_bytes %d\n", ds.Bytes)
+		}
+	}
+	fmt.Fprintf(w, "serve_uptime_seconds %.3f\n", time.Since(s.start).Seconds())
+	fmt.Fprintf(w, "serve_goroutines %d\n", runtime.NumGoroutine())
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	if s.reload == nil {
+		writeError(w, http.StatusNotImplemented, "no reloader configured (start the server with a model path)")
+		return
+	}
+	version, err := s.reload()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "reload failed: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "reloaded", "model_version": version})
+}

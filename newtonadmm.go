@@ -9,8 +9,11 @@
 //
 // The package also ships the paper's baselines (GIANT, InexactDANE, AIDE,
 // synchronous SGD) behind the same Train call, synthetic analogues of the
-// paper's datasets, and an experiment harness that regenerates every table
-// and figure of the evaluation (see DESIGN.md and EXPERIMENTS.md).
+// paper's datasets, an experiment harness that regenerates every table
+// and figure of the evaluation, and an online inference subsystem —
+// Predictor for in-process scoring and Serve for a micro-batching HTTP
+// model server (see DESIGN.md for the architecture and PERF.md for
+// measured numbers).
 //
 // Quickstart:
 //
@@ -32,7 +35,6 @@ import (
 	"newtonadmm/internal/core"
 	"newtonadmm/internal/datasets"
 	"newtonadmm/internal/device"
-	"newtonadmm/internal/linalg"
 	"newtonadmm/internal/linesearch"
 	"newtonadmm/internal/loss"
 	"newtonadmm/internal/metrics"
@@ -407,25 +409,22 @@ func trainSingleNodeNewton(ds *datasets.Dataset, opts Options, cgOpts cg.Options
 	return w, tr, acc, nil
 }
 
-// Predict classifies dense feature rows.
+// Predict classifies dense feature rows (one-shot; for repeated calls
+// build a Predictor, and see Serve for the batching HTTP server).
 func (m *Model) Predict(rows [][]float64) ([]int, error) {
 	if len(rows) == 0 {
 		return nil, nil
 	}
-	x := linalg.NewMatrix(len(rows), m.Features)
-	for i, r := range rows {
-		if len(r) != m.Features {
-			return nil, fmt.Errorf("newtonadmm: row %d has %d features, model expects %d", i, len(r), m.Features)
-		}
-		copy(x.Row(i), r)
-	}
-	dev := device.New("predict", 0)
-	defer dev.Close()
-	prob, err := loss.NewSoftmax(dev, loss.Dense{M: x}, make([]int, len(rows)), m.Classes, 0)
+	p, err := m.NewPredictor(0)
 	if err != nil {
 		return nil, err
 	}
-	return prob.Predict(loss.Dense{M: x}, m.Weights), nil
+	defer p.Close()
+	out := make([]int, len(rows))
+	if err := p.Predict(rows, out); err != nil {
+		return nil, fmt.Errorf("newtonadmm: %w", err)
+	}
+	return out, nil
 }
 
 // Evaluate returns train and test accuracy on ds (test is NaN without a

@@ -1,0 +1,323 @@
+package newtonadmm
+
+// Online inference: the public surface of internal/serve. A trained (or
+// loaded) Model can score sparse rows and class probabilities directly,
+// be wrapped in a reusable zero-allocation Predictor, or be served over
+// HTTP with dynamic micro-batching, backpressure, and hot checkpoint
+// reload — see DESIGN.md for the architecture and PERF.md for measured
+// throughput/latency.
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"newtonadmm/internal/serve"
+)
+
+// SparseRow is one sparse feature row: Values[i] at column Indices[i],
+// indices strictly increasing and zero-based.
+type SparseRow struct {
+	Indices []int
+	Values  []float64
+}
+
+// Predictor is a persistent, thread-safe scorer over one model snapshot.
+// Unlike the one-shot Model.Predict helpers it keeps its device, scratch
+// buffers, and staging areas alive between calls, so steady-state
+// batches perform zero heap allocations. Close releases the device.
+type Predictor struct {
+	p *serve.Predictor
+}
+
+// NewPredictor builds a reusable predictor from the model. workers <= 0
+// selects NumCPU device workers.
+func (m *Model) NewPredictor(workers int) (*Predictor, error) {
+	p, err := serve.NewPredictor(m.Weights, m.Classes, m.Features, workers)
+	if err != nil {
+		return nil, fmt.Errorf("newtonadmm: %w", err)
+	}
+	return &Predictor{p: p}, nil
+}
+
+// Predict writes the predicted class of each dense row into
+// out[:len(rows)].
+func (p *Predictor) Predict(rows [][]float64, out []int) error {
+	return p.p.PredictDense(rows, out)
+}
+
+// PredictSparse writes the predicted class of each sparse row into
+// out[:len(idx)]; idx and val run parallel (see SparseRow for the row
+// convention — this indices/values form is the zero-allocation path).
+func (p *Predictor) PredictSparse(idx [][]int, val [][]float64, out []int) error {
+	return p.p.PredictCSR(idx, val, out)
+}
+
+// Proba writes each row's class-probability vector into out, row-major
+// len(rows) x Classes with the reference class last.
+func (p *Predictor) Proba(rows [][]float64, out []float64) error {
+	return p.p.ProbaDense(rows, out)
+}
+
+// ProbaSparse is Proba for sparse rows.
+func (p *Predictor) ProbaSparse(idx [][]int, val [][]float64, out []float64) error {
+	return p.p.ProbaCSR(idx, val, out)
+}
+
+// Classes returns the model's class count.
+func (p *Predictor) Classes() int { return p.p.Classes() }
+
+// Features returns the model's feature dimension.
+func (p *Predictor) Features() int { return p.p.Features() }
+
+// Close releases the predictor's device. The predictor must not be used
+// afterwards.
+func (p *Predictor) Close() { p.p.Close() }
+
+// splitSparse converts []SparseRow to the parallel-slices form.
+func splitSparse(rows []SparseRow) ([][]int, [][]float64) {
+	idx := make([][]int, len(rows))
+	val := make([][]float64, len(rows))
+	for i, r := range rows {
+		idx[i], val[i] = r.Indices, r.Values
+	}
+	return idx, val
+}
+
+// PredictSparse classifies sparse feature rows (one-shot; for repeated
+// calls build a Predictor).
+func (m *Model) PredictSparse(rows []SparseRow) ([]int, error) {
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	p, err := m.NewPredictor(0)
+	if err != nil {
+		return nil, err
+	}
+	defer p.Close()
+	idx, val := splitSparse(rows)
+	out := make([]int, len(rows))
+	if err := p.PredictSparse(idx, val, out); err != nil {
+		return nil, fmt.Errorf("newtonadmm: %w", err)
+	}
+	return out, nil
+}
+
+// PredictProba returns the softmax class probabilities of dense rows,
+// one []float64 of length Classes per row (reference class last).
+func (m *Model) PredictProba(rows [][]float64) ([][]float64, error) {
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	p, err := m.NewPredictor(0)
+	if err != nil {
+		return nil, err
+	}
+	defer p.Close()
+	flat := make([]float64, len(rows)*m.Classes)
+	if err := p.Proba(rows, flat); err != nil {
+		return nil, fmt.Errorf("newtonadmm: %w", err)
+	}
+	return unflattenProba(flat, len(rows), m.Classes), nil
+}
+
+// PredictProbaSparse is PredictProba for sparse rows.
+func (m *Model) PredictProbaSparse(rows []SparseRow) ([][]float64, error) {
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	p, err := m.NewPredictor(0)
+	if err != nil {
+		return nil, err
+	}
+	defer p.Close()
+	idx, val := splitSparse(rows)
+	flat := make([]float64, len(rows)*m.Classes)
+	if err := p.ProbaSparse(idx, val, flat); err != nil {
+		return nil, fmt.Errorf("newtonadmm: %w", err)
+	}
+	return unflattenProba(flat, len(rows), m.Classes), nil
+}
+
+func unflattenProba(flat []float64, rows, classes int) [][]float64 {
+	out := make([][]float64, rows)
+	for i := range out {
+		out[i] = flat[i*classes : (i+1)*classes]
+	}
+	return out
+}
+
+// ServeOptions configures an HTTP model server.
+type ServeOptions struct {
+	// Addr is the listen address (e.g. ":8080"); empty serves no
+	// listener — use Handler with your own server.
+	Addr string
+	// MaxBatch is the micro-batcher's launch size cap; <= 0 selects 64.
+	MaxBatch int
+	// Linger is the micro-batcher's flush window; 0 selects 200µs,
+	// negative disables lingering.
+	Linger time.Duration
+	// QueueDepth bounds the admission queue; <= 0 selects 4*MaxBatch.
+	QueueDepth int
+	// Workers is the predictor's device worker count; <= 0 selects
+	// NumCPU.
+	Workers int
+	// ModelPath, when set, enables POST /v1/reload (and Watch) to
+	// hot-swap the checkpoint at that path into the running server.
+	ModelPath string
+	// Watch > 0 polls ModelPath at that interval and hot-swaps when the
+	// file changes (mtime/size), so `nadmm-train -save` into the same
+	// path deploys with zero downtime.
+	Watch time.Duration
+}
+
+// ModelServer is a running (or embeddable) inference server.
+type ModelServer struct {
+	reg  *serve.Registry
+	bat  *serve.Batcher
+	srv  *serve.Server
+	opts ServeOptions
+
+	ln    net.Listener
+	hsrv  *http.Server
+	stopW chan struct{}
+}
+
+// Serve builds the full serving stack for m — predictor, hot-swap
+// registry, micro-batcher, HTTP surface — and, when opts.Addr is set,
+// starts listening. The returned server's Swap method (and the
+// /v1/reload endpoint when ModelPath is set) replaces the model with
+// zero downtime.
+func Serve(m *Model, opts ServeOptions) (*ModelServer, error) {
+	ms := &ModelServer{
+		reg:  serve.NewRegistry(),
+		opts: opts,
+	}
+	if m != nil {
+		if _, err := ms.swapModel(m, opts.ModelPath); err != nil {
+			return nil, err
+		}
+	}
+	ms.bat = serve.NewBatcher(ms.reg, serve.BatcherConfig{
+		MaxBatch: opts.MaxBatch, MaxLinger: opts.Linger, QueueDepth: opts.QueueDepth,
+	})
+	var reload func() (int64, error)
+	if opts.ModelPath != "" {
+		reload = func() (int64, error) { return ms.reloadFromPath() }
+	}
+	ms.srv = serve.NewServer(ms.reg, ms.bat, reload)
+
+	if opts.Addr != "" {
+		ln, err := net.Listen("tcp", opts.Addr)
+		if err != nil {
+			ms.shutdown()
+			return nil, fmt.Errorf("newtonadmm: %w", err)
+		}
+		ms.ln = ln
+		ms.hsrv = &http.Server{Handler: ms.srv.Handler()}
+		go ms.hsrv.Serve(ln)
+	}
+	if opts.Watch > 0 && opts.ModelPath != "" {
+		ms.stopW = make(chan struct{})
+		go ms.watch()
+	}
+	return ms, nil
+}
+
+func (ms *ModelServer) swapModel(m *Model, path string) (int64, error) {
+	p, err := serve.NewPredictor(m.Weights, m.Classes, m.Features, ms.opts.Workers)
+	if err != nil {
+		return 0, fmt.Errorf("newtonadmm: %w", err)
+	}
+	return ms.reg.Swap(p, serve.ModelMeta{Path: path, Solver: m.Solver}), nil
+}
+
+func (ms *ModelServer) reloadFromPath() (int64, error) {
+	m, err := LoadModel(ms.opts.ModelPath)
+	if err != nil {
+		return 0, err
+	}
+	return ms.swapModel(m, ms.opts.ModelPath)
+}
+
+// watch polls ModelPath and hot-swaps when the checkpoint changes.
+func (ms *ModelServer) watch() {
+	var lastMod time.Time
+	var lastSize int64
+	if st, err := os.Stat(ms.opts.ModelPath); err == nil {
+		lastMod, lastSize = st.ModTime(), st.Size()
+	}
+	tick := time.NewTicker(ms.opts.Watch)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ms.stopW:
+			return
+		case <-tick.C:
+			st, err := os.Stat(ms.opts.ModelPath)
+			if err != nil {
+				continue
+			}
+			if st.ModTime().Equal(lastMod) && st.Size() == lastSize {
+				continue
+			}
+			if v, err := ms.reloadFromPath(); err != nil {
+				// Keep retrying (a half-written checkpoint heals on the
+				// next tick), but tell the operator — a corrupt file
+				// would otherwise fail silently forever while healthz
+				// keeps reporting the old version.
+				log.Printf("newtonadmm: hot-swap watch: reloading %s failed: %v", ms.opts.ModelPath, err)
+			} else {
+				lastMod, lastSize = st.ModTime(), st.Size()
+				log.Printf("newtonadmm: hot-swap watch: %s deployed as model version %d", ms.opts.ModelPath, v)
+			}
+		}
+	}
+}
+
+// Swap hot-swaps a new model into the running server with zero downtime
+// and returns the new model version.
+func (ms *ModelServer) Swap(m *Model) (int64, error) {
+	if m == nil {
+		return 0, fmt.Errorf("newtonadmm: nil model")
+	}
+	return ms.swapModel(m, "")
+}
+
+// Handler returns the HTTP surface (/v1/predict, /v1/proba, /healthz,
+// /metricz, /v1/reload) for embedding in an existing server.
+func (ms *ModelServer) Handler() http.Handler { return ms.srv.Handler() }
+
+// Addr returns the bound listen address ("" when not listening) — handy
+// with ":0".
+func (ms *ModelServer) Addr() string {
+	if ms.ln == nil {
+		return ""
+	}
+	return ms.ln.Addr().String()
+}
+
+// Batcher exposes the micro-batcher, the in-process load-test target.
+func (ms *ModelServer) Batcher() *serve.Batcher { return ms.bat }
+
+func (ms *ModelServer) shutdown() {
+	if ms.stopW != nil {
+		close(ms.stopW)
+		ms.stopW = nil
+	}
+	if ms.hsrv != nil {
+		ms.hsrv.Close()
+		ms.hsrv = nil
+	}
+	if ms.bat != nil {
+		ms.bat.Close()
+	}
+	ms.reg.Close()
+}
+
+// Close stops the listener (if any), drains the batcher, and releases
+// the model's device.
+func (ms *ModelServer) Close() { ms.shutdown() }
