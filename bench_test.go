@@ -286,6 +286,46 @@ func BenchmarkServeOneShotPredict(b *testing.B) {
 	}
 }
 
+// BenchmarkRouterClassScatter measures one class-sharded scatter-gather
+// round trip: scatter to 2 shard replicas, partial-logit scoring, merge.
+func BenchmarkRouterClassScatter(b *testing.B) {
+	m, rows := benchServeModel(b)
+	rs, err := ServeSharded(m, RouterOptions{
+		Replicas: 2, Mode: "class", Workers: 1, MaxBatch: 64, Linger: -1, HealthEvery: -1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rs.Close()
+	target := rs.Target()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := target.Predict(rows[i%len(rows)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRouterReplicaRoundTrip measures one request through the
+// replica-balanced router (pick, replica batcher, reply).
+func BenchmarkRouterReplicaRoundTrip(b *testing.B) {
+	m, rows := benchServeModel(b)
+	rs, err := ServeSharded(m, RouterOptions{
+		Replicas: 2, Mode: "replica", Workers: 1, MaxBatch: 64, Linger: -1, HealthEvery: -1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rs.Close()
+	target := rs.Target()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := target.Predict(rows[i%len(rows)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkAllReduce measures the collective the first-order baseline
 // performs every mini-batch (in-process transport, 8 ranks).
 func BenchmarkAllReduce(b *testing.B) {

@@ -7,9 +7,12 @@ package main
 // used for the numbers in PERF.md) or drives a live nadmm-serve endpoint
 // over HTTP with -addr.
 //
-// -compare runs the same load twice — once with batching disabled
-// (max-batch 1) and once with the configured batch — and reports the
-// micro-batching speedup.
+// -compare runs the same load across the serving configurations — the
+// pre-subsystem one-shot path, the zero-alloc batch-1 pipeline, the
+// batched server, and the scatter-gather router in both placement modes
+// (replica-balanced and class-sharded) — and reports every row plus the
+// router's per-replica breakdown from a single run. -proba switches all
+// rows to the probability path.
 
 import (
 	"encoding/json"
@@ -22,35 +25,39 @@ import (
 	"time"
 
 	"newtonadmm"
+	"newtonadmm/internal/router"
 	"newtonadmm/internal/serve"
 )
 
 func runServeBench(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	var (
-		model   = fs.String("model", "", "serve this checkpoint (gob); overrides -preset")
-		preset  = fs.String("preset", "mnist", "train a fresh model on this preset: higgs, mnist, cifar, e18")
-		scale   = fs.Float64("scale", 0.25, "preset size multiplier for the training run")
-		epochs  = fs.Int("epochs", 5, "training epochs for the fresh model")
-		addr    = fs.String("addr", "", "drive a live server at this base URL (e.g. http://localhost:8080) instead of in-process")
-		mode    = fs.String("mode", "closed", "load mode: closed (fixed concurrency) or open (fixed arrival rate)")
-		conc    = fs.Int("concurrency", 64, "closed-loop workers / open-loop outstanding cap")
-		rate    = fs.Float64("rate", 0, "open-loop arrival rate, requests/second")
-		dur     = fs.Duration("duration", 5*time.Second, "measured window")
-		warmup  = fs.Duration("warmup", 0, "warmup before measuring (0 = duration/10)")
-		maxB    = fs.Int("max-batch", 64, "micro-batch size cap (in-process)")
-		linger  = fs.Duration("linger", 200*time.Microsecond, "micro-batch flush window (in-process)")
-		queue   = fs.Int("queue", 1024, "admission queue depth (in-process)")
-		nRows   = fs.Int("rows", 256, "distinct request rows generated from the model shape")
-		seed    = fs.Int64("seed", 1, "request-row generator seed")
-		sample  = fs.Int("sample", 1, "record latency for 1 in N requests (closed loop; all requests still count)")
-		compare = fs.Bool("compare", false, "also run one-shot and batch-1 baselines and report the speedup")
+		model    = fs.String("model", "", "serve this checkpoint (gob); overrides -preset")
+		preset   = fs.String("preset", "mnist", "train a fresh model on this preset: higgs, mnist, cifar, e18")
+		scale    = fs.Float64("scale", 0.25, "preset size multiplier for the training run")
+		epochs   = fs.Int("epochs", 5, "training epochs for the fresh model")
+		addr     = fs.String("addr", "", "drive a live server at this base URL (e.g. http://localhost:8080) instead of in-process")
+		mode     = fs.String("mode", "closed", "load mode: closed (fixed concurrency) or open (fixed arrival rate)")
+		conc     = fs.Int("concurrency", 64, "closed-loop workers / open-loop outstanding cap")
+		rate     = fs.Float64("rate", 0, "open-loop arrival rate, requests/second")
+		dur      = fs.Duration("duration", 5*time.Second, "measured window")
+		warmup   = fs.Duration("warmup", 0, "warmup before measuring (0 = duration/10)")
+		maxB     = fs.Int("max-batch", 64, "micro-batch size cap (in-process)")
+		linger   = fs.Duration("linger", 200*time.Microsecond, "micro-batch flush window (in-process)")
+		queue    = fs.Int("queue", 1024, "admission queue depth (in-process)")
+		nRows    = fs.Int("rows", 256, "distinct request rows generated from the model shape")
+		seed     = fs.Int64("seed", 1, "request-row generator seed")
+		sample   = fs.Int("sample", 1, "record latency for 1 in N requests (closed loop; all requests still count)")
+		proba    = fs.Bool("proba", false, "drive the probability path (/v1/proba semantics) instead of plain prediction")
+		replicas = fs.Int("replicas", 2, "router replica count for the -compare router rows")
+		compare  = fs.Bool("compare", false, "also run one-shot, batch-1, and router (both modes) and report every row")
 	)
 	fs.Parse(args)
 
 	cfg := serve.LoadConfig{
 		Mode: *mode, Concurrency: *conc, Rate: *rate,
 		Duration: *dur, Warmup: *warmup, SampleEvery: *sample,
+		Proba: *proba,
 	}
 
 	if *addr != "" {
@@ -63,6 +70,7 @@ func runServeBench(args []string) {
 		}
 		fmt.Printf("### serve bench — remote %s: model v%d (%d classes, %d features)\n",
 			*addr, m.Version, m.Classes, m.Features)
+		cfg.Classes = m.Classes
 		rows := benchRows(*nRows, m.Features, *seed)
 		res, err := serve.RunLoad(target, rows, cfg)
 		if err != nil {
@@ -73,10 +81,11 @@ func runServeBench(args []string) {
 	}
 
 	m := benchModel(*model, *preset, *scale, *epochs)
+	cfg.Classes = m.Classes
 	fmt.Printf("### serve bench — model: %d classes, %d features (solver %s)\n",
 		m.Classes, m.Features, m.Solver)
-	fmt.Printf("### mode=%s concurrency=%d duration=%v max-batch=%d linger=%v queue=%d\n\n",
-		*mode, *conc, *dur, *maxB, *linger, *queue)
+	fmt.Printf("### mode=%s concurrency=%d duration=%v max-batch=%d linger=%v queue=%d proba=%v\n\n",
+		*mode, *conc, *dur, *maxB, *linger, *queue, *proba)
 	rows := benchRows(*nRows, m.Features, *seed)
 
 	run := func(maxBatch int, linger time.Duration) serve.LoadResult {
@@ -94,6 +103,24 @@ func runServeBench(args []string) {
 		return res
 	}
 
+	// runRouter drives the scatter-gather tier in the given placement
+	// mode and returns the per-replica breakdown with the result.
+	runRouter := func(placement string) (serve.LoadResult, router.Stats) {
+		rs, err := newtonadmm.ServeSharded(m, newtonadmm.RouterOptions{
+			Replicas: *replicas, Mode: placement,
+			MaxBatch: *maxB, Linger: *linger, QueueDepth: *queue,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer rs.Close()
+		res, err := serve.RunLoad(rs.Target(), rows, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res, rs.Router().Stats()
+	}
+
 	if *compare {
 		// The batched run goes first: the one-shot baseline allocates
 		// per request and leaves the process with a bloated heap and GC
@@ -105,16 +132,43 @@ func runServeBench(args []string) {
 		// batch-size 1 (no coalescing, no linger).
 		base := run(1, -1)
 		runtime.GC()
+		// The serving fleet: replica-balanced routing over N full
+		// replicas, then class-sharded partial-logit scatter-gather
+		// (skipped when the model has fewer explicit classes than
+		// replicas).
+		routed, routedStats := runRouter("replica")
+		runtime.GC()
+		var sharded serve.LoadResult
+		var shardedStats router.Stats
+		haveSharded := m.Classes-1 >= *replicas
+		if haveSharded {
+			sharded, shardedStats = runRouter("class")
+			runtime.GC()
+		}
 		// Baseline 2: batch-size-1 serving as it existed before the
 		// batching subsystem — a one-shot Model.Predict per request
 		// (fresh device, scorer, and staging every call).
-		oneShot, err := serve.RunLoad(oneShotTarget{m: m}, rows, cfg)
+		var oneShot serve.LoadResult
+		var err error
+		if *proba {
+			oneShot, err = serve.RunLoad(oneShotProbaTarget{m: m}, rows, cfg)
+		} else {
+			oneShot, err = serve.RunLoad(oneShotTarget{m: m}, rows, cfg)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
-		printLoadResult("one-shot", oneShot)
-		printLoadResult("batch-1 ", base)
-		printLoadResult(fmt.Sprintf("batch-%-2d", *maxB), batched)
+		printLoadResult("one-shot        ", oneShot)
+		printLoadResult("batch-1         ", base)
+		printLoadResult(fmt.Sprintf("batch-%-10d", *maxB), batched)
+		printLoadResult(fmt.Sprintf("router-replica%-2d", *replicas), routed)
+		printReplicaBreakdown(routedStats)
+		if haveSharded {
+			printLoadResult(fmt.Sprintf("router-class%-4d", *replicas), sharded)
+			printReplicaBreakdown(shardedStats)
+		} else {
+			fmt.Printf("router-class     skipped: %d explicit classes < %d replicas\n", m.Classes-1, *replicas)
+		}
 		if oneShot.Throughput > 0 {
 			fmt.Printf("\nbatched vs one-shot per-request serving: %.2fx (%.0f -> %.0f req/s)\n",
 				batched.Throughput/oneShot.Throughput, oneShot.Throughput, batched.Throughput)
@@ -122,6 +176,14 @@ func runServeBench(args []string) {
 		if base.Throughput > 0 {
 			fmt.Printf("batched vs zero-alloc batch-1 pipeline:  %.2fx (%.0f -> %.0f req/s)\n",
 				batched.Throughput/base.Throughput, base.Throughput, batched.Throughput)
+		}
+		if batched.Throughput > 0 {
+			fmt.Printf("router (replica x%d) vs single batched:   %.2fx (%.0f -> %.0f req/s)\n",
+				*replicas, routed.Throughput/batched.Throughput, batched.Throughput, routed.Throughput)
+			if haveSharded {
+				fmt.Printf("router (class x%d) vs single batched:     %.2fx (%.0f -> %.0f req/s)\n",
+					*replicas, sharded.Throughput/batched.Throughput, batched.Throughput, sharded.Throughput)
+			}
 		}
 		return
 	}
@@ -140,6 +202,22 @@ func (t oneShotTarget) Predict(row []float64) (int, error) {
 		return 0, err
 	}
 	return out[0], nil
+}
+
+// oneShotProbaTarget is the pre-subsystem probability path.
+type oneShotProbaTarget struct{ m *newtonadmm.Model }
+
+func (t oneShotProbaTarget) Predict(row []float64) (int, error) {
+	return oneShotTarget{m: t.m}.Predict(row)
+}
+
+func (t oneShotProbaTarget) Proba(row []float64, out []float64) (int, error) {
+	probs, err := t.m.PredictProba([][]float64{row})
+	if err != nil {
+		return 0, err
+	}
+	copy(out, probs[0])
+	return serve.ArgmaxProba(probs[0]), nil
 }
 
 // benchModel loads or trains the model to serve.
@@ -184,6 +262,18 @@ func printLoadResult(label string, r serve.LoadResult) {
 		label, r.Throughput, r.Done, r.Rejected, r.Errors, r.Shed)
 	fmt.Printf("%s  latency mean=%v p50=%v p95=%v p99=%v max=%v\n",
 		label, l.Mean, l.P50, l.P95, l.P99, l.Max)
+}
+
+// printReplicaBreakdown reports the router's per-replica view of the
+// run: how the load spread and what each replica's scatter leg cost.
+func printReplicaBreakdown(st router.Stats) {
+	for _, rs := range st.Replicas {
+		fmt.Printf("    replica %d [%s]: done=%d rejected=%d errors=%d  leg p50=%v p99=%v\n",
+			rs.ID, rs.State, rs.Done, rs.Rejected, rs.Errors, rs.Latency.P50, rs.Latency.P99)
+	}
+	if st.Failovers > 0 || st.SkewRetry > 0 {
+		fmt.Printf("    failovers=%d skew-retries=%d\n", st.Failovers, st.SkewRetry)
+	}
 }
 
 // fetchRemoteMeta reads /healthz of a live server.

@@ -1,15 +1,20 @@
 // Command nadmm-serve is the online inference server: it loads a model
 // checkpoint written by nadmm-train -save (or Model.Save) and serves
 // predictions over HTTP with dynamic micro-batching, bounded-queue
-// backpressure, and zero-downtime checkpoint hot-swap.
+// backpressure, and zero-downtime checkpoint hot-swap. It can also run
+// as one node of a serving fleet: a scatter-gather router over N
+// predictor replicas (in-process or separate processes), or a
+// class-shard replica serving a slice of the model behind such a router.
 //
 // Endpoints (kserve-style):
 //
 //	POST /v1/predict  {"instances":[[...dense...], {"indices":[...],"values":[...]}, ...]}
 //	POST /v1/proba    same body; adds class probabilities
-//	GET  /healthz     readiness + model metadata
+//	POST /v1/scores   raw partial logits (the class-shard data plane)
+//	GET  /healthz     readiness + model metadata (+ per-replica states on a router)
 //	GET  /metricz     latency quantiles, batch sizes, device counters
-//	POST /v1/reload   re-read the checkpoint and hot-swap it in
+//	POST /v1/reload   re-read the checkpoint and hot-swap it in (a router
+//	                  coordinates the reload across all replicas)
 //
 // Examples:
 //
@@ -21,6 +26,17 @@
 //	# zero-downtime deploy: retrain into the same path, then either
 //	curl -s -X POST localhost:8080/v1/reload     # explicit
 //	nadmm-serve -model model.gob -watch 5s       # or polled
+//
+//	# in-process serving fleet: 4 whole-model replicas, least-loaded routing
+//	nadmm-serve -model model.gob -addr :8080 -replicas 4
+//
+//	# in-process class-sharded fleet: partial-logit scatter-gather
+//	nadmm-serve -model model.gob -addr :8080 -replicas 2 -shard-mode class
+//
+//	# multi-process class-sharded fleet: two shard replicas + a router
+//	nadmm-serve -model model.gob -addr :8081 -shard-index 0 -shard-count 2 &
+//	nadmm-serve -model model.gob -addr :8082 -shard-index 1 -shard-count 2 &
+//	nadmm-serve -addr :8080 -shard-mode class -join http://127.0.0.1:8081,http://127.0.0.1:8082
 package main
 
 import (
@@ -28,6 +44,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -39,15 +56,36 @@ func main() {
 	log.SetPrefix("nadmm-serve: ")
 
 	var (
-		model    = flag.String("model", "", "model checkpoint (gob) to serve (required)")
+		model    = flag.String("model", "", "model checkpoint (gob) to serve (required unless -join)")
 		addr     = flag.String("addr", ":8080", "listen address")
 		maxBatch = flag.Int("max-batch", 64, "micro-batch size cap (rows per kernel launch)")
 		linger   = flag.Duration("linger", 200*time.Microsecond, "micro-batch flush window (negative disables)")
 		queue    = flag.Int("queue", 0, "admission queue depth (0 = 4*max-batch); full queue returns 429")
 		workers  = flag.Int("workers", 0, "device workers (0 = NumCPU)")
 		watch    = flag.Duration("watch", 0, "poll the checkpoint at this interval and hot-swap on change (0 disables)")
+
+		replicas  = flag.Int("replicas", 1, "serve through a router over this many in-process replicas (>1 enables the fleet)")
+		shardMode = flag.String("shard-mode", "replica", "fleet placement: replica (whole-model copies) or class (class-sharded partial logits)")
+		join      = flag.String("join", "", "comma-separated replica base URLs to route over instead of in-process replicas")
+
+		shardIndex = flag.Int("shard-index", 0, "serve class shard N of -shard-count (replica side of a multi-process fleet)")
+		shardCount = flag.Int("shard-count", 0, "total class shards; > 0 makes this server a shard replica")
 	)
 	flag.Parse()
+
+	var joins []string
+	if *join != "" {
+		for _, a := range strings.Split(*join, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				joins = append(joins, a)
+			}
+		}
+	}
+
+	if *replicas > 1 || len(joins) > 0 {
+		runRouter(*model, *addr, *shardMode, joins, *replicas, *maxBatch, *linger, *queue, *workers)
+		return
+	}
 
 	if *model == "" {
 		flag.Usage()
@@ -62,12 +100,18 @@ func main() {
 	srv, err := newtonadmm.Serve(m, newtonadmm.ServeOptions{
 		Addr: *addr, MaxBatch: *maxBatch, Linger: *linger, QueueDepth: *queue,
 		Workers: *workers, ModelPath: *model, Watch: *watch,
+		ShardIndex: *shardIndex, ShardCount: *shardCount,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer srv.Close()
-	log.Printf("serving on %s (max-batch %d, linger %v)", srv.Addr(), *maxBatch, *linger)
+	if *shardCount > 0 {
+		log.Printf("serving class shard %d/%d on %s (max-batch %d, linger %v)",
+			*shardIndex, *shardCount, srv.Addr(), *maxBatch, *linger)
+	} else {
+		log.Printf("serving on %s (max-batch %d, linger %v)", srv.Addr(), *maxBatch, *linger)
+	}
 	if *watch > 0 {
 		log.Printf("watching %s every %v for hot-swap", *model, *watch)
 	}
@@ -92,4 +136,41 @@ func main() {
 		}
 		log.Printf("SIGHUP: hot-swapped %s as model version %d", *model, v)
 	}
+}
+
+// runRouter starts the scatter-gather serving tier: in-process replicas
+// built from the checkpoint, or remote replicas joined by URL.
+func runRouter(model, addr, mode string, joins []string, replicas, maxBatch int, linger time.Duration, queue, workers int) {
+	var m *newtonadmm.Model
+	if len(joins) == 0 {
+		if model == "" {
+			log.Fatal("router with in-process replicas needs -model (or use -join)")
+		}
+		var err error
+		m, err = newtonadmm.LoadModel(model)
+		if err != nil {
+			log.Fatalf("loading %s: %v", model, err)
+		}
+		log.Printf("loaded %s: %d classes, %d features (solver %s)", model, m.Classes, m.Features, m.Solver)
+	}
+	rs, err := newtonadmm.ServeSharded(m, newtonadmm.RouterOptions{
+		Addr: addr, Replicas: replicas, Mode: mode, Join: joins,
+		MaxBatch: maxBatch, Linger: linger, QueueDepth: queue, Workers: workers,
+		ModelPath: model,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rs.Close()
+	if len(joins) > 0 {
+		log.Printf("routing (%s mode) on %s over %d remote replicas: %s",
+			mode, rs.Addr(), len(joins), strings.Join(joins, ", "))
+	} else {
+		log.Printf("routing (%s mode) on %s over %d in-process replicas", mode, rs.Addr(), replicas)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	log.Printf("received %v, shutting down", s)
 }

@@ -1,0 +1,188 @@
+// Package router is the distributed serving tier: a scatter-gather
+// router in front of N predictor replicas, each running its own
+// serve.Batcher/Registry/Predictor stack — in-process, or in separate
+// processes reached over HTTP.
+//
+// It turns the single-node model server of internal/serve into a
+// serving fleet with two placement modes:
+//
+//   - Replica-balanced (data-parallel): every replica holds the whole
+//     model; each request is routed to one replica picked by
+//     power-of-two-choices least-loaded selection, with per-replica
+//     health tracking, draining, and 429-aware failover. Throughput
+//     scales with replica count; any replica can be hot-swapped or
+//     drained while the others serve.
+//   - Class-sharded (model-parallel): the weight matrix's explicit class
+//     rows are split across replicas; every request is scattered to all
+//     replicas, each scores a partial logit tile for its rows, and the
+//     router merges the partial columns and applies the same
+//     argmax/softmax transforms as single-node prediction — bitwise
+//     identical to one Predictor holding the full model, because the
+//     MulNT kernels compute every class column independently. This is
+//     the paper's amortization argument applied to inference: one
+//     scatter and one gather per request batch, with the per-class work
+//     spread across the fleet.
+//
+// See DESIGN.md for the architecture diagram and PERF.md for measured
+// router throughput.
+package router
+
+import (
+	"errors"
+
+	"newtonadmm/internal/serve"
+)
+
+// Errors introduced by the routing tier. Backend and scoring errors
+// (serve.ErrQueueFull, serve.ErrNoModel, ...) pass through unchanged so
+// the HTTP layer's status mapping stays uniform.
+var (
+	// ErrNoReplicas means no replica is currently available to serve the
+	// request (all down or draining). Transient: maps to 503.
+	ErrNoReplicas = errors.New("router: no available replica")
+	// ErrShardUnavailable means a class shard's only replica is down or
+	// draining, so partial logits cannot be assembled. Transient: 503.
+	ErrShardUnavailable = errors.New("router: class shard unavailable")
+	// ErrVersionSkew means the shards scored a request against different
+	// model versions mid-rollout and retries were exhausted. Transient:
+	// the next request (or retry) sees the settled version. Maps to 503.
+	ErrVersionSkew = errors.New("router: shard model versions diverged; retry")
+	// ErrReplicaUnreachable tags transport-level failures (dial/read
+	// errors to a remote replica). It is the only data-plane error that
+	// feeds the health signal: request-shaped errors (bad rows, wire
+	// 4xx) are the client's fault and must not evict replicas. Maps to
+	// 503.
+	ErrReplicaUnreachable = errors.New("router: replica unreachable")
+)
+
+// Meta describes a backend's current model snapshot. For a full replica
+// ShardCount is 0 and the shard range is the whole explicit-class span
+// [0, Classes-1); for a class shard, Classes counts only the local slice
+// plus the implicit reference class and TotalClasses is the full model's
+// class count.
+type Meta struct {
+	Classes      int
+	Features     int
+	Version      int64
+	ShardIndex   int
+	ShardCount   int
+	ShardLow     int
+	ShardHigh    int
+	TotalClasses int
+}
+
+// IsShard reports whether the backend serves a class shard rather than
+// the full model.
+func (m Meta) IsShard() bool { return m.ShardCount > 0 }
+
+// metaFromModel maps the serving layer's wire metadata.
+func metaFromModel(mm serve.ModelMeta) Meta {
+	m := Meta{
+		Classes:      mm.Classes,
+		Features:     mm.Features,
+		Version:      mm.Version,
+		ShardIndex:   mm.ShardIndex,
+		ShardCount:   mm.ShardCount,
+		ShardLow:     mm.ShardLow,
+		ShardHigh:    mm.ShardHigh,
+		TotalClasses: mm.TotalClasses,
+	}
+	if m.ShardCount == 0 {
+		m.ShardLow, m.ShardHigh = 0, mm.Classes-1
+		m.TotalClasses = mm.Classes
+	}
+	return m
+}
+
+// Backend is the per-replica surface the router scatters to. All batch
+// outputs are in the batch's original row order. Implementations must be
+// safe for concurrent use; *LocalBackend wraps an in-process serving
+// stack, *HTTPBackend drives a replica process over the wire.
+type Backend interface {
+	// Meta probes the backend's current snapshot; it doubles as the
+	// health-check ping.
+	Meta() (Meta, error)
+	// Predict scores the whole batch against the full model (replica-
+	// balanced data plane). A full admission queue surfaces as
+	// serve.ErrQueueFull so the router can fail over.
+	Predict(b *Batch, out []int) error
+	// Proba is Predict plus class probabilities: out is rows x classes
+	// row-major; classes are derived from the probability rows by the
+	// caller.
+	Proba(b *Batch, out []float64) error
+	// PartialScores scores the raw explicit-class logits of the
+	// backend's weight rows (class-sharded data plane): out is rows x
+	// cols row-major in batch order, where cols is the shard width the
+	// router planned for this replica. Implementations must fail with
+	// serve.ErrModelShapeChanged when their current snapshot's width
+	// differs (a shape-changing reload behind the router's back) —
+	// never write a mismatched tile. Returns the snapshot version the
+	// scores were computed against, so the router can detect
+	// mid-rollout skew.
+	PartialScores(b *Batch, cols int, out []float64) (int64, error)
+	// Reload asks the backend to hot-swap its checkpoint; returns the
+	// new version.
+	Reload() (int64, error)
+	// Close releases backend resources.
+	Close()
+}
+
+// Batch is one scatter unit: the instances of one client request, mixed
+// dense and sparse, in arrival order. Rows are partitioned into the two
+// kind-homogeneous sub-batches the predictors score (each one launch),
+// with the arrival order retained so outputs can be reassembled.
+type Batch struct {
+	sparse []bool // per original row: which sub-batch it went to
+	dense  [][]float64
+	idx    [][]int
+	val    [][]float64
+}
+
+// AddDense appends one dense row.
+func (b *Batch) AddDense(row []float64) {
+	b.sparse = append(b.sparse, false)
+	b.dense = append(b.dense, row)
+}
+
+// AddCSR appends one sparse row (strictly increasing indices).
+func (b *Batch) AddCSR(idx []int, val []float64) {
+	b.sparse = append(b.sparse, true)
+	b.idx = append(b.idx, idx)
+	b.val = append(b.val, val)
+}
+
+// Rows returns the number of rows in the batch.
+func (b *Batch) Rows() int { return len(b.sparse) }
+
+// instances rebuilds the wire-format instance list in arrival order
+// (dense rows as arrays, sparse rows as indices/values objects).
+func (b *Batch) instances() []any {
+	out := make([]any, 0, len(b.sparse))
+	d, s := 0, 0
+	for _, isSparse := range b.sparse {
+		if isSparse {
+			out = append(out, map[string]any{"indices": b.idx[s], "values": b.val[s]})
+			s++
+		} else {
+			out = append(out, b.dense[d])
+			d++
+		}
+	}
+	return out
+}
+
+// interleave writes per-kind score blocks back into arrival order:
+// denseOut and sparseOut are (rows-of-kind) x cols, out is rows x cols.
+func (b *Batch) interleave(denseOut, sparseOut []float64, cols int, out []float64) {
+	d, s := 0, 0
+	for i, isSparse := range b.sparse {
+		dst := out[i*cols : (i+1)*cols]
+		if isSparse {
+			copy(dst, sparseOut[s*cols:(s+1)*cols])
+			s++
+		} else {
+			copy(dst, denseOut[d*cols:(d+1)*cols])
+			d++
+		}
+	}
+}

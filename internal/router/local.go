@@ -1,0 +1,153 @@
+package router
+
+import (
+	"fmt"
+
+	"newtonadmm/internal/serve"
+)
+
+// LocalBackend is an in-process replica: its own hot-swap Registry and
+// micro-batching Batcher over a Predictor with its own device, exactly
+// the single-node serving stack. Full-model requests go through the
+// batcher (so concurrent router requests coalesce into shared kernel
+// launches and a full queue surfaces as serve.ErrQueueFull for
+// failover); partial-score requests bypass it — the router already
+// coalesced the whole client batch, so they score in at most two
+// launches via the registry's predictor.
+type LocalBackend struct {
+	reg      *serve.Registry
+	bat      *serve.Batcher
+	reloadFn func() (int64, error) // nil: Reload unsupported
+}
+
+// NewLocalBackend wraps an in-process serving stack. reload may be nil.
+func NewLocalBackend(reg *serve.Registry, bat *serve.Batcher, reload func() (int64, error)) *LocalBackend {
+	return &LocalBackend{reg: reg, bat: bat, reloadFn: reload}
+}
+
+// Registry exposes the replica's registry for hot-swapping snapshots
+// while the router serves (the public API and tests swap through it).
+func (l *LocalBackend) Registry() *serve.Registry { return l.reg }
+
+// Batcher exposes the replica's micro-batcher (stats, drain hook).
+func (l *LocalBackend) Batcher() *serve.Batcher { return l.bat }
+
+// Meta reports the current snapshot's metadata.
+func (l *LocalBackend) Meta() (Meta, error) {
+	mm, ok := l.reg.Meta()
+	if !ok {
+		return Meta{}, serve.ErrNoModel
+	}
+	return metaFromModel(mm), nil
+}
+
+// submitAll enqueues every batch row in arrival order and waits for all
+// tickets. probaOut non-nil selects the probability path with the given
+// class count. Every submitted ticket is always waited, even after a
+// submit failure, so no accepted request is abandoned; the first error
+// (submit or per-row) is returned.
+func (l *LocalBackend) submitAll(b *Batch, out []int, probaOut []float64, classes int) error {
+	n := b.Rows()
+	tickets := make([]serve.Ticket, 0, n)
+	rowOf := make([]int, 0, n)
+	var submitErr error
+	d, s := 0, 0
+	for i, isSparse := range b.sparse {
+		var po []float64
+		if probaOut != nil {
+			po = probaOut[i*classes : (i+1)*classes]
+		}
+		var t serve.Ticket
+		var err error
+		if isSparse {
+			t, err = l.bat.SubmitCSR(b.idx[s], b.val[s], po)
+			s++
+		} else {
+			t, err = l.bat.SubmitDense(b.dense[d], po)
+			d++
+		}
+		if err != nil {
+			submitErr = err
+			break
+		}
+		tickets = append(tickets, t)
+		rowOf = append(rowOf, i)
+	}
+	var waitErr error
+	for k, t := range tickets {
+		class, err := t.Wait()
+		if err != nil && waitErr == nil {
+			waitErr = err
+		}
+		if out != nil {
+			out[rowOf[k]] = class
+		}
+	}
+	if submitErr != nil {
+		return submitErr
+	}
+	return waitErr
+}
+
+// Predict scores the batch against the full model via the micro-batcher.
+func (l *LocalBackend) Predict(b *Batch, out []int) error {
+	return l.submitAll(b, out, nil, 0)
+}
+
+// Proba scores the batch with class probabilities (out is rows x
+// classes in arrival order).
+func (l *LocalBackend) Proba(b *Batch, out []float64) error {
+	mm, ok := l.reg.Meta()
+	if !ok {
+		return serve.ErrNoModel
+	}
+	return l.submitAll(b, nil, out, mm.Classes)
+}
+
+// PartialScores scores the raw explicit-class logits of this replica's
+// weight rows (rows x cols, arrival order). The per-call staging slices
+// are request-granular — the underlying kernel path stays on the
+// predictor's zero-allocation staging.
+func (l *LocalBackend) PartialScores(b *Batch, cols int, out []float64) (int64, error) {
+	p, mm, release, err := l.reg.AcquireCurrent()
+	if err != nil {
+		return 0, err
+	}
+	defer release()
+	if got := p.Classes() - 1; got != cols {
+		return 0, fmt.Errorf("%w (shard now %d explicit classes, router planned %d)", serve.ErrModelShapeChanged, got, cols)
+	}
+	if len(b.idx) == 0 {
+		// Dense-only: score straight into the caller's buffer.
+		return mm.Version, p.ScoresDense(b.dense, out[:b.Rows()*cols])
+	}
+	if len(b.dense) == 0 {
+		return mm.Version, p.ScoresCSR(b.idx, b.val, out[:b.Rows()*cols])
+	}
+	denseOut := make([]float64, len(b.dense)*cols)
+	sparseOut := make([]float64, len(b.idx)*cols)
+	if err := p.ScoresDense(b.dense, denseOut); err != nil {
+		return 0, err
+	}
+	if err := p.ScoresCSR(b.idx, b.val, sparseOut); err != nil {
+		return 0, err
+	}
+	b.interleave(denseOut, sparseOut, cols, out)
+	return mm.Version, nil
+}
+
+// Reload hot-swaps the replica's checkpoint through the configured
+// reloader.
+func (l *LocalBackend) Reload() (int64, error) {
+	if l.reloadFn == nil {
+		return 0, serve.ErrNoModel
+	}
+	return l.reloadFn()
+}
+
+// Close drains the batcher and retires the registry's snapshot (its
+// device closes when the last in-flight batch releases).
+func (l *LocalBackend) Close() {
+	l.bat.Close()
+	l.reg.Close()
+}

@@ -1,0 +1,85 @@
+package router
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ShardRange is one replica's slice of the explicit class rows: classes
+// [Low, High) of a model with TotalClasses classes (the reference class
+// TotalClasses-1 is implicit and owned by no shard).
+type ShardRange struct {
+	Low, High int
+}
+
+// Width returns the number of explicit class rows in the range.
+func (s ShardRange) Width() int { return s.High - s.Low }
+
+// PlanShards splits the m = classes-1 explicit class rows of a model
+// into n contiguous balanced ranges (the first m%n shards get one extra
+// row). Every shard must be non-empty: n may not exceed m.
+func PlanShards(classes, n int) ([]ShardRange, error) {
+	m := classes - 1
+	if n <= 0 {
+		return nil, fmt.Errorf("router: shard count %d must be positive", n)
+	}
+	if n > m {
+		return nil, fmt.Errorf("router: cannot split %d explicit class rows across %d shards", m, n)
+	}
+	out := make([]ShardRange, n)
+	lo := 0
+	for r := 0; r < n; r++ {
+		width := m / n
+		if r < m%n {
+			width++
+		}
+		out[r] = ShardRange{Low: lo, High: lo + width}
+		lo += width
+	}
+	return out, nil
+}
+
+// planFromMetas derives the class-sharded placement from the replicas'
+// reported shard metadata: every backend must be a shard of the same
+// model (same TotalClasses and Features), and together the shards must
+// tile [0, TotalClasses-1) exactly — no gaps, no overlaps. Returns the
+// per-replica ranges in replica order.
+func planFromMetas(metas []Meta) ([]ShardRange, error) {
+	if len(metas) == 0 {
+		return nil, fmt.Errorf("router: class-sharded mode needs at least one replica")
+	}
+	total, features := metas[0].TotalClasses, metas[0].Features
+	ranges := make([]ShardRange, len(metas))
+	for i, m := range metas {
+		if !m.IsShard() && len(metas) > 1 {
+			return nil, fmt.Errorf("router: replica %d serves a full model, not a class shard", i)
+		}
+		if m.TotalClasses != total || m.Features != features {
+			return nil, fmt.Errorf("router: replica %d shape (%d classes, %d features) != replica 0 (%d, %d)",
+				i, m.TotalClasses, m.Features, total, features)
+		}
+		if m.ShardHigh-m.ShardLow != m.Classes-1 {
+			return nil, fmt.Errorf("router: replica %d shard [%d,%d) disagrees with its %d local classes",
+				i, m.ShardLow, m.ShardHigh, m.Classes)
+		}
+		ranges[i] = ShardRange{Low: m.ShardLow, High: m.ShardHigh}
+	}
+	// Coverage check over a sorted copy; the returned slice stays in
+	// replica order so partials land at the right column offsets.
+	sorted := append([]ShardRange(nil), ranges...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a].Low < sorted[b].Low })
+	want := 0
+	for _, s := range sorted {
+		if s.Low != want {
+			return nil, fmt.Errorf("router: shard coverage gap or overlap at class row %d (next shard starts at %d)", want, s.Low)
+		}
+		if s.Width() <= 0 {
+			return nil, fmt.Errorf("router: empty shard [%d,%d)", s.Low, s.High)
+		}
+		want = s.High
+	}
+	if want != total-1 {
+		return nil, fmt.Errorf("router: shards cover class rows [0,%d), model has %d explicit rows", want, total-1)
+	}
+	return ranges, nil
+}

@@ -1,0 +1,269 @@
+package router
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"newtonadmm/internal/metrics"
+)
+
+// State is a replica's routing eligibility.
+type State int32
+
+const (
+	// StateHealthy replicas receive traffic.
+	StateHealthy State = iota
+	// StateDraining replicas receive no new traffic but finish what they
+	// accepted; set by the drain API, never by the health monitor, and
+	// only Undrain clears it.
+	StateDraining
+	// StateDown replicas failed consecutive health probes; the monitor
+	// restores them to Healthy when probes succeed again.
+	StateDown
+)
+
+func (s State) String() string {
+	switch s {
+	case StateHealthy:
+		return "healthy"
+	case StateDraining:
+		return "draining"
+	case StateDown:
+		return "down"
+	}
+	return fmt.Sprintf("state(%d)", int32(s))
+}
+
+// Replica is one pool member: a backend plus the routing-side view of it
+// (health state, in-flight load for least-loaded picking, counters).
+type Replica struct {
+	ID      int
+	backend Backend
+
+	meta  atomic.Pointer[Meta] // refreshed by the health monitor
+	state atomic.Int32
+	fails atomic.Int32 // consecutive failed probes
+
+	inflight atomic.Int64
+	done     atomic.Int64
+	errs     atomic.Int64
+	rejected atomic.Int64
+
+	// Latency is the per-request backend round-trip observed by the
+	// router (scatter leg only; merge time is router-side).
+	Latency *metrics.Histogram
+}
+
+// State returns the replica's current routing state.
+func (r *Replica) State() State { return State(r.state.Load()) }
+
+// Meta returns the last known snapshot metadata.
+func (r *Replica) Meta() Meta { return *r.meta.Load() }
+
+// InFlight returns the number of router requests currently executing on
+// this replica.
+func (r *Replica) InFlight() int64 { return r.inflight.Load() }
+
+// Backend returns the replica's backend (tests hot-swap through it).
+func (r *Replica) Backend() Backend { return r.backend }
+
+// available reports whether new traffic may be routed here.
+func (r *Replica) available() bool { return r.State() == StateHealthy }
+
+// ReplicaStats is a counters snapshot for /metricz and the load
+// generator's per-replica breakdown.
+type ReplicaStats struct {
+	ID       int
+	State    string
+	Version  int64
+	InFlight int64
+	Done     int64
+	Errors   int64
+	Rejected int64
+	Latency  metrics.Snapshot
+}
+
+// Stats snapshots the replica's counters.
+func (r *Replica) Stats() ReplicaStats {
+	return ReplicaStats{
+		ID:       r.ID,
+		State:    r.State().String(),
+		Version:  r.Meta().Version,
+		InFlight: r.inflight.Load(),
+		Done:     r.done.Load(),
+		Errors:   r.errs.Load(),
+		Rejected: r.rejected.Load(),
+		Latency:  r.Latency.Snapshot(),
+	}
+}
+
+// Pool owns the replica set and the health monitor.
+type Pool struct {
+	replicas []*Replica
+
+	mu  sync.Mutex // guards rng
+	rng *rand.Rand
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// newPool builds a pool over backends whose metas were already probed.
+func newPool(backends []Backend, metas []Meta) *Pool {
+	p := &Pool{
+		rng:  rand.New(rand.NewSource(1)), // tie-breaking only; no correctness impact
+		stop: make(chan struct{}),
+	}
+	for i, b := range backends {
+		r := &Replica{ID: i, backend: b, Latency: metrics.NewHistogram()}
+		m := metas[i]
+		r.meta.Store(&m)
+		p.replicas = append(p.replicas, r)
+	}
+	return p
+}
+
+// Replicas returns the pool members (fixed after construction).
+func (p *Pool) Replicas() []*Replica { return p.replicas }
+
+// Stats snapshots every replica.
+func (p *Pool) Stats() []ReplicaStats {
+	out := make([]ReplicaStats, len(p.replicas))
+	for i, r := range p.replicas {
+		out[i] = r.Stats()
+	}
+	return out
+}
+
+// pick selects a replica by power-of-two-choices: two distinct available
+// replicas at random, the one with fewer requests in flight wins. With
+// one available replica it returns it; with none it returns nil.
+func (p *Pool) pick() *Replica {
+	avail := make([]*Replica, 0, len(p.replicas))
+	for _, r := range p.replicas {
+		if r.available() {
+			avail = append(avail, r)
+		}
+	}
+	switch len(avail) {
+	case 0:
+		return nil
+	case 1:
+		return avail[0]
+	}
+	p.mu.Lock()
+	i := p.rng.Intn(len(avail))
+	j := p.rng.Intn(len(avail) - 1)
+	p.mu.Unlock()
+	if j >= i {
+		j++
+	}
+	a, b := avail[i], avail[j]
+	if b.inflight.Load() < a.inflight.Load() {
+		return b
+	}
+	return a
+}
+
+// failoverOrder returns the available replicas to try, first choice
+// first: the power-of-two pick, then every other available replica.
+func (p *Pool) failoverOrder() []*Replica {
+	first := p.pick()
+	if first == nil {
+		return nil
+	}
+	order := make([]*Replica, 0, len(p.replicas))
+	order = append(order, first)
+	for _, r := range p.replicas {
+		if r != first && r.available() {
+			order = append(order, r)
+		}
+	}
+	return order
+}
+
+// Drain marks the replica as draining (no new traffic) and blocks until
+// its in-flight requests finish or the timeout expires. Accepted work is
+// never dropped: requests already executing hold their inflight
+// reference until answered. Draining is sticky until Undrain.
+func (p *Pool) Drain(id int, timeout time.Duration) error {
+	if id < 0 || id >= len(p.replicas) {
+		return fmt.Errorf("router: no replica %d", id)
+	}
+	r := p.replicas[id]
+	r.state.Store(int32(StateDraining))
+	deadline := time.Now().Add(timeout)
+	for r.inflight.Load() > 0 {
+		if timeout > 0 && time.Now().After(deadline) {
+			return fmt.Errorf("router: replica %d still has %d in flight after %v", id, r.inflight.Load(), timeout)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	return nil
+}
+
+// Undrain returns a draining replica to service.
+func (p *Pool) Undrain(id int) error {
+	if id < 0 || id >= len(p.replicas) {
+		return fmt.Errorf("router: no replica %d", id)
+	}
+	p.replicas[id].state.CompareAndSwap(int32(StateDraining), int32(StateHealthy))
+	return nil
+}
+
+// startHealth launches the periodic health monitor: every interval each
+// replica is probed via Meta; failAfter consecutive failures mark a
+// healthy replica Down, one success restores a Down replica and
+// refreshes its metadata (version changes surface here between
+// requests). Draining replicas are probed but their state is operator-
+// owned.
+func (p *Pool) startHealth(interval time.Duration, failAfter int) {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-p.stop:
+				return
+			case <-tick.C:
+				for _, r := range p.replicas {
+					m, err := r.backend.Meta()
+					if err != nil {
+						if n := r.fails.Add(1); int(n) >= failAfter {
+							r.state.CompareAndSwap(int32(StateHealthy), int32(StateDown))
+						}
+						continue
+					}
+					r.fails.Store(0)
+					r.meta.Store(&m)
+					r.state.CompareAndSwap(int32(StateDown), int32(StateHealthy))
+				}
+			}
+		}
+	}()
+}
+
+// noteRequestError feeds data-plane failures into the health signal: a
+// transport-level error counts like a failed probe so a dead replica is
+// evicted between health ticks (failAfter data-plane errors in a row
+// mark it Down; the monitor restores it when probes succeed).
+func (p *Pool) noteRequestError(r *Replica, failAfter int) {
+	if n := r.fails.Add(1); int(n) >= failAfter {
+		r.state.CompareAndSwap(int32(StateHealthy), int32(StateDown))
+	}
+}
+
+// Close stops the health monitor and closes every backend.
+func (p *Pool) Close() {
+	p.stopOnce.Do(func() { close(p.stop) })
+	p.wg.Wait()
+	for _, r := range p.replicas {
+		r.backend.Close()
+	}
+}

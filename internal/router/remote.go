@@ -1,0 +1,181 @@
+package router
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"newtonadmm/internal/serve"
+)
+
+// HTTPBackend drives a replica process (a running nadmm-serve) over its
+// kserve-style HTTP surface: /v1/predict and /v1/proba for the
+// replica-balanced data plane, /v1/scores for partial logits, /healthz
+// as the health/metadata probe, and /v1/reload for coordinated hot
+// swaps. Go's encoding/json round-trips finite float64 values
+// bit-exactly in both directions, so partial scores merged from remote
+// shards remain bitwise identical to single-node scoring.
+type HTTPBackend struct {
+	Base   string // e.g. "http://127.0.0.1:8081"
+	Client *http.Client
+}
+
+func (h *HTTPBackend) client() *http.Client {
+	if h.Client != nil {
+		return h.Client
+	}
+	return http.DefaultClient
+}
+
+// wireError maps a non-200 replica response to the router's error
+// taxonomy: 429 becomes serve.ErrQueueFull (failover signal), 503
+// becomes serve.ErrNoModel-shaped unavailability, everything else keeps
+// its body as context.
+func wireError(status int, body []byte) error {
+	switch status {
+	case http.StatusTooManyRequests:
+		return serve.ErrQueueFull
+	case http.StatusServiceUnavailable:
+		return fmt.Errorf("%w (replica: %s)", serve.ErrNoModel, bytes.TrimSpace(body))
+	default:
+		return fmt.Errorf("router: replica HTTP %d: %s", status, bytes.TrimSpace(body))
+	}
+}
+
+// postJSON posts payload and decodes a 200 response into resp.
+func (h *HTTPBackend) postJSON(path string, payload, resp any) error {
+	body, err := json.Marshal(payload)
+	if err != nil {
+		return err
+	}
+	r, err := h.client().Post(h.Base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("%w %s: %v", ErrReplicaUnreachable, h.Base, err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(r.Body, 512))
+		return wireError(r.StatusCode, b)
+	}
+	return json.NewDecoder(r.Body).Decode(resp)
+}
+
+// Meta probes /healthz.
+func (h *HTTPBackend) Meta() (Meta, error) {
+	r, err := h.client().Get(h.Base + "/healthz")
+	if err != nil {
+		return Meta{}, fmt.Errorf("%w %s: %v", ErrReplicaUnreachable, h.Base, err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(r.Body, 512))
+		return Meta{}, wireError(r.StatusCode, b)
+	}
+	var health struct {
+		Model serve.ModelMeta `json:"model"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&health); err != nil {
+		return Meta{}, err
+	}
+	if health.Model.Classes < 2 || health.Model.Features <= 0 {
+		return Meta{}, fmt.Errorf("router: replica %s reported no model", h.Base)
+	}
+	return metaFromModel(health.Model), nil
+}
+
+type wirePredictResponse struct {
+	Predictions   []int       `json:"predictions"`
+	Probabilities [][]float64 `json:"probabilities"`
+	ModelVersion  int64       `json:"model_version"`
+}
+
+// Predict posts the batch to /v1/predict.
+func (h *HTTPBackend) Predict(b *Batch, out []int) error {
+	var resp wirePredictResponse
+	if err := h.postJSON("/v1/predict", map[string]any{"instances": b.instances()}, &resp); err != nil {
+		return err
+	}
+	if len(resp.Predictions) != b.Rows() {
+		return fmt.Errorf("router: replica returned %d predictions for %d instances", len(resp.Predictions), b.Rows())
+	}
+	copy(out, resp.Predictions)
+	return nil
+}
+
+// Proba posts the batch to /v1/proba; out is rows x classes.
+func (h *HTTPBackend) Proba(b *Batch, out []float64) error {
+	var resp wirePredictResponse
+	if err := h.postJSON("/v1/proba", map[string]any{"instances": b.instances()}, &resp); err != nil {
+		return err
+	}
+	if len(resp.Probabilities) != b.Rows() {
+		return fmt.Errorf("router: replica returned %d probability rows for %d instances", len(resp.Probabilities), b.Rows())
+	}
+	rows := b.Rows()
+	if rows == 0 {
+		return nil
+	}
+	classes := len(out) / rows
+	for i, pr := range resp.Probabilities {
+		if len(pr) != classes {
+			return fmt.Errorf("router: replica returned %d probabilities per row, want %d", len(pr), classes)
+		}
+		copy(out[i*classes:(i+1)*classes], pr)
+	}
+	return nil
+}
+
+// PartialScores posts the batch to /v1/scores and flattens the partial
+// tile into out (rows x cols, arrival order — the replica preserves
+// request order). A replica whose shard width no longer matches the
+// router's plan (a shape-changing reload behind the router's back)
+// fails with serve.ErrModelShapeChanged instead of writing a
+// misaligned tile.
+func (h *HTTPBackend) PartialScores(b *Batch, cols int, out []float64) (int64, error) {
+	var resp struct {
+		Scores       [][]float64 `json:"scores"`
+		Cols         int         `json:"cols"`
+		ModelVersion int64       `json:"model_version"`
+	}
+	if err := h.postJSON("/v1/scores", map[string]any{"instances": b.instances()}, &resp); err != nil {
+		return 0, err
+	}
+	if resp.Cols != cols {
+		return 0, fmt.Errorf("%w (shard now %d explicit classes, router planned %d)", serve.ErrModelShapeChanged, resp.Cols, cols)
+	}
+	if len(resp.Scores) != b.Rows() {
+		return 0, fmt.Errorf("router: replica returned %d score rows for %d instances", len(resp.Scores), b.Rows())
+	}
+	for i, row := range resp.Scores {
+		if len(row) != cols {
+			return 0, fmt.Errorf("router: score row %d has %d cols, header says %d", i, len(row), cols)
+		}
+		copy(out[i*cols:(i+1)*cols], row)
+	}
+	return resp.ModelVersion, nil
+}
+
+// Reload posts /v1/reload.
+func (h *HTTPBackend) Reload() (int64, error) {
+	r, err := h.client().Post(h.Base+"/v1/reload", "application/json", nil)
+	if err != nil {
+		return 0, fmt.Errorf("%w %s: %v", ErrReplicaUnreachable, h.Base, err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(r.Body, 512))
+		return 0, wireError(r.StatusCode, b)
+	}
+	var resp struct {
+		ModelVersion int64 `json:"model_version"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&resp); err != nil {
+		return 0, err
+	}
+	return resp.ModelVersion, nil
+}
+
+// Close is a no-op: the replica process owns its resources.
+func (h *HTTPBackend) Close() {}

@@ -1,0 +1,470 @@
+package router
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"newtonadmm/internal/loss"
+	"newtonadmm/internal/serve"
+)
+
+// Mode is the placement strategy of the serving tier.
+type Mode string
+
+const (
+	// ModeReplica is data-parallel: whole-model replicas, one replica
+	// per request, least-loaded picking with failover.
+	ModeReplica Mode = "replica"
+	// ModeClass is model-parallel: class-sharded replicas, every request
+	// scattered to all shards and merged from partial logits.
+	ModeClass Mode = "class"
+)
+
+// Options tunes the router.
+type Options struct {
+	// Mode selects the placement strategy; "" selects ModeReplica.
+	Mode Mode
+	// HealthEvery is the health-probe interval; 0 selects 250ms,
+	// negative disables the monitor (data-plane errors still mark
+	// replicas down).
+	HealthEvery time.Duration
+	// FailAfter is the consecutive probe/request failures that mark a
+	// replica down; <= 0 selects 3.
+	FailAfter int
+	// SkewRetries bounds how often a class-sharded request is rescored
+	// when a mid-rollout hot swap makes shard versions diverge; <= 0
+	// selects 2.
+	SkewRetries int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Mode == "" {
+		o.Mode = ModeReplica
+	}
+	if o.HealthEvery == 0 {
+		o.HealthEvery = 250 * time.Millisecond
+	}
+	if o.FailAfter <= 0 {
+		o.FailAfter = 3
+	}
+	if o.SkewRetries <= 0 {
+		o.SkewRetries = 2
+	}
+	return o
+}
+
+// Stats is the router-level counter snapshot.
+type Stats struct {
+	Mode      Mode
+	Requests  int64
+	Failovers int64
+	SkewRetry int64
+	Replicas  []ReplicaStats
+}
+
+// Router scatters prediction requests over a replica pool and gathers
+// the results. Safe for concurrent use.
+type Router struct {
+	mode Mode
+	opts Options
+	pool *Pool
+
+	classes  int // full model class count C
+	features int
+	plan     []ShardRange // class mode: plan[i] is replica i's column range
+
+	// swapMu orders coordinated hot swaps against in-flight class-mode
+	// scatters: Reload holds the write side while the fleet swaps, so a
+	// scatter never straddles a multi-replica rollout (version checking
+	// on the partials is the belt to this suspender — replicas reached
+	// directly over HTTP can still swap out from under the router).
+	swapMu sync.RWMutex
+
+	requests  atomic.Int64
+	failovers atomic.Int64
+	skewRetry atomic.Int64
+
+	scratch sync.Pool // *[]float64 merge buffers
+}
+
+// New builds a router over the given backends. Every backend must be
+// reachable at construction: replica mode requires identically shaped
+// full models, class mode requires shards that tile the full model's
+// explicit class rows exactly.
+func New(backends []Backend, opts Options) (*Router, error) {
+	if len(backends) == 0 {
+		return nil, errors.New("router: need at least one backend")
+	}
+	opts = opts.withDefaults()
+	metas := make([]Meta, len(backends))
+	for i, b := range backends {
+		m, err := b.Meta()
+		if err != nil {
+			return nil, fmt.Errorf("router: probing replica %d: %w", i, err)
+		}
+		metas[i] = m
+	}
+	r := &Router{mode: opts.Mode, opts: opts}
+	switch opts.Mode {
+	case ModeReplica:
+		for i, m := range metas {
+			if m.IsShard() {
+				return nil, fmt.Errorf("router: replica %d serves class shard [%d,%d), replica-balanced mode needs full models", i, m.ShardLow, m.ShardHigh)
+			}
+			if m.Classes != metas[0].Classes || m.Features != metas[0].Features {
+				return nil, fmt.Errorf("router: replica %d shape (%d classes, %d features) != replica 0 (%d, %d)",
+					i, m.Classes, m.Features, metas[0].Classes, metas[0].Features)
+			}
+		}
+		r.classes, r.features = metas[0].Classes, metas[0].Features
+	case ModeClass:
+		plan, err := planFromMetas(metas)
+		if err != nil {
+			return nil, err
+		}
+		r.plan = plan
+		r.classes, r.features = metas[0].TotalClasses, metas[0].Features
+	default:
+		return nil, fmt.Errorf("router: unknown mode %q (want %q or %q)", opts.Mode, ModeReplica, ModeClass)
+	}
+	r.pool = newPool(backends, metas)
+	if opts.HealthEvery > 0 {
+		r.pool.startHealth(opts.HealthEvery, opts.FailAfter)
+	}
+	return r, nil
+}
+
+// Mode returns the placement mode.
+func (r *Router) Mode() Mode { return r.mode }
+
+// Classes returns the full model's class count.
+func (r *Router) Classes() int { return r.classes }
+
+// Features returns the model's feature dimension.
+func (r *Router) Features() int { return r.features }
+
+// Pool returns the replica pool (drain/undrain, stats).
+func (r *Router) Pool() *Pool { return r.pool }
+
+// Plan returns the class-shard placement (nil in replica mode).
+func (r *Router) Plan() []ShardRange { return r.plan }
+
+// Version returns the newest model version any replica reports.
+func (r *Router) Version() int64 {
+	var v int64
+	for _, rep := range r.pool.replicas {
+		if mv := rep.Meta().Version; mv > v {
+			v = mv
+		}
+	}
+	return v
+}
+
+// Stats snapshots router and per-replica counters.
+func (r *Router) Stats() Stats {
+	return Stats{
+		Mode:      r.mode,
+		Requests:  r.requests.Load(),
+		Failovers: r.failovers.Load(),
+		SkewRetry: r.skewRetry.Load(),
+		Replicas:  r.pool.Stats(),
+	}
+}
+
+// Close stops the health monitor and closes every backend.
+func (r *Router) Close() { r.pool.Close() }
+
+// Predict scores the batch and writes the predicted classes into
+// out[:b.Rows()].
+func (r *Router) Predict(b *Batch, out []int) error {
+	if b.Rows() == 0 {
+		return nil
+	}
+	if len(out) < b.Rows() {
+		return fmt.Errorf("router: output buffer has %d slots for %d rows", len(out), b.Rows())
+	}
+	r.requests.Add(1)
+	if r.mode == ModeClass {
+		return r.classScore(b, out, nil)
+	}
+	return r.replicaCall(func(rep *Replica) error { return rep.backend.Predict(b, out) })
+}
+
+// Proba scores the batch with class probabilities: out is rows x Classes
+// row-major (reference class last), and the predicted classes go into
+// classOut when non-nil.
+func (r *Router) Proba(b *Batch, out []float64, classOut []int) error {
+	if b.Rows() == 0 {
+		return nil
+	}
+	if len(out) < b.Rows()*r.classes {
+		return fmt.Errorf("router: proba buffer has %d entries for %d rows x %d classes", len(out), b.Rows(), r.classes)
+	}
+	r.requests.Add(1)
+	if r.mode == ModeClass {
+		return r.classScore(b, classOut, out)
+	}
+	// Pass an exact-size view: backends derive the class stride from the
+	// buffer, and an oversized caller buffer must not skew it.
+	probaView := out[:b.Rows()*r.classes]
+	err := r.replicaCall(func(rep *Replica) error { return rep.backend.Proba(b, probaView) })
+	if err != nil {
+		return err
+	}
+	if classOut != nil {
+		for i := 0; i < b.Rows(); i++ {
+			classOut[i] = serve.ArgmaxProba(out[i*r.classes : (i+1)*r.classes])
+		}
+	}
+	return nil
+}
+
+// replicaCall runs fn against one replica, failing over through the
+// remaining available replicas on backpressure (serve.ErrQueueFull) or
+// backend errors. Each replica is tried at most once; the last error is
+// returned when all fail.
+func (r *Router) replicaCall(fn func(*Replica) error) error {
+	order := r.pool.failoverOrder()
+	if len(order) == 0 {
+		return ErrNoReplicas
+	}
+	var lastErr error
+	for k, rep := range order {
+		rep.inflight.Add(1)
+		if !rep.available() {
+			// Lost a race with Drain: it saw our increment or we see its
+			// state change — either way the replica takes no new work.
+			rep.inflight.Add(-1)
+			lastErr = ErrNoReplicas
+			continue
+		}
+		if k > 0 {
+			r.failovers.Add(1)
+		}
+		t0 := time.Now()
+		err := fn(rep)
+		rep.Latency.Observe(time.Since(t0))
+		rep.inflight.Add(-1)
+		if err == nil {
+			rep.done.Add(1)
+			rep.fails.Store(0) // a served request is proof of life
+			return nil
+		}
+		switch {
+		case errors.Is(err, serve.ErrQueueFull):
+			// Backpressure is a load signal, not a failure signal.
+			rep.rejected.Add(1)
+		case errors.Is(err, ErrReplicaUnreachable):
+			// Only transport-level failures feed the health signal: a
+			// client's malformed row must never evict a replica.
+			rep.errs.Add(1)
+			r.pool.noteRequestError(rep, r.opts.FailAfter)
+		case errors.Is(err, serve.ErrNoModel), errors.Is(err, serve.ErrClosed),
+			errors.Is(err, serve.ErrModelShapeChanged):
+			// Replica-availability problems: another replica may hold a
+			// usable snapshot, so keep failing over.
+			rep.errs.Add(1)
+		default:
+			// Request-shaped (400-class) errors are deterministic:
+			// every replica would reject the same batch, so re-scoring
+			// it around the fleet only multiplies the cost of a bad
+			// request.
+			rep.errs.Add(1)
+			return err
+		}
+		lastErr = err
+	}
+	return lastErr
+}
+
+// classScore is the class-sharded data plane: scatter the batch to every
+// shard, gather partial logits into the full score matrix, apply the
+// single-node merge kernels. Version skew from a concurrent hot swap
+// triggers a bounded rescore.
+func (r *Router) classScore(b *Batch, classOut []int, probaOut []float64) error {
+	rows := b.Rows()
+	m := r.classes - 1
+	buf := r.getScratch(rows * m)
+	defer r.putScratch(buf)
+	scores := (*buf)[:rows*m]
+
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = r.scatterOnce(b, scores)
+		if err == nil || !errors.Is(err, ErrVersionSkew) || attempt >= r.opts.SkewRetries {
+			break
+		}
+		r.skewRetry.Add(1)
+		time.Sleep(time.Millisecond)
+	}
+	if err != nil {
+		return err
+	}
+	if probaOut != nil {
+		loss.ProbaFromScores(scores, rows, r.classes, probaOut[:rows*r.classes])
+		if classOut != nil {
+			loss.PredictFromScores(scores, rows, r.classes, classOut[:rows])
+		}
+		return nil
+	}
+	loss.PredictFromScores(scores, rows, r.classes, classOut[:rows])
+	return nil
+}
+
+// scatterOnce fans the batch out to all shards once and merges the
+// partial columns into scores (rows x classes-1). All shards must be
+// available and must answer with the same model version.
+func (r *Router) scatterOnce(b *Batch, scores []float64) error {
+	r.swapMu.RLock()
+	defer r.swapMu.RUnlock()
+	reps := r.pool.replicas
+	rows := b.Rows()
+	m := r.classes - 1
+	for i, rep := range reps {
+		rep.inflight.Add(1)
+		if !rep.available() {
+			for j := 0; j <= i; j++ {
+				reps[j].inflight.Add(-1)
+			}
+			return fmt.Errorf("%w: replica %d is %s", ErrShardUnavailable, rep.ID, rep.State())
+		}
+	}
+	errs := make([]error, len(reps))
+	versions := make([]int64, len(reps))
+	var wg sync.WaitGroup
+	for i := range reps {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rep := reps[i]
+			defer rep.inflight.Add(-1)
+			rng := r.plan[i]
+			w := rng.Width()
+			part := make([]float64, rows*w)
+			t0 := time.Now()
+			v, err := rep.backend.PartialScores(b, w, part)
+			rep.Latency.Observe(time.Since(t0))
+			if err != nil {
+				rep.errs.Add(1)
+				if errors.Is(err, ErrReplicaUnreachable) {
+					r.pool.noteRequestError(rep, r.opts.FailAfter)
+				}
+				errs[i] = err
+				return
+			}
+			rep.done.Add(1)
+			rep.fails.Store(0)
+			versions[i] = v
+			// Disjoint column ranges: concurrent writers never overlap.
+			for row := 0; row < rows; row++ {
+				copy(scores[row*m+rng.Low:row*m+rng.High], part[row*w:(row+1)*w])
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("router: shard %d: %w", i, err)
+		}
+	}
+	for i := 1; i < len(versions); i++ {
+		if versions[i] != versions[0] {
+			return fmt.Errorf("%w (shard 0 at v%d, shard %d at v%d)", ErrVersionSkew, versions[0], i, versions[i])
+		}
+	}
+	return nil
+}
+
+// Reload hot-swaps every replica's checkpoint, holding the swap lock so
+// no class-mode scatter straddles the rollout, then revalidates the
+// fleet against the router's construction-time plan: a checkpoint with
+// a different shape would leave the plan stale (and, unvalidated, merge
+// partials at wrong offsets), so a shape-changing reload is reported as
+// an error — the replicas hold the new model, and the router must be
+// restarted to serve it. Returns the newest version deployed.
+func (r *Router) Reload() (int64, error) {
+	r.swapMu.Lock()
+	defer r.swapMu.Unlock()
+	var latest int64
+	for _, rep := range r.pool.replicas {
+		v, err := rep.backend.Reload()
+		if err != nil {
+			return 0, fmt.Errorf("router: reloading replica %d: %w", rep.ID, err)
+		}
+		if v > latest {
+			latest = v
+		}
+	}
+	if err := r.refreshMetasLocked(); err != nil {
+		return 0, fmt.Errorf("router: reload deployed an incompatible model — restart the router to serve it: %w", err)
+	}
+	return latest, nil
+}
+
+// Coordinate runs fn while holding the swap lock, so no class-mode
+// scatter straddles whatever multi-replica mutation fn performs (the
+// public API's fleet-wide Swap uses it), then refreshes and revalidates
+// the replica metadata like Reload.
+func (r *Router) Coordinate(fn func() error) error {
+	r.swapMu.Lock()
+	defer r.swapMu.Unlock()
+	if err := fn(); err != nil {
+		return err
+	}
+	return r.refreshMetasLocked()
+}
+
+// refreshMetasLocked re-probes every backend and checks the fleet still
+// matches the router's plan (same shard tiling and class count in class
+// mode, same shape in replica mode). Caller holds swapMu.
+func (r *Router) refreshMetasLocked() error {
+	metas := make([]Meta, len(r.pool.replicas))
+	for i, rep := range r.pool.replicas {
+		m, err := rep.backend.Meta()
+		if err != nil {
+			// Unreachable replicas are the health monitor's problem, not
+			// a shape mismatch; keep the last known meta.
+			metas[i] = rep.Meta()
+			continue
+		}
+		metas[i] = m
+		rep.meta.Store(&m)
+	}
+	switch r.mode {
+	case ModeClass:
+		plan, err := planFromMetas(metas)
+		if err != nil {
+			return err
+		}
+		for i := range plan {
+			if plan[i] != r.plan[i] {
+				return fmt.Errorf("router: replica %d now serves shard [%d,%d), planned [%d,%d)",
+					i, plan[i].Low, plan[i].High, r.plan[i].Low, r.plan[i].High)
+			}
+		}
+		if metas[0].TotalClasses != r.classes {
+			return fmt.Errorf("router: model now has %d classes, router planned %d", metas[0].TotalClasses, r.classes)
+		}
+	case ModeReplica:
+		for i, m := range metas {
+			if m.Classes != r.classes || m.Features != r.features {
+				return fmt.Errorf("router: replica %d now serves (%d classes, %d features), router planned (%d, %d)",
+					i, m.Classes, m.Features, r.classes, r.features)
+			}
+		}
+	}
+	return nil
+}
+
+func (r *Router) getScratch(n int) *[]float64 {
+	if p, ok := r.scratch.Get().(*[]float64); ok && cap(*p) >= n {
+		return p
+	}
+	buf := make([]float64, n)
+	return &buf
+}
+
+func (r *Router) putScratch(p *[]float64) { r.scratch.Put(p) }

@@ -1,0 +1,271 @@
+package router
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"newtonadmm/internal/serve"
+)
+
+// Server is the router's HTTP surface — wire-compatible with the
+// single-node serve.Server so clients and the load generator cannot
+// tell a fleet from one replica:
+//
+//	POST /v1/predict    scatter-gather prediction
+//	POST /v1/proba      same plus class probabilities
+//	GET  /healthz       tier readiness + per-replica states
+//	GET  /metricz       router counters + per-replica breakdown
+//	POST /v1/reload     coordinated hot swap across all replicas
+//	POST /v1/replicas   admin: {"id":N,"action":"drain"|"undrain"}
+type Server struct {
+	rt    *Router
+	mux   *http.ServeMux
+	start time.Time
+}
+
+// NewServer wires the router's HTTP surface.
+func NewServer(rt *Router) *Server {
+	s := &Server{rt: rt, mux: http.NewServeMux(), start: time.Now()}
+	s.mux.HandleFunc("/v1/predict", func(w http.ResponseWriter, r *http.Request) { s.handlePredict(w, r, false) })
+	s.mux.HandleFunc("/v1/proba", func(w http.ResponseWriter, r *http.Request) { s.handlePredict(w, r, true) })
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metricz", s.handleMetricz)
+	s.mux.HandleFunc("/v1/reload", s.handleReload)
+	s.mux.HandleFunc("/v1/replicas", s.handleReplicas)
+	return s
+}
+
+// Handler returns the root http.Handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Router returns the underlying router (tests, stats).
+func (s *Server) Router() *Router { return s.rt }
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// statusFor extends the single-node error mapping with the router's
+// taxonomy: backpressure is 429; tier unavailability (no replicas, shard
+// down, version skew, no model, shutdown, hot-swap shape change) is 503;
+// the rest are 400-class request problems.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, serve.ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrNoReplicas), errors.Is(err, ErrShardUnavailable), errors.Is(err, ErrVersionSkew),
+		errors.Is(err, ErrReplicaUnreachable),
+		errors.Is(err, serve.ErrNoModel), errors.Is(err, serve.ErrClosed), errors.Is(err, serve.ErrModelShapeChanged):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+type predictRequest struct {
+	Instances []json.RawMessage `json:"instances"`
+}
+
+type predictResponse struct {
+	Predictions   []int       `json:"predictions"`
+	Probabilities [][]float64 `json:"probabilities,omitempty"`
+	ModelVersion  int64       `json:"model_version"`
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request, proba bool) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req predictRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Instances) == 0 {
+		writeError(w, http.StatusBadRequest, "no instances")
+		return
+	}
+	var b Batch
+	for i, raw := range req.Instances {
+		inst, err := serve.ParseInstance(raw)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "instance %d: %v", i, err)
+			return
+		}
+		if inst.Sparse {
+			b.AddCSR(inst.Indices, inst.Values)
+		} else {
+			b.AddDense(inst.Dense)
+		}
+	}
+	classes := s.rt.Classes()
+	resp := predictResponse{
+		Predictions:  make([]int, b.Rows()),
+		ModelVersion: s.rt.Version(),
+	}
+	var err error
+	if proba {
+		flat := make([]float64, b.Rows()*classes)
+		if err = s.rt.Proba(&b, flat, resp.Predictions); err == nil {
+			resp.Probabilities = make([][]float64, b.Rows())
+			for i := range resp.Probabilities {
+				resp.Probabilities[i] = flat[i*classes : (i+1)*classes]
+			}
+		}
+	} else {
+		err = s.rt.Predict(&b, resp.Predictions)
+	}
+	if err != nil {
+		writeError(w, statusFor(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// replicaHealth is one replica's row in /healthz.
+type replicaHealth struct {
+	ID       int    `json:"id"`
+	State    string `json:"state"`
+	Version  int64  `json:"version"`
+	InFlight int64  `json:"in_flight"`
+	ShardLow int    `json:"shard_low,omitempty"`
+	ShardHi  int    `json:"shard_high,omitempty"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	reps := s.rt.Pool().Replicas()
+	rows := make([]replicaHealth, len(reps))
+	healthy := 0
+	for i, rep := range reps {
+		m := rep.Meta()
+		rows[i] = replicaHealth{
+			ID: rep.ID, State: rep.State().String(), Version: m.Version, InFlight: rep.InFlight(),
+		}
+		if s.rt.Mode() == ModeClass {
+			rows[i].ShardLow, rows[i].ShardHi = s.rt.Plan()[i].Low, s.rt.Plan()[i].High
+		}
+		if rep.State() == StateHealthy {
+			healthy++
+		}
+	}
+	// Replica mode serves as long as one replica is up; class mode needs
+	// the whole tile.
+	status := "ok"
+	code := http.StatusOK
+	switch s.rt.Mode() {
+	case ModeReplica:
+		if healthy == 0 {
+			status, code = "unavailable", http.StatusServiceUnavailable
+		} else if healthy < len(reps) {
+			status = "degraded"
+		}
+	case ModeClass:
+		if healthy < len(reps) {
+			status, code = "unavailable", http.StatusServiceUnavailable
+		}
+	}
+	writeJSON(w, code, map[string]any{
+		"status": status,
+		"mode":   string(s.rt.Mode()),
+		"model": serve.ModelMeta{
+			Version:  s.rt.Version(),
+			Classes:  s.rt.Classes(),
+			Features: s.rt.Features(),
+		},
+		"replicas":       rows,
+		"uptime_seconds": time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	st := s.rt.Stats()
+	fmt.Fprintf(w, "router_mode %s\n", st.Mode)
+	fmt.Fprintf(w, "router_requests %d\n", st.Requests)
+	fmt.Fprintf(w, "router_failovers %d\n", st.Failovers)
+	fmt.Fprintf(w, "router_skew_retries %d\n", st.SkewRetry)
+	fmt.Fprintf(w, "router_model_version %d\n", s.rt.Version())
+	for _, rs := range st.Replicas {
+		fmt.Fprintf(w, "router_replica_%d_state %s\n", rs.ID, rs.State)
+		fmt.Fprintf(w, "router_replica_%d_done %d\n", rs.ID, rs.Done)
+		fmt.Fprintf(w, "router_replica_%d_errors %d\n", rs.ID, rs.Errors)
+		fmt.Fprintf(w, "router_replica_%d_rejected %d\n", rs.ID, rs.Rejected)
+		fmt.Fprintf(w, "router_replica_%d_inflight %d\n", rs.ID, rs.InFlight)
+		fmt.Fprintf(w, "router_replica_%d_latency_p50_us %.1f\n", rs.ID, float64(rs.Latency.P50.Microseconds()))
+		fmt.Fprintf(w, "router_replica_%d_latency_p99_us %.1f\n", rs.ID, float64(rs.Latency.P99.Microseconds()))
+	}
+	fmt.Fprintf(w, "router_uptime_seconds %.3f\n", time.Since(s.start).Seconds())
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	version, err := s.rt.Reload()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "reload failed: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "reloaded", "model_version": version})
+}
+
+// handleReplicas is the admin surface: GET lists replica stats, POST
+// with {"id":N,"action":"drain"|"undrain"} (or ?id=&action=) changes a
+// replica's routing state. Draining blocks until the replica's in-flight
+// requests finish.
+func (s *Server) handleReplicas(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, map[string]any{"replicas": s.rt.Pool().Stats()})
+	case http.MethodPost:
+		var req struct {
+			ID     int    `json:"id"`
+			Action string `json:"action"`
+		}
+		if q := r.URL.Query(); q.Get("action") != "" {
+			req.Action = q.Get("action")
+			id, err := strconv.Atoi(q.Get("id"))
+			if err != nil {
+				writeError(w, http.StatusBadRequest, "bad id: %v", err)
+				return
+			}
+			req.ID = id
+		} else if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+			return
+		}
+		var err error
+		switch req.Action {
+		case "drain":
+			err = s.rt.Pool().Drain(req.ID, 30*time.Second)
+		case "undrain":
+			err = s.rt.Pool().Undrain(req.ID)
+		default:
+			writeError(w, http.StatusBadRequest, "unknown action %q (want drain or undrain)", req.Action)
+			return
+		}
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"status": req.Action, "id": req.ID})
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "use GET or POST")
+	}
+}

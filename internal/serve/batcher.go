@@ -201,6 +201,23 @@ func (b *Batcher) Close() {
 	b.wg.Wait()
 }
 
+// InFlight returns the number of accepted requests not yet answered.
+func (b *Batcher) InFlight() int64 {
+	return b.submitted.Load() - b.completed.Load()
+}
+
+// Drain blocks until every request accepted before the call has been
+// answered (scored or failed); requests submitted after Drain starts are
+// not waited for. This is the replica-side drain hook the serving
+// router uses to retire a replica without dropping accepted work: stop
+// routing to the replica, Drain, then close it.
+func (b *Batcher) Drain() {
+	target := b.submitted.Load()
+	for b.completed.Load() < target {
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
 func (b *Batcher) getReq() *request {
 	return b.pool.Get().(*request)
 }
@@ -534,7 +551,7 @@ func deliverProba(r *request, row []float64, classes int) {
 		r.err = fmt.Errorf("%w (now %d classes, request expected %d)", ErrModelShapeChanged, classes, len(r.probaOut))
 		return
 	}
-	r.class = argmaxProba(row)
+	r.class = ArgmaxProba(row)
 	if r.probaOut != nil {
 		copy(r.probaOut, row)
 	}
@@ -575,7 +592,7 @@ func (b *Batcher) finishSub(reqs []*request, err error) {
 			if r.probaOut != nil {
 				rerr = scorer.ProbaDense([][]float64{r.dense}, r.probaOut)
 				if rerr == nil {
-					r.class = argmaxProba(r.probaOut)
+					r.class = ArgmaxProba(r.probaOut)
 				}
 			} else {
 				rerr = scorer.PredictDense([][]float64{r.dense}, out[:])
@@ -585,7 +602,7 @@ func (b *Batcher) finishSub(reqs []*request, err error) {
 			if r.probaOut != nil {
 				rerr = scorer.ProbaCSR([][]int{r.idx}, [][]float64{r.val}, r.probaOut)
 				if rerr == nil {
-					r.class = argmaxProba(r.probaOut)
+					r.class = ArgmaxProba(r.probaOut)
 				}
 			} else {
 				rerr = scorer.PredictCSR([][]int{r.idx}, [][]float64{r.val}, out[:])

@@ -20,6 +20,16 @@ type Target interface {
 	Predict(row []float64) (int, error)
 }
 
+// ProbaTarget is the probability-mode surface: Proba fills out (length
+// Classes) with the row's class probabilities and returns the predicted
+// class. The in-process Batcher and HTTPTarget both implement it, so
+// predict-vs-proba and router-vs-single-node comparisons run through one
+// generator.
+type ProbaTarget interface {
+	Target
+	Proba(row []float64, out []float64) (int, error)
+}
+
 // LoadConfig configures a load-generation run. The generator is
 // deterministic given the same rows, config, and target behavior: closed
 // loop walks the row set in a fixed per-worker stride, open loop fires
@@ -48,6 +58,11 @@ type LoadConfig struct {
 	// the measurement loop stays off the clock for the rest — the same
 	// discipline the batcher applies to its own /metricz histogram.
 	SampleEvery int
+	// Proba switches every request to the probability path: the target
+	// must implement ProbaTarget and Classes must be the model's class
+	// count (sizes the per-worker probability buffer).
+	Proba   bool
+	Classes int
 }
 
 func (c LoadConfig) withDefaults() LoadConfig {
@@ -95,6 +110,14 @@ func RunLoad(target Target, rows [][]float64, cfg LoadConfig) (LoadResult, error
 	if len(rows) == 0 {
 		return LoadResult{}, errors.New("serve: load generator needs at least one row")
 	}
+	if cfg.Proba {
+		if _, ok := target.(ProbaTarget); !ok {
+			return LoadResult{}, errors.New("serve: probability mode needs a ProbaTarget")
+		}
+		if cfg.Classes < 2 {
+			return LoadResult{}, errors.New("serve: probability mode needs Classes >= 2")
+		}
+	}
 	switch cfg.Mode {
 	case "closed":
 		return runClosedLoop(target, rows, cfg), nil
@@ -128,6 +151,18 @@ func (c *loadCounters) record(start time.Time, err error, measuring bool) {
 	}
 }
 
+// caller returns the request function one worker drives: Predict, or
+// Proba into a worker-private probability buffer when cfg.Proba is set
+// (RunLoad has already validated the target and class count).
+func caller(target Target, cfg LoadConfig) func(row []float64) (int, error) {
+	if !cfg.Proba {
+		return target.Predict
+	}
+	pt := target.(ProbaTarget)
+	out := make([]float64, cfg.Classes)
+	return func(row []float64) (int, error) { return pt.Proba(row, out) }
+}
+
 // recordFast counts an unsampled request (no clock, no histogram).
 func (c *loadCounters) recordFast(err error, measuring bool) {
 	if !measuring {
@@ -155,6 +190,7 @@ func runClosedLoop(target Target, rows [][]float64, cfg LoadConfig) LoadResult {
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
+			call := caller(target, cfg)
 			i := worker // fixed stride walk: deterministic row sequence per worker
 			for {
 				// Block head: the one fully timed request. Its clock read
@@ -170,13 +206,13 @@ func runClosedLoop(target Target, rows [][]float64, cfg LoadConfig) LoadResult {
 				}
 				row := rows[i%len(rows)]
 				i += cfg.Concurrency
-				_, err := target.Predict(row)
+				_, err := call(row)
 				ctr.record(t0, err, measuring)
 				// Block tail: counted but not clocked.
 				for j := 1; j < cfg.SampleEvery; j++ {
 					row = rows[i%len(rows)]
 					i += cfg.Concurrency
-					_, err = target.Predict(row)
+					_, err = call(row)
 					ctr.recordFast(err, measuring)
 				}
 			}
@@ -233,8 +269,10 @@ func runOpenLoop(target Target, rows [][]float64, cfg LoadConfig) LoadResult {
 			wg.Add(1)
 			go func(row []float64) {
 				defer wg.Done()
+				// Per-request caller: concurrent open-loop goroutines
+				// cannot share one probability buffer.
 				t0 := time.Now()
-				_, err := target.Predict(row)
+				_, err := caller(target, cfg)(row)
 				ctr.record(t0, err, measuring)
 				<-sem
 			}(row)
@@ -268,33 +306,59 @@ type HTTPTarget struct {
 
 // Predict posts the row and returns the predicted class.
 func (t *HTTPTarget) Predict(row []float64) (int, error) {
-	body, err := json.Marshal(map[string]any{"instances": []any{row}})
+	pr, err := t.post("/v1/predict", row)
 	if err != nil {
 		return 0, err
+	}
+	return pr.Predictions[0], nil
+}
+
+// Proba posts the row to /v1/proba, copies the class probabilities into
+// out, and returns the predicted class.
+func (t *HTTPTarget) Proba(row []float64, out []float64) (int, error) {
+	pr, err := t.post("/v1/proba", row)
+	if err != nil {
+		return 0, err
+	}
+	if len(pr.Probabilities) != 1 {
+		return 0, fmt.Errorf("serve: got %d probability rows for 1 instance", len(pr.Probabilities))
+	}
+	if len(pr.Probabilities[0]) != len(out) {
+		return 0, fmt.Errorf("serve: got %d probabilities, buffer has %d", len(pr.Probabilities[0]), len(out))
+	}
+	copy(out, pr.Probabilities[0])
+	return pr.Predictions[0], nil
+}
+
+// post sends one single-instance request and decodes the response.
+func (t *HTTPTarget) post(path string, row []float64) (predictResponse, error) {
+	var pr predictResponse
+	body, err := json.Marshal(map[string]any{"instances": []any{row}})
+	if err != nil {
+		return pr, err
 	}
 	client := t.Client
 	if client == nil {
 		client = http.DefaultClient
 	}
-	resp, err := client.Post(t.Base+"/v1/predict", "application/json", bytes.NewReader(body))
+	resp, err := client.Post(t.Base+path, "application/json", bytes.NewReader(body))
 	if err != nil {
-		return 0, err
+		return pr, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode == http.StatusTooManyRequests {
 		io.Copy(io.Discard, resp.Body)
-		return 0, ErrQueueFull
+		return pr, ErrQueueFull
 	}
 	if resp.StatusCode != http.StatusOK {
 		b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return 0, fmt.Errorf("serve: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(b))
+		return pr, fmt.Errorf("serve: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(b))
 	}
-	var pr predictResponse
 	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
-		return 0, err
+		return pr, err
 	}
 	if len(pr.Predictions) != 1 {
-		return 0, fmt.Errorf("serve: got %d predictions for 1 instance", len(pr.Predictions))
+		return pr, fmt.Errorf("serve: got %d predictions for 1 instance", len(pr.Predictions))
 	}
-	return pr.Predictions[0], nil
+	return pr, nil
 }

@@ -257,11 +257,53 @@ func (p *Predictor) ProbaCSR(idx [][]int, val [][]float64, out []float64) error 
 	return nil
 }
 
-// argmaxProba returns the class of a probability vector with exactly the
+// ScoresDense writes the raw explicit-class score tile of each dense row
+// into out (row-major len(rows) x (Classes-1), no softmax transform).
+// This is the partial-logit surface of the class-sharded serving tier: a
+// shard replica's predictor holds only its slice of the weight rows (its
+// Classes is the slice width plus the implicit reference class) and the
+// router merges the partial columns before the argmax/probability
+// transform.
+func (p *Predictor) ScoresDense(rows [][]float64, out []float64) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	m := p.classes - 1
+	if len(out) < len(rows)*m {
+		return fmt.Errorf("serve: score buffer has %d entries for %d rows x %d explicit classes", len(out), len(rows), m)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.stageDense(rows); err != nil {
+		return err
+	}
+	p.scorer.ScoresInto(p.denseFeat, p.weights, out[:len(rows)*m])
+	return nil
+}
+
+// ScoresCSR is ScoresDense for sparse rows.
+func (p *Predictor) ScoresCSR(idx [][]int, val [][]float64, out []float64) error {
+	if len(idx) == 0 {
+		return nil
+	}
+	m := p.classes - 1
+	if len(out) < len(idx)*m {
+		return fmt.Errorf("serve: score buffer has %d entries for %d rows x %d explicit classes", len(out), len(idx), m)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.stageCSR(idx, val); err != nil {
+		return err
+	}
+	p.scorer.ScoresInto(p.csrFeat, p.weights, out[:len(idx)*m])
+	return nil
+}
+
+// ArgmaxProba returns the class of a probability vector with exactly the
 // tie-breaking of loss.PredictInto: the reference class (last entry)
 // wins ties against explicit classes, and among explicit classes the
 // lowest index wins.
-func argmaxProba(probs []float64) int {
+func ArgmaxProba(probs []float64) int {
 	ref := len(probs) - 1
 	best, bestP := ref, probs[ref]
 	for c := 0; c < ref; c++ {

@@ -176,7 +176,7 @@ func TestProbaMatchesPredictAndSumsToOne(t *testing.T) {
 		if math.Abs(sum-1) > 1e-12 {
 			t.Fatalf("row %d probabilities sum to %v", i, sum)
 		}
-		if got := argmaxProba(row); got != classesOut[i] {
+		if got := ArgmaxProba(row); got != classesOut[i] {
 			t.Fatalf("row %d: proba argmax %d, predict %d", i, got, classesOut[i])
 		}
 		for c := 0; c < classes; c++ {
@@ -244,13 +244,13 @@ func TestPredictorZeroAllocsSteadyState(t *testing.T) {
 func TestArgmaxProbaTieBreaking(t *testing.T) {
 	// Reference class (last) wins exact ties; earliest explicit class
 	// wins ties among explicit classes — matching loss.PredictInto.
-	if got := argmaxProba([]float64{0.25, 0.25, 0.25, 0.25}); got != 3 {
+	if got := ArgmaxProba([]float64{0.25, 0.25, 0.25, 0.25}); got != 3 {
 		t.Fatalf("all-tied: got %d, want reference class 3", got)
 	}
-	if got := argmaxProba([]float64{0.3, 0.3, 0.2, 0.2}); got != 0 {
+	if got := ArgmaxProba([]float64{0.3, 0.3, 0.2, 0.2}); got != 0 {
 		t.Fatalf("explicit tie: got %d, want 0", got)
 	}
-	if got := argmaxProba([]float64{0.1, 0.5, 0.2, 0.2}); got != 1 {
+	if got := ArgmaxProba([]float64{0.1, 0.5, 0.2, 0.2}); got != 1 {
 		t.Fatalf("got %d, want 1", got)
 	}
 }

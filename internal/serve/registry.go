@@ -16,7 +16,23 @@ type ModelMeta struct {
 	Classes  int       `json:"classes"`
 	Features int       `json:"features"`
 	LoadedAt time.Time `json:"loaded_at"`
+
+	// Class-shard metadata, set when this snapshot holds only a slice of
+	// a larger model's explicit class rows (ShardCount > 0): the snapshot
+	// scores explicit classes [ShardLow, ShardHigh) of a model with
+	// TotalClasses classes, and its own Classes is ShardHigh-ShardLow+1
+	// (the slice plus the implicit reference class). The scatter-gather
+	// router reads these from /healthz to plan partial-logit merges.
+	ShardIndex   int `json:"shard_index,omitempty"`
+	ShardCount   int `json:"shard_count,omitempty"`
+	ShardLow     int `json:"shard_low,omitempty"`
+	ShardHigh    int `json:"shard_high,omitempty"`
+	TotalClasses int `json:"total_classes,omitempty"`
 }
+
+// IsShard reports whether this snapshot is a class shard of a larger
+// model rather than a full replica.
+func (m ModelMeta) IsShard() bool { return m.ShardCount > 0 }
 
 // entry is one registered snapshot with its reference count. The count
 // starts at 1 (the registry's own reference); every Acquire adds one and
@@ -75,19 +91,11 @@ func (r *Registry) Swap(p *Predictor, meta ModelMeta) int64 {
 // be called when the caller's batch is done with it. The snapshot stays
 // fully usable until released, even across concurrent swaps.
 func (r *Registry) Acquire() (Scorer, func(), error) {
-	for {
-		e := r.cur.Load()
-		if e == nil {
-			return nil, nil, ErrNoModel
-		}
-		e.refs.Add(1)
-		if r.cur.Load() == e {
-			return e.pred, func() { e.release() }, nil
-		}
-		// Lost a race with Swap; drop the speculative reference (which
-		// may be the one that closes the retired snapshot) and retry.
-		e.release()
+	p, _, release, err := r.AcquireCurrent()
+	if err != nil {
+		return nil, nil, err
 	}
+	return p, release, nil
 }
 
 // AcquirePredictor is Acquire for callers that need the concrete
@@ -98,6 +106,28 @@ func (r *Registry) AcquirePredictor() (*Predictor, func(), error) {
 		return nil, nil, err
 	}
 	return s.(*Predictor), rel, nil
+}
+
+// AcquireCurrent returns the current predictor together with its
+// snapshot's metadata, atomically with the acquisition — the returned
+// version always describes exactly the weights the predictor scores
+// with, even across concurrent swaps. The shard scoring path uses it so
+// the router can detect partial results computed against different model
+// versions mid-rollout.
+func (r *Registry) AcquireCurrent() (*Predictor, ModelMeta, func(), error) {
+	for {
+		e := r.cur.Load()
+		if e == nil {
+			return nil, ModelMeta{}, nil, ErrNoModel
+		}
+		e.refs.Add(1)
+		if r.cur.Load() == e {
+			return e.pred, e.meta, func() { e.release() }, nil
+		}
+		// Lost a race with Swap; drop the speculative reference (which
+		// may be the one that closes the retired snapshot) and retry.
+		e.release()
+	}
 }
 
 // Meta returns the current model's metadata; ok is false when no model

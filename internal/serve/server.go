@@ -35,6 +35,7 @@ func NewServer(reg *Registry, bat *Batcher, reload func() (int64, error)) *Serve
 	s := &Server{reg: reg, bat: bat, reload: reload, mux: http.NewServeMux(), start: time.Now()}
 	s.mux.HandleFunc("/v1/predict", func(w http.ResponseWriter, r *http.Request) { s.handlePredict(w, r, false) })
 	s.mux.HandleFunc("/v1/proba", func(w http.ResponseWriter, r *http.Request) { s.handlePredict(w, r, true) })
+	s.mux.HandleFunc("/v1/scores", s.handleScores)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metricz", s.handleMetricz)
 	s.mux.HandleFunc("/v1/reload", s.handleReload)
@@ -158,17 +159,30 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request, proba boo
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// submitInstance parses one instance (dense JSON array or sparse
-// indices/values object) and enqueues it.
-func (s *Server) submitInstance(raw json.RawMessage, probaOut []float64) (Ticket, error) {
-	trimmed := firstByte(raw)
-	switch trimmed {
+// Instance is one decoded wire instance: a dense feature row or a
+// sparse (indices, values) pair. Exactly one form is populated,
+// discriminated by Sparse (a sparse instance may legitimately have zero
+// nonzeros, so nil-ness of the slices cannot discriminate).
+type Instance struct {
+	Dense   []float64
+	Indices []int
+	Values  []float64
+	Sparse  bool
+}
+
+// ParseInstance decodes one request instance: a dense JSON array of
+// Features numbers, or a sparse {"indices":[...],"values":[...]} object
+// with strictly increasing zero-based indices. The scatter-gather router
+// shares this decoder so the router and single-node wire formats can
+// never drift apart.
+func ParseInstance(raw json.RawMessage) (Instance, error) {
+	switch firstByte(raw) {
 	case '[':
 		var row []float64
 		if err := json.Unmarshal(raw, &row); err != nil {
-			return Ticket{}, fmt.Errorf("bad dense instance: %w", err)
+			return Instance{}, fmt.Errorf("bad dense instance: %w", err)
 		}
-		return s.bat.SubmitDense(row, probaOut)
+		return Instance{Dense: row}, nil
 	case '{':
 		// Strict decoding: a typo'd key must be a 400, not a silently
 		// all-zero row scored as the reference class.
@@ -176,15 +190,117 @@ func (s *Server) submitInstance(raw json.RawMessage, probaOut []float64) (Ticket
 		dec := json.NewDecoder(bytes.NewReader(raw))
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&sp); err != nil {
-			return Ticket{}, fmt.Errorf("bad sparse instance: %w", err)
+			return Instance{}, fmt.Errorf("bad sparse instance: %w", err)
 		}
 		if sp.Indices == nil || sp.Values == nil {
-			return Ticket{}, fmt.Errorf("sparse instance needs both \"indices\" and \"values\"")
+			return Instance{}, fmt.Errorf("sparse instance needs both \"indices\" and \"values\"")
 		}
-		return s.bat.SubmitCSR(sp.Indices, sp.Values, probaOut)
+		return Instance{Indices: sp.Indices, Values: sp.Values, Sparse: true}, nil
 	default:
-		return Ticket{}, fmt.Errorf("instance must be an array or an {indices, values} object")
+		return Instance{}, fmt.Errorf("instance must be an array or an {indices, values} object")
 	}
+}
+
+// submitInstance parses one instance and enqueues it.
+func (s *Server) submitInstance(raw json.RawMessage, probaOut []float64) (Ticket, error) {
+	inst, err := ParseInstance(raw)
+	if err != nil {
+		return Ticket{}, err
+	}
+	if inst.Sparse {
+		return s.bat.SubmitCSR(inst.Indices, inst.Values, probaOut)
+	}
+	return s.bat.SubmitDense(inst.Dense, probaOut)
+}
+
+// scoresResponse is the partial-logit wire format: raw explicit-class
+// scores per instance (no softmax), plus the snapshot version they were
+// computed against. Go's encoding/json round-trips finite float64 values
+// bit-exactly, so a router merging these partials reproduces single-node
+// output bitwise.
+type scoresResponse struct {
+	Scores       [][]float64 `json:"scores"`
+	Cols         int         `json:"cols"`
+	ModelVersion int64       `json:"model_version"`
+}
+
+// handleScores is the class-shard data plane: it scores every instance
+// against this replica's weight rows and returns the raw partial score
+// tile. It deliberately bypasses the micro-batcher — the router already
+// batches a whole request's instances into one call, so the instances
+// arrive pre-coalesced and are scored in at most two launches (one
+// dense, one CSR).
+func (s *Server) handleScores(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req predictRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Instances) == 0 {
+		writeError(w, http.StatusBadRequest, "no instances")
+		return
+	}
+	// Partition into dense and sparse sub-batches, remembering each
+	// instance's slot so the response rows come back in request order.
+	var (
+		dense    [][]float64
+		idx      [][]int
+		val      [][]float64
+		denseAt  []int
+		sparseAt []int
+	)
+	for i, raw := range req.Instances {
+		inst, err := ParseInstance(raw)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "instance %d: %v", i, err)
+			return
+		}
+		if inst.Sparse {
+			idx = append(idx, inst.Indices)
+			val = append(val, inst.Values)
+			sparseAt = append(sparseAt, i)
+		} else {
+			dense = append(dense, inst.Dense)
+			denseAt = append(denseAt, i)
+		}
+	}
+	p, meta, release, err := s.reg.AcquireCurrent()
+	if err != nil {
+		writeError(w, statusFor(err), "%v", err)
+		return
+	}
+	defer release()
+	m := p.Classes() - 1
+	resp := scoresResponse{
+		Scores:       make([][]float64, len(req.Instances)),
+		Cols:         m,
+		ModelVersion: meta.Version,
+	}
+	if len(dense) > 0 {
+		out := make([]float64, len(dense)*m)
+		if err := p.ScoresDense(dense, out); err != nil {
+			writeError(w, statusFor(err), "%v", err)
+			return
+		}
+		for k, i := range denseAt {
+			resp.Scores[i] = out[k*m : (k+1)*m]
+		}
+	}
+	if len(idx) > 0 {
+		out := make([]float64, len(idx)*m)
+		if err := p.ScoresCSR(idx, val, out); err != nil {
+			writeError(w, statusFor(err), "%v", err)
+			return
+		}
+		for k, i := range sparseAt {
+			resp.Scores[i] = out[k*m : (k+1)*m]
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func firstByte(raw json.RawMessage) byte {

@@ -15,6 +15,7 @@ import (
 	"os"
 	"time"
 
+	"newtonadmm/internal/router"
 	"newtonadmm/internal/serve"
 )
 
@@ -172,6 +173,13 @@ type ServeOptions struct {
 	// file changes (mtime/size), so `nadmm-train -save` into the same
 	// path deploys with zero downtime.
 	Watch time.Duration
+	// ShardCount > 0 makes this server a class-shard replica: it serves
+	// only shard ShardIndex of ShardCount — the contiguous slice of the
+	// model's explicit class rows assigned by the shard planner — and
+	// reports the shard range on /healthz so a scatter-gather router can
+	// assemble the fleet. Reload and Watch re-slice the same shard from
+	// the refreshed checkpoint.
+	ShardIndex, ShardCount int
 }
 
 // ModelServer is a running (or embeddable) inference server.
@@ -228,11 +236,49 @@ func Serve(m *Model, opts ServeOptions) (*ModelServer, error) {
 }
 
 func (ms *ModelServer) swapModel(m *Model, path string) (int64, error) {
-	p, err := serve.NewPredictor(m.Weights, m.Classes, m.Features, ms.opts.Workers)
+	return swapShardInto(ms.reg, m, path, ms.opts.ShardIndex, ms.opts.ShardCount, ms.opts.Workers)
+}
+
+// swapShardInto builds a predictor for m — or, when shardCount > 0, its
+// class shard shardIndex of shardCount with the matching shard metadata
+// — and hot-swaps it into reg. This is the single swap path shared by
+// the single-node server, the in-process router replicas, and the
+// fleet-wide Swap.
+func swapShardInto(reg *serve.Registry, m *Model, path string, shardIndex, shardCount, workers int) (int64, error) {
+	weights, classes := m.Weights, m.Classes
+	meta := serve.ModelMeta{Path: path, Solver: m.Solver}
+	if shardCount > 0 {
+		var rng router.ShardRange
+		var err error
+		weights, classes, rng, err = shardSlice(m, shardIndex, shardCount)
+		if err != nil {
+			return 0, err
+		}
+		meta.ShardIndex, meta.ShardCount = shardIndex, shardCount
+		meta.ShardLow, meta.ShardHigh = rng.Low, rng.High
+		meta.TotalClasses = m.Classes
+	}
+	p, err := serve.NewPredictor(weights, classes, m.Features, workers)
 	if err != nil {
 		return 0, fmt.Errorf("newtonadmm: %w", err)
 	}
-	return ms.reg.Swap(p, serve.ModelMeta{Path: path, Solver: m.Solver}), nil
+	return reg.Swap(p, meta), nil
+}
+
+// shardSlice returns shard i-of-n of the model's explicit class rows:
+// the weight sub-vector, the shard's local class count (slice width plus
+// the implicit reference class), and the covered range.
+func shardSlice(m *Model, i, n int) ([]float64, int, router.ShardRange, error) {
+	if i < 0 || i >= n {
+		return nil, 0, router.ShardRange{}, fmt.Errorf("newtonadmm: shard index %d outside [0,%d)", i, n)
+	}
+	plan, err := router.PlanShards(m.Classes, n)
+	if err != nil {
+		return nil, 0, router.ShardRange{}, fmt.Errorf("newtonadmm: %w", err)
+	}
+	rng := plan[i]
+	w := m.Weights[rng.Low*m.Features : rng.High*m.Features]
+	return w, rng.Width() + 1, rng, nil
 }
 
 func (ms *ModelServer) reloadFromPath() (int64, error) {
@@ -321,3 +367,259 @@ func (ms *ModelServer) shutdown() {
 // Close stops the listener (if any), drains the batcher, and releases
 // the model's device.
 func (ms *ModelServer) Close() { ms.shutdown() }
+
+// RouterOptions configures the sharded serving tier: a scatter-gather
+// router over N predictor replicas.
+type RouterOptions struct {
+	// Addr is the router's listen address; empty serves no listener.
+	Addr string
+	// Replicas is the in-process replica count; <= 0 selects 2. Ignored
+	// when Join is set.
+	Replicas int
+	// Mode is "replica" (data-parallel whole-model replicas,
+	// least-loaded routing with failover; the default) or "class"
+	// (model-parallel class-sharded replicas, partial-logit
+	// scatter-gather merged bitwise-identically to single-node scoring).
+	Mode string
+	// Join lists remote replica base URLs (e.g. "http://host:8081") to
+	// front instead of building in-process replicas: each must be a
+	// running nadmm-serve — full models for replica mode, shard replicas
+	// (started with ShardIndex/ShardCount) tiling one model for class
+	// mode.
+	Join []string
+	// MaxBatch, Linger, QueueDepth, Workers configure each in-process
+	// replica's micro-batcher and device exactly like ServeOptions.
+	MaxBatch   int
+	Linger     time.Duration
+	QueueDepth int
+	Workers    int
+	// ModelPath, when set, enables POST /v1/reload to hot-swap the
+	// checkpoint at that path across the whole in-process fleet.
+	ModelPath string
+	// HealthEvery is the replica health-probe interval; 0 selects 250ms,
+	// negative disables the monitor.
+	HealthEvery time.Duration
+}
+
+// RouterServer is a running scatter-gather serving tier.
+type RouterServer struct {
+	rt     *router.Router
+	srv    *router.Server
+	locals []*router.LocalBackend // nil entries for remote replicas
+	opts   RouterOptions
+	model  *Model
+
+	ln   net.Listener
+	hsrv *http.Server
+}
+
+// ServeSharded builds the distributed serving tier: N replicas (each its
+// own predictor, hot-swap registry, and micro-batcher — in-process, or
+// remote nadmm-serve processes via Join) behind a scatter-gather router
+// with health tracking, draining, failover, and coordinated hot swap,
+// exposed over the same HTTP surface as Serve. In class mode the
+// router's merged predictions and probabilities are bitwise identical to
+// a single-node Predictor over the full model.
+func ServeSharded(m *Model, opts RouterOptions) (*RouterServer, error) {
+	if opts.Replicas <= 0 {
+		opts.Replicas = 2
+	}
+	mode := router.Mode(opts.Mode)
+	if opts.Mode == "" {
+		mode = router.ModeReplica
+	}
+	rs := &RouterServer{opts: opts, model: m}
+
+	var backends []router.Backend
+	if len(opts.Join) > 0 {
+		for _, base := range opts.Join {
+			backends = append(backends, &router.HTTPBackend{Base: base})
+		}
+	} else {
+		if m == nil {
+			return nil, fmt.Errorf("newtonadmm: ServeSharded needs a model (or Join addresses)")
+		}
+		for i := 0; i < opts.Replicas; i++ {
+			lb, err := rs.buildLocalReplica(m, i, mode)
+			if err != nil {
+				for _, b := range backends {
+					b.Close()
+				}
+				return nil, err
+			}
+			rs.locals = append(rs.locals, lb)
+			backends = append(backends, lb)
+		}
+	}
+
+	rt, err := router.New(backends, router.Options{Mode: mode, HealthEvery: opts.HealthEvery})
+	if err != nil {
+		for _, b := range backends {
+			b.Close()
+		}
+		return nil, fmt.Errorf("newtonadmm: %w", err)
+	}
+	rs.rt = rt
+	rs.srv = router.NewServer(rt)
+
+	if opts.Addr != "" {
+		ln, err := net.Listen("tcp", opts.Addr)
+		if err != nil {
+			rs.Close()
+			return nil, fmt.Errorf("newtonadmm: %w", err)
+		}
+		rs.ln = ln
+		rs.hsrv = &http.Server{Handler: rs.srv.Handler()}
+		go rs.hsrv.Serve(ln)
+	}
+	return rs, nil
+}
+
+// buildLocalReplica assembles one in-process replica: registry with the
+// (possibly shard-sliced) snapshot, micro-batcher, and a reloader that
+// re-reads ModelPath and re-slices the same shard.
+func (rs *RouterServer) buildLocalReplica(m *Model, i int, mode router.Mode) (*router.LocalBackend, error) {
+	reg := serve.NewRegistry()
+	shardCount := 0
+	if mode == router.ModeClass {
+		shardCount = rs.opts.Replicas
+	}
+	swap := func(nm *Model) (int64, error) {
+		return swapShardInto(reg, nm, rs.opts.ModelPath, i, shardCount, rs.opts.Workers)
+	}
+	if _, err := swap(m); err != nil {
+		reg.Close()
+		return nil, err
+	}
+	bat := serve.NewBatcher(reg, serve.BatcherConfig{
+		MaxBatch: rs.opts.MaxBatch, MaxLinger: rs.opts.Linger, QueueDepth: rs.opts.QueueDepth,
+	})
+	var reload func() (int64, error)
+	if rs.opts.ModelPath != "" {
+		path := rs.opts.ModelPath
+		reload = func() (int64, error) {
+			nm, err := LoadModel(path)
+			if err != nil {
+				return 0, err
+			}
+			return swap(nm)
+		}
+	}
+	return router.NewLocalBackend(reg, bat, reload), nil
+}
+
+// Router returns the underlying router (stats, drain/undrain).
+func (rs *RouterServer) Router() *router.Router { return rs.rt }
+
+// Handler returns the router's HTTP surface for embedding.
+func (rs *RouterServer) Handler() http.Handler { return rs.srv.Handler() }
+
+// Addr returns the bound listen address ("" when not listening).
+func (rs *RouterServer) Addr() string {
+	if rs.ln == nil {
+		return ""
+	}
+	return rs.ln.Addr().String()
+}
+
+// Swap hot-swaps a new model across the whole in-process fleet with
+// zero downtime (class mode re-slices the shards). The swap runs under
+// the router's coordination lock, so no class-mode scatter straddles
+// the rollout and merged logits stay version-consistent; the router's
+// replica metadata is refreshed and revalidated against its plan (a
+// model whose shape no longer fits the plan is rejected). Returns the
+// newest version deployed.
+func (rs *RouterServer) Swap(m *Model) (int64, error) {
+	if m == nil {
+		return 0, fmt.Errorf("newtonadmm: nil model")
+	}
+	if len(rs.locals) == 0 {
+		return 0, fmt.Errorf("newtonadmm: Swap needs in-process replicas (remote fleets reload via /v1/reload)")
+	}
+	shardCount := 0
+	if rs.rt.Mode() == router.ModeClass {
+		shardCount = len(rs.locals)
+	}
+	var latest int64
+	err := rs.rt.Coordinate(func() error {
+		for i, lb := range rs.locals {
+			v, err := swapShardInto(lb.Registry(), m, "", i, shardCount, rs.opts.Workers)
+			if err != nil {
+				return err
+			}
+			if v > latest {
+				latest = v
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return latest, nil
+}
+
+// SwapReplica hot-swaps a single replica's model while the rest of the
+// fleet keeps serving (replica-balanced rollouts; class mode must swap
+// the whole fleet via Swap or Reload so shard versions stay aligned).
+func (rs *RouterServer) SwapReplica(id int, m *Model) (int64, error) {
+	if rs.rt.Mode() != router.ModeReplica {
+		return 0, fmt.Errorf("newtonadmm: SwapReplica needs replica mode (use Swap in class mode)")
+	}
+	if id < 0 || id >= len(rs.locals) {
+		return 0, fmt.Errorf("newtonadmm: no in-process replica %d", id)
+	}
+	if m == nil {
+		return 0, fmt.Errorf("newtonadmm: nil model")
+	}
+	// The router's buffers and merge plan are sized at construction; a
+	// replica with a different shape would corrupt routing, so a
+	// shape-changing rollout must rebuild the tier (or go through Swap,
+	// which revalidates the whole fleet).
+	if m.Classes != rs.rt.Classes() || m.Features != rs.rt.Features() {
+		return 0, fmt.Errorf("newtonadmm: replacement model shape (%d classes, %d features) != serving tier (%d, %d)",
+			m.Classes, m.Features, rs.rt.Classes(), rs.rt.Features())
+	}
+	return swapShardInto(rs.locals[id].Registry(), m, "", 0, 0, rs.opts.Workers)
+}
+
+// routerTarget adapts the router to the load generator's Target and
+// ProbaTarget interfaces (single-row requests, the same unit the HTTP
+// surface submits per instance).
+type routerTarget struct{ rt *router.Router }
+
+func (t routerTarget) Predict(row []float64) (int, error) {
+	var b router.Batch
+	b.AddDense(row)
+	var out [1]int
+	if err := t.rt.Predict(&b, out[:]); err != nil {
+		return 0, err
+	}
+	return out[0], nil
+}
+
+func (t routerTarget) Proba(row []float64, out []float64) (int, error) {
+	var b router.Batch
+	b.AddDense(row)
+	var cls [1]int
+	if err := t.rt.Proba(&b, out, cls[:]); err != nil {
+		return 0, err
+	}
+	return cls[0], nil
+}
+
+// Target returns an in-process load-generation target driving the
+// router (implements serve.Target and serve.ProbaTarget).
+func (rs *RouterServer) Target() serve.ProbaTarget { return routerTarget{rt: rs.rt} }
+
+// Close stops the listener, the router's health monitor, and every
+// in-process replica (batchers drain, devices release).
+func (rs *RouterServer) Close() {
+	if rs.hsrv != nil {
+		rs.hsrv.Close()
+		rs.hsrv = nil
+	}
+	if rs.rt != nil {
+		rs.rt.Close()
+	}
+}
