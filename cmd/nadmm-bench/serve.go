@@ -9,10 +9,13 @@ package main
 //
 // -compare runs the same load across the serving configurations — the
 // pre-subsystem one-shot path, the zero-alloc batch-1 pipeline, the
-// batched server, and the scatter-gather router in both placement modes
-// (replica-balanced and class-sharded) — and reports every row plus the
-// router's per-replica breakdown from a single run. -proba switches all
-// rows to the probability path.
+// batched server, the scatter-gather router in both placement modes
+// (replica-balanced and class-sharded) over in-process replicas, and
+// the same two placements over real replica servers crossing each
+// remote data plane (router-*-http: JSON, router-*-tcp: binary frames)
+// with a metered bytes-on-wire figure per row — and reports every row
+// plus the router's per-replica breakdown from a single run. -proba
+// switches all rows to the probability path.
 
 import (
 	"encoding/json"
@@ -50,7 +53,7 @@ func runServeBench(args []string) {
 		sample   = fs.Int("sample", 1, "record latency for 1 in N requests (closed loop; all requests still count)")
 		proba    = fs.Bool("proba", false, "drive the probability path (/v1/proba semantics) instead of plain prediction")
 		replicas = fs.Int("replicas", 2, "router replica count for the -compare router rows")
-		compare  = fs.Bool("compare", false, "also run one-shot, batch-1, and router (both modes) and report every row")
+		compare  = fs.Bool("compare", false, "also run one-shot, batch-1, and router (both modes, plus remote JSON and binary wire rows) and report every row")
 	)
 	fs.Parse(args)
 
@@ -121,6 +124,62 @@ func runServeBench(args []string) {
 		return res, rs.Router().Stats()
 	}
 
+	// runRouterRemote drives the tier over real replica servers and a
+	// real wire — plane "json" joins their HTTP surface, "binary" their
+	// frame listener — and meters bytes on the wire per request, so the
+	// JSON-vs-binary encode/decode comparison is measured, not asserted.
+	runRouterRemote := func(placement, plane string) (serve.LoadResult, router.Stats, float64) {
+		var servers []*newtonadmm.ModelServer
+		var joins []string
+		for i := 0; i < *replicas; i++ {
+			so := newtonadmm.ServeOptions{
+				Addr: "127.0.0.1:0", WireAddr: "127.0.0.1:0",
+				MaxBatch: *maxB, Linger: *linger, QueueDepth: *queue,
+			}
+			if placement == "class" {
+				so.ShardIndex, so.ShardCount = i, *replicas
+			}
+			ms, err := newtonadmm.Serve(m, so)
+			if err != nil {
+				log.Fatal(err)
+			}
+			servers = append(servers, ms)
+			if plane == "binary" {
+				joins = append(joins, "tcp://"+ms.WireAddr())
+			} else {
+				joins = append(joins, "http://"+ms.Addr())
+			}
+		}
+		defer func() {
+			for _, ms := range servers {
+				ms.Close()
+			}
+		}()
+		rs, err := newtonadmm.ServeSharded(nil, newtonadmm.RouterOptions{Join: joins, Mode: placement})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer rs.Close()
+		res, err := serve.RunLoad(rs.Target(), rows, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := rs.Router().Stats()
+		var sent, recv uint64
+		for _, rep := range rs.Router().Pool().Replicas() {
+			if ws, ok := rep.Backend().(router.WireStats); ok {
+				s, r := ws.BytesOnWire()
+				sent += s
+				recv += r
+			}
+		}
+		bytesPerReq := 0.0
+		if st.Requests > 0 {
+			bytesPerReq = float64(sent+recv) / float64(st.Requests)
+		}
+		return res, st, bytesPerReq
+	}
+
 	if *compare {
 		// The batched run goes first: the one-shot baseline allocates
 		// per request and leaves the process with a bloated heap and GC
@@ -143,6 +202,22 @@ func runServeBench(args []string) {
 		haveSharded := m.Classes-1 >= *replicas
 		if haveSharded {
 			sharded, shardedStats = runRouter("class")
+			runtime.GC()
+		}
+		// The remote data planes: the same placements over real replica
+		// servers, once across JSON/HTTP and once across the binary
+		// frame plane, with bytes-on-wire metered.
+		routedHTTP, routedHTTPStats, routedHTTPBytes := runRouterRemote("replica", "json")
+		runtime.GC()
+		routedTCP, routedTCPStats, routedTCPBytes := runRouterRemote("replica", "binary")
+		runtime.GC()
+		var shardedHTTP, shardedTCP serve.LoadResult
+		var shardedHTTPStats, shardedTCPStats router.Stats
+		var shardedHTTPBytes, shardedTCPBytes float64
+		if haveSharded {
+			shardedHTTP, shardedHTTPStats, shardedHTTPBytes = runRouterRemote("class", "json")
+			runtime.GC()
+			shardedTCP, shardedTCPStats, shardedTCPBytes = runRouterRemote("class", "binary")
 			runtime.GC()
 		}
 		// Baseline 2: batch-size-1 serving as it existed before the
@@ -169,6 +244,20 @@ func runServeBench(args []string) {
 		} else {
 			fmt.Printf("router-class     skipped: %d explicit classes < %d replicas\n", m.Classes-1, *replicas)
 		}
+		printLoadResult(fmt.Sprintf("router-replica-http%d", *replicas), routedHTTP)
+		printReplicaBreakdown(routedHTTPStats)
+		printWireBytes(routedHTTPBytes, "JSON bodies, headers excluded")
+		printLoadResult(fmt.Sprintf("router-replica-tcp%d ", *replicas), routedTCP)
+		printReplicaBreakdown(routedTCPStats)
+		printWireBytes(routedTCPBytes, "binary frames, exact")
+		if haveSharded {
+			printLoadResult(fmt.Sprintf("router-class-http%d  ", *replicas), shardedHTTP)
+			printReplicaBreakdown(shardedHTTPStats)
+			printWireBytes(shardedHTTPBytes, "JSON bodies, headers excluded")
+			printLoadResult(fmt.Sprintf("router-class-tcp%d   ", *replicas), shardedTCP)
+			printReplicaBreakdown(shardedTCPStats)
+			printWireBytes(shardedTCPBytes, "binary frames, exact")
+		}
 		if oneShot.Throughput > 0 {
 			fmt.Printf("\nbatched vs one-shot per-request serving: %.2fx (%.0f -> %.0f req/s)\n",
 				batched.Throughput/oneShot.Throughput, oneShot.Throughput, batched.Throughput)
@@ -184,6 +273,16 @@ func runServeBench(args []string) {
 				fmt.Printf("router (class x%d) vs single batched:     %.2fx (%.0f -> %.0f req/s)\n",
 					*replicas, sharded.Throughput/batched.Throughput, batched.Throughput, sharded.Throughput)
 			}
+		}
+		if routedHTTP.Throughput > 0 {
+			fmt.Printf("binary vs JSON wire (replica x%d):        %.2fx req/s, %.2fx bytes (%.0f -> %.0f B/req)\n",
+				*replicas, routedTCP.Throughput/routedHTTP.Throughput,
+				routedHTTPBytes/routedTCPBytes, routedHTTPBytes, routedTCPBytes)
+		}
+		if haveSharded && shardedHTTP.Throughput > 0 {
+			fmt.Printf("binary vs JSON wire (class x%d):          %.2fx req/s, %.2fx bytes (%.0f -> %.0f B/req)\n",
+				*replicas, shardedTCP.Throughput/shardedHTTP.Throughput,
+				shardedHTTPBytes/shardedTCPBytes, shardedHTTPBytes, shardedTCPBytes)
 		}
 		return
 	}
@@ -262,6 +361,12 @@ func printLoadResult(label string, r serve.LoadResult) {
 		label, r.Throughput, r.Done, r.Rejected, r.Errors, r.Shed)
 	fmt.Printf("%s  latency mean=%v p50=%v p95=%v p99=%v max=%v\n",
 		label, l.Mean, l.P50, l.P95, l.P99, l.Max)
+}
+
+// printWireBytes reports the metered per-request bytes-on-wire of a
+// remote data-plane row.
+func printWireBytes(bytesPerReq float64, how string) {
+	fmt.Printf("    bytes on wire: %.0f B/req (%s)\n", bytesPerReq, how)
 }
 
 // printReplicaBreakdown reports the router's per-replica view of the

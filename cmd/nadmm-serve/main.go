@@ -37,6 +37,14 @@
 //	nadmm-serve -model model.gob -addr :8081 -shard-index 0 -shard-count 2 &
 //	nadmm-serve -model model.gob -addr :8082 -shard-index 1 -shard-count 2 &
 //	nadmm-serve -addr :8080 -shard-mode class -join http://127.0.0.1:8081,http://127.0.0.1:8082
+//
+//	# the same fleet on the binary data plane: replicas expose a frame
+//	# listener with -wire-addr, the router joins it via tcp:// URLs
+//	# (clients still speak JSON to the router; see DESIGN.md "Binary
+//	# data plane")
+//	nadmm-serve -model model.gob -addr :8081 -wire-addr :9081 -shard-index 0 -shard-count 2 &
+//	nadmm-serve -model model.gob -addr :8082 -wire-addr :9082 -shard-index 1 -shard-count 2 &
+//	nadmm-serve -addr :8080 -shard-mode class -join tcp://127.0.0.1:9081,tcp://127.0.0.1:9082
 package main
 
 import (
@@ -64,9 +72,12 @@ func main() {
 		workers  = flag.Int("workers", 0, "device workers (0 = NumCPU)")
 		watch    = flag.Duration("watch", 0, "poll the checkpoint at this interval and hot-swap on change (0 disables)")
 
+		wireAddr = flag.String("wire-addr", "", "also listen here with the binary frame data plane (join it with tcp:// from a router)")
+
 		replicas  = flag.Int("replicas", 1, "serve through a router over this many in-process replicas (>1 enables the fleet)")
 		shardMode = flag.String("shard-mode", "replica", "fleet placement: replica (whole-model copies) or class (class-sharded partial logits)")
-		join      = flag.String("join", "", "comma-separated replica base URLs to route over instead of in-process replicas")
+		join      = flag.String("join", "", "comma-separated replica base URLs to route over instead of in-process replicas (tcp:// = binary plane, http:// = JSON)")
+		wirePlane = flag.String("wire", "json", "data plane for scheme-less -join addresses: json or binary")
 
 		shardIndex = flag.Int("shard-index", 0, "serve class shard N of -shard-count (replica side of a multi-process fleet)")
 		shardCount = flag.Int("shard-count", 0, "total class shards; > 0 makes this server a shard replica")
@@ -83,7 +94,13 @@ func main() {
 	}
 
 	if *replicas > 1 || len(joins) > 0 {
-		runRouter(*model, *addr, *shardMode, joins, *replicas, *maxBatch, *linger, *queue, *workers)
+		if *wireAddr != "" {
+			// The frame listener is a replica-side surface; silently
+			// ignoring the flag would leave a router downstream dialing
+			// a port nothing listens on.
+			log.Fatal("-wire-addr applies to replica servers, not the router (join replicas' frame listeners with tcp:// instead)")
+		}
+		runRouter(*model, *addr, *shardMode, *wirePlane, joins, *replicas, *maxBatch, *linger, *queue, *workers)
 		return
 	}
 
@@ -98,7 +115,7 @@ func main() {
 	log.Printf("loaded %s: %d classes, %d features (solver %s)", *model, m.Classes, m.Features, m.Solver)
 
 	srv, err := newtonadmm.Serve(m, newtonadmm.ServeOptions{
-		Addr: *addr, MaxBatch: *maxBatch, Linger: *linger, QueueDepth: *queue,
+		Addr: *addr, WireAddr: *wireAddr, MaxBatch: *maxBatch, Linger: *linger, QueueDepth: *queue,
 		Workers: *workers, ModelPath: *model, Watch: *watch,
 		ShardIndex: *shardIndex, ShardCount: *shardCount,
 	})
@@ -106,6 +123,9 @@ func main() {
 		log.Fatal(err)
 	}
 	defer srv.Close()
+	if *wireAddr != "" {
+		log.Printf("binary data plane on %s (join with tcp://%s)", srv.WireAddr(), srv.WireAddr())
+	}
 	if *shardCount > 0 {
 		log.Printf("serving class shard %d/%d on %s (max-batch %d, linger %v)",
 			*shardIndex, *shardCount, srv.Addr(), *maxBatch, *linger)
@@ -139,8 +159,9 @@ func main() {
 }
 
 // runRouter starts the scatter-gather serving tier: in-process replicas
-// built from the checkpoint, or remote replicas joined by URL.
-func runRouter(model, addr, mode string, joins []string, replicas, maxBatch int, linger time.Duration, queue, workers int) {
+// built from the checkpoint, or remote replicas joined by URL (with the
+// data plane negotiated per URL scheme).
+func runRouter(model, addr, mode, wirePlane string, joins []string, replicas, maxBatch int, linger time.Duration, queue, workers int) {
 	var m *newtonadmm.Model
 	if len(joins) == 0 {
 		if model == "" {
@@ -154,7 +175,7 @@ func runRouter(model, addr, mode string, joins []string, replicas, maxBatch int,
 		log.Printf("loaded %s: %d classes, %d features (solver %s)", model, m.Classes, m.Features, m.Solver)
 	}
 	rs, err := newtonadmm.ServeSharded(m, newtonadmm.RouterOptions{
-		Addr: addr, Replicas: replicas, Mode: mode, Join: joins,
+		Addr: addr, Replicas: replicas, Mode: mode, Join: joins, Wire: wirePlane,
 		MaxBatch: maxBatch, Linger: linger, QueueDepth: queue, Workers: workers,
 		ModelPath: model,
 	})

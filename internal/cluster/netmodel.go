@@ -1,16 +1,3 @@
-// Package cluster provides the distributed-execution substrate of the
-// reproduction: an SPMD runtime that runs one goroutine per rank, MPI-style
-// collectives over pluggable transports (in-process channels or real TCP),
-// and a network cost model with per-rank virtual clocks.
-//
-// The paper's clusters communicate over 100 Gbps InfiniBand, and its core
-// claim is about communication *rounds*: Newton-ADMM needs one
-// gather+scatter per iteration while GIANT needs three collectives and
-// synchronous SGD one per mini-batch. The virtual clock charges every
-// collective with a tree cost (latency * ceil(log2 N) + bytes/bandwidth) on
-// top of the measured local compute time, so experiments can replay the
-// paper's interconnect — or a slower one, reproducing the "amplified by
-// slower interconnects" observation — on a single machine.
 package cluster
 
 import (

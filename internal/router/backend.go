@@ -1,30 +1,3 @@
-// Package router is the distributed serving tier: a scatter-gather
-// router in front of N predictor replicas, each running its own
-// serve.Batcher/Registry/Predictor stack — in-process, or in separate
-// processes reached over HTTP.
-//
-// It turns the single-node model server of internal/serve into a
-// serving fleet with two placement modes:
-//
-//   - Replica-balanced (data-parallel): every replica holds the whole
-//     model; each request is routed to one replica picked by
-//     power-of-two-choices least-loaded selection, with per-replica
-//     health tracking, draining, and 429-aware failover. Throughput
-//     scales with replica count; any replica can be hot-swapped or
-//     drained while the others serve.
-//   - Class-sharded (model-parallel): the weight matrix's explicit class
-//     rows are split across replicas; every request is scattered to all
-//     replicas, each scores a partial logit tile for its rows, and the
-//     router merges the partial columns and applies the same
-//     argmax/softmax transforms as single-node prediction — bitwise
-//     identical to one Predictor holding the full model, because the
-//     MulNT kernels compute every class column independently. This is
-//     the paper's amortization argument applied to inference: one
-//     scatter and one gather per request batch, with the per-class work
-//     spread across the fleet.
-//
-// See DESIGN.md for the architecture diagram and PERF.md for measured
-// router throughput.
 package router
 
 import (

@@ -1,0 +1,56 @@
+// Package router is the distributed serving tier: a scatter-gather
+// router in front of N predictor replicas, each running its own
+// serve.Batcher/Registry/Predictor stack — in-process, or in separate
+// processes reached over a wire.
+//
+// It turns the single-node model server of internal/serve into a
+// serving fleet with two placement modes:
+//
+//   - Replica-balanced (data-parallel): every replica holds the whole
+//     model; each request is routed to one replica picked by
+//     power-of-two-choices least-loaded selection, with per-replica
+//     health tracking, draining, and 429-aware failover. Throughput
+//     scales with replica count; any replica can be hot-swapped or
+//     drained while the others serve.
+//   - Class-sharded (model-parallel): the weight matrix's explicit class
+//     rows are split across replicas; every request is scattered to all
+//     replicas, each scores a partial logit tile for its rows, and the
+//     router merges the partial columns and applies the same
+//     argmax/softmax transforms as single-node prediction. This is the
+//     paper's amortization argument applied to inference: one scatter
+//     and one gather per request batch, with the per-class work spread
+//     across the fleet.
+//
+// Remote replicas are reached over one of two data planes, negotiated
+// per replica by join-URL scheme (BackendForURL):
+//
+//   - HTTPBackend (http://) speaks the kserve-style JSON surface of
+//     serve.Server — wire-debuggable, allocation-heavy.
+//   - TCPBackend (tcp://) speaks the binary frame protocol of
+//     internal/wire against serve.FrameServer — persistent pooled
+//     connections, pipelined requests matched by correlation ID, raw
+//     IEEE-754 float64 payloads. DESIGN.md's "Binary data plane"
+//     section is the normative protocol spec.
+//
+// Invariants the tier maintains on every plane:
+//
+//   - Bitwise identity: class-sharded predictions and probabilities are
+//     bit-for-bit equal to a single Predictor holding the full model
+//     (TestClassShardedBitwiseIdentical, parameterized over local, JSON,
+//     and binary transports). JSON preserves float64 by exact
+//     round-tripping; the binary plane by carrying raw bits.
+//   - Version-consistent merges: partial tiles carry the snapshot
+//     version they were scored against; mixed versions trigger a
+//     bounded rescore then ErrVersionSkew, and coordinated reloads hold
+//     the swap lock so router-originated scatters never straddle a
+//     rollout.
+//   - Error taxonomy: backpressure (serve.ErrQueueFull) fails over and
+//     never evicts; only transport-level failures
+//     (ErrReplicaUnreachable) feed the health signal; request-shaped
+//     errors fail fast. The wire's error codes and the HTTP status
+//     mapping encode the same classes, so failover behavior cannot
+//     depend on the plane.
+//
+// See DESIGN.md for the architecture diagrams and PERF.md for the
+// measured router matrix including the JSON-vs-binary wire comparison.
+package router

@@ -6,9 +6,18 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync/atomic"
 
 	"newtonadmm/internal/serve"
 )
+
+// WireStats is implemented by backends that meter their data plane;
+// the serving bench reads it for the bytes-on-wire column.
+type WireStats interface {
+	// BytesOnWire returns cumulative request bytes sent and response
+	// bytes received.
+	BytesOnWire() (sent, recv uint64)
+}
 
 // HTTPBackend drives a replica process (a running nadmm-serve) over its
 // kserve-style HTTP surface: /v1/predict and /v1/proba for the
@@ -20,6 +29,30 @@ import (
 type HTTPBackend struct {
 	Base   string // e.g. "http://127.0.0.1:8081"
 	Client *http.Client
+
+	bytesSent atomic.Uint64
+	bytesRecv atomic.Uint64
+}
+
+// BytesOnWire reports cumulative JSON payload bytes sent and received
+// (bodies only — HTTP headers are not counted, so the JSON plane's
+// bytes-per-request figure is a lower bound in the bench's comparison
+// against the binary plane's exact frame sizes).
+func (h *HTTPBackend) BytesOnWire() (sent, recv uint64) {
+	return h.bytesSent.Load(), h.bytesRecv.Load()
+}
+
+// countingReader feeds the response-byte counter as the JSON decoder
+// consumes the body.
+type countingReader struct {
+	r io.Reader
+	n *atomic.Uint64
+}
+
+func (c countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n.Add(uint64(n))
+	return n, err
 }
 
 func (h *HTTPBackend) client() *http.Client {
@@ -50,6 +83,7 @@ func (h *HTTPBackend) postJSON(path string, payload, resp any) error {
 	if err != nil {
 		return err
 	}
+	h.bytesSent.Add(uint64(len(body)))
 	r, err := h.client().Post(h.Base+path, "application/json", bytes.NewReader(body))
 	if err != nil {
 		return fmt.Errorf("%w %s: %v", ErrReplicaUnreachable, h.Base, err)
@@ -59,7 +93,7 @@ func (h *HTTPBackend) postJSON(path string, payload, resp any) error {
 		b, _ := io.ReadAll(io.LimitReader(r.Body, 512))
 		return wireError(r.StatusCode, b)
 	}
-	return json.NewDecoder(r.Body).Decode(resp)
+	return json.NewDecoder(countingReader{r: r.Body, n: &h.bytesRecv}).Decode(resp)
 }
 
 // Meta probes /healthz.

@@ -99,10 +99,14 @@ func newClassRouter(t testing.TB, w []float64, classes, features, n int) *Router
 	return rt
 }
 
-// TestClassShardedBitwiseIdentical is the core acceptance property:
-// class-sharded routing over 1..4 replicas returns bitwise-identical
-// classes and probabilities to a single Predictor holding the full
-// model, for mixed dense+CSR batches.
+// TestClassShardedBitwiseIdentical is the core acceptance property,
+// parameterized over every router↔replica transport: class-sharded
+// routing over 1..4 replicas returns bitwise-identical classes and
+// probabilities to a single Predictor holding the full model, for
+// mixed dense+CSR batches — in process (local), across the JSON/HTTP
+// plane (json), and across the binary frame plane (binary). The two
+// wire transports must preserve every float64 bit: encoding/json by
+// exact round-tripping, internal/wire by carrying raw IEEE-754 bits.
 func TestClassShardedBitwiseIdentical(t *testing.T) {
 	const classes, features, rows = 10, 33, 17
 	rng := rand.New(rand.NewSource(90))
@@ -122,33 +126,48 @@ func TestClassShardedBitwiseIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	for shards := 1; shards <= 4; shards++ {
-		rt := newClassRouter(t, w, classes, features, shards)
-		gotPred := make([]int, rows)
-		if err := rt.Predict(b, gotPred); err != nil {
-			t.Fatal(err)
-		}
-		for i := range wantPred {
-			if gotPred[i] != wantPred[i] {
-				t.Fatalf("shards=%d row %d: router class %d, single-node %d", shards, i, gotPred[i], wantPred[i])
+	for _, transport := range transports {
+		t.Run(transport, func(t *testing.T) {
+			for shards := 1; shards <= 4; shards++ {
+				backends := make([]Backend, shards)
+				for i := 0; i < shards; i++ {
+					backends[i] = shardBackend(t, transport, w, classes, features, i, shards)
+				}
+				rt, err := New(backends, Options{Mode: ModeClass, HealthEvery: -1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotPred := make([]int, rows)
+				if err := rt.Predict(b, gotPred); err != nil {
+					t.Fatal(err)
+				}
+				for i := range wantPred {
+					if gotPred[i] != wantPred[i] {
+						t.Fatalf("shards=%d row %d: router class %d, single-node %d", shards, i, gotPred[i], wantPred[i])
+					}
+				}
+				gotProba := make([]float64, rows*classes)
+				gotCls := make([]int, rows)
+				if err := rt.Proba(b, gotProba, gotCls); err != nil {
+					t.Fatal(err)
+				}
+				for i := range wantProba {
+					if gotProba[i] != wantProba[i] { // bitwise: float64 ==
+						t.Fatalf("shards=%d proba[%d]: router %v, single-node %v", shards, i, gotProba[i], wantProba[i])
+					}
+				}
+				for i := range wantPred {
+					if gotCls[i] != wantPred[i] {
+						t.Fatalf("shards=%d proba-class row %d: %d vs %d", shards, i, gotCls[i], wantPred[i])
+					}
+				}
+				// Leave the backends to t.Cleanup (shared stacks); only
+				// the router's monitor/scratch need closing here. The
+				// pool would close the backends too, which Cleanup
+				// tolerates: Close is idempotent on every transport.
+				rt.Close()
 			}
-		}
-		gotProba := make([]float64, rows*classes)
-		gotCls := make([]int, rows)
-		if err := rt.Proba(b, gotProba, gotCls); err != nil {
-			t.Fatal(err)
-		}
-		for i := range wantProba {
-			if gotProba[i] != wantProba[i] { // bitwise: float64 ==
-				t.Fatalf("shards=%d proba[%d]: router %v, single-node %v", shards, i, gotProba[i], wantProba[i])
-			}
-		}
-		for i := range wantPred {
-			if gotCls[i] != wantPred[i] {
-				t.Fatalf("shards=%d proba-class row %d: %d vs %d", shards, i, gotCls[i], wantPred[i])
-			}
-		}
-		rt.Close()
+		})
 	}
 }
 

@@ -1,0 +1,355 @@
+package serve
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"newtonadmm/internal/wire"
+)
+
+// FrameServer is the binary data plane's server side: a frame listener
+// (DESIGN.md, "Binary data plane") serving the same Batcher and
+// Registry as the HTTP Server, so a replica exposes both planes over
+// one serving stack and hot swaps are visible on both at once.
+//
+// Each accepted connection is handled by one goroutine that reads
+// frames in order and answers them in order — clients pipeline by
+// writing ahead without waiting, and match answers by correlation ID.
+// Request-shaped failures answer with an error frame and keep the
+// connection; framing-level failures (bad magic, version, truncation)
+// cannot be resynchronized and close it.
+//
+// Predict and proba requests submit their rows through the shared
+// micro-batcher (so frame-plane and HTTP-plane traffic coalesce into
+// the same kernel launches); partial-score requests bypass it exactly
+// like the HTTP /v1/scores handler — the router already coalesced the
+// client batch, so they score in at most two launches via the
+// registry's predictor.
+type FrameServer struct {
+	reg    *Registry
+	bat    *Batcher
+	reload func() (int64, error) // nil: reload unsupported on this plane
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewFrameServer wires the frame listener's handler state. reload may
+// be nil, which makes OpReload answer CodeNotImplemented.
+func NewFrameServer(reg *Registry, bat *Batcher, reload func() (int64, error)) *FrameServer {
+	return &FrameServer{reg: reg, bat: bat, reload: reload, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts connections on ln until Close (or a listener error) and
+// blocks meanwhile; run it in its own goroutine.
+func (s *FrameServer) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return err // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return ErrClosed
+		}
+		s.conns[c] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handleConn(c)
+	}
+}
+
+// Close stops the listener, closes every live connection, and waits for
+// their handlers to return.
+func (s *FrameServer) Close() {
+	s.mu.Lock()
+	s.closed = true
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// connState is the per-connection reusable scratch: one of everything a
+// handler needs, grown to high-water shapes so steady-state request
+// handling performs no frame-layer allocations.
+type connState struct {
+	enc   wire.Encoder
+	batch wire.Batch
+
+	classes  []int     // predict output
+	tickets  []Ticket  // batcher round-trip
+	rowOf    []int     // ticket index -> arrival row
+	probaBuf []float64 // rows x classes staging
+
+	scoreBuf  []float64 // merged rows x cols tile, arrival order
+	denseOut  []float64 // dense sub-batch tile
+	sparseOut []float64 // sparse sub-batch tile
+}
+
+func (s *FrameServer) handleConn(c net.Conn) {
+	defer func() {
+		c.Close()
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		s.wg.Done()
+	}()
+	fr := wire.NewReader(bufio.NewReaderSize(c, 64<<10))
+	var st connState
+	for {
+		h, payload, err := fr.Next()
+		if err != nil {
+			// Framing errors are unrecoverable mid-stream: answer with a
+			// best-effort error frame (correlation 0 — the request's ID
+			// never parsed) and drop the connection.
+			if errors.Is(err, wire.ErrBadFrame) {
+				st.enc.Begin(wire.OpError, 0)
+				st.enc.Error(wire.CodeBadRequest, err.Error())
+				c.Write(st.enc.Bytes())
+			}
+			return
+		}
+		s.handleFrame(h, payload, &st)
+		if _, err := c.Write(st.enc.Bytes()); err != nil {
+			return
+		}
+	}
+}
+
+// wireCodeFor maps serving errors to the spec's error codes with the
+// same taxonomy statusFor maps them to HTTP statuses.
+func wireCodeFor(err error) wire.ErrCode {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return wire.CodeQueueFull
+	case errors.Is(err, ErrNoModel):
+		return wire.CodeNoModel
+	case errors.Is(err, ErrModelShapeChanged):
+		return wire.CodeShapeChanged
+	case errors.Is(err, ErrClosed):
+		return wire.CodeClosed
+	default:
+		return wire.CodeBadRequest
+	}
+}
+
+// handleFrame dispatches one request and leaves the response frame in
+// st.enc.
+func (s *FrameServer) handleFrame(h wire.Header, payload []byte, st *connState) {
+	fail := func(code wire.ErrCode, format string, args ...any) {
+		st.enc.Begin(wire.OpError, h.Corr)
+		st.enc.Error(code, fmt.Sprintf(format, args...))
+	}
+	switch h.Op {
+	case wire.OpMeta:
+		meta, ok := s.reg.Meta()
+		if !ok {
+			fail(wire.CodeNoModel, "no model loaded")
+			return
+		}
+		st.enc.Begin(wire.OpMetaResp, h.Corr)
+		st.enc.MetaResp(wire.Meta{
+			Version: meta.Version, Classes: meta.Classes, Features: meta.Features,
+			ShardIndex: meta.ShardIndex, ShardCount: meta.ShardCount,
+			ShardLow: meta.ShardLow, ShardHigh: meta.ShardHigh, TotalClasses: meta.TotalClasses,
+		})
+	case wire.OpReload:
+		if s.reload == nil {
+			fail(wire.CodeNotImplemented, "no reloader configured")
+			return
+		}
+		v, err := s.reload()
+		if err != nil {
+			fail(wire.CodeInternal, "reload failed: %v", err)
+			return
+		}
+		st.enc.Begin(wire.OpReloadResp, h.Corr)
+		st.enc.ReloadResp(v)
+	case wire.OpPredict, wire.OpProba:
+		s.handleBatch(h, payload, st, h.Op == wire.OpProba)
+	case wire.OpScores:
+		s.handleScoresFrame(h, payload, st)
+	default:
+		fail(wire.CodeBadRequest, "unknown opcode %#x", h.Op)
+	}
+}
+
+// handleBatch is the full-model data plane: decode, submit every row
+// through the shared batcher (before waiting on any, so one request's
+// rows coalesce), wait all, answer.
+func (s *FrameServer) handleBatch(h wire.Header, payload []byte, st *connState, proba bool) {
+	fail := func(code wire.ErrCode, format string, args ...any) {
+		st.enc.Begin(wire.OpError, h.Corr)
+		st.enc.Error(code, fmt.Sprintf(format, args...))
+	}
+	if err := st.batch.Decode(payload); err != nil {
+		fail(wire.CodeBadRequest, "%v", err)
+		return
+	}
+	rows := st.batch.Rows()
+	if rows == 0 {
+		fail(wire.CodeBadRequest, "no instances")
+		return
+	}
+	meta, ok := s.reg.Meta()
+	if !ok {
+		fail(wire.CodeNoModel, "no model loaded")
+		return
+	}
+	classes := meta.Classes
+	if cap(st.classes) < rows {
+		st.classes = make([]int, rows)
+		st.rowOf = make([]int, rows)
+	}
+	st.classes = st.classes[:rows]
+	st.rowOf = st.rowOf[:0]
+	st.tickets = st.tickets[:0]
+	if proba {
+		if cap(st.probaBuf) < rows*classes {
+			st.probaBuf = make([]float64, rows*classes)
+		}
+		st.probaBuf = st.probaBuf[:rows*classes]
+	}
+
+	var submitErr error
+	d, sp := 0, 0
+	for i, isSparse := range st.batch.Kind {
+		var po []float64
+		if proba {
+			po = st.probaBuf[i*classes : (i+1)*classes]
+		}
+		var t Ticket
+		var err error
+		if isSparse {
+			t, err = s.bat.SubmitCSR(st.batch.Idx[sp], st.batch.Val[sp], po)
+			sp++
+		} else {
+			t, err = s.bat.SubmitDense(st.batch.Dense[d], po)
+			d++
+		}
+		if err != nil {
+			submitErr = fmt.Errorf("instance %d: %w", i, err)
+			break
+		}
+		st.tickets = append(st.tickets, t)
+		st.rowOf = append(st.rowOf, i)
+	}
+	// Every accepted ticket is waited even after a submit failure, so no
+	// enqueued row is abandoned mid-batch.
+	var waitErr error
+	for k, t := range st.tickets {
+		class, err := t.Wait()
+		if err != nil && waitErr == nil {
+			waitErr = fmt.Errorf("instance %d: %w", st.rowOf[k], err)
+		}
+		st.classes[st.rowOf[k]] = class
+	}
+	if submitErr == nil {
+		submitErr = waitErr
+	}
+	if submitErr != nil {
+		fail(wireCodeFor(submitErr), "%v", submitErr)
+		return
+	}
+	if proba {
+		st.enc.Begin(wire.OpProbaResp, h.Corr)
+		st.enc.FloatsResp(meta.Version, rows, classes, st.probaBuf)
+		return
+	}
+	st.enc.Begin(wire.OpPredictResp, h.Corr)
+	st.enc.PredictResp(meta.Version, st.classes)
+}
+
+// handleScoresFrame is the class-shard data plane: score the request's
+// rows against this replica's weight slice and answer the raw partial
+// tile with the snapshot version it was computed against.
+func (s *FrameServer) handleScoresFrame(h wire.Header, payload []byte, st *connState) {
+	fail := func(code wire.ErrCode, format string, args ...any) {
+		st.enc.Begin(wire.OpError, h.Corr)
+		st.enc.Error(code, fmt.Sprintf(format, args...))
+	}
+	if err := st.batch.Decode(payload); err != nil {
+		fail(wire.CodeBadRequest, "%v", err)
+		return
+	}
+	rows := st.batch.Rows()
+	if rows == 0 {
+		fail(wire.CodeBadRequest, "no instances")
+		return
+	}
+	p, meta, release, err := s.reg.AcquireCurrent()
+	if err != nil {
+		fail(wireCodeFor(err), "%v", err)
+		return
+	}
+	defer release()
+	m := p.Classes() - 1
+	// Cols is the shard width the router planned against; a mismatch
+	// means a shape-changing reload behind the router's back, and a
+	// mismatched tile must never be written (same contract as the JSON
+	// plane's cols field).
+	if st.batch.Cols != 0 && st.batch.Cols != m {
+		fail(wire.CodeShapeChanged, "shard now %d explicit classes, request planned %d", m, st.batch.Cols)
+		return
+	}
+	nd, ns := len(st.batch.Dense), len(st.batch.Idx)
+	if cap(st.scoreBuf) < rows*m {
+		st.scoreBuf = make([]float64, rows*m)
+	}
+	st.scoreBuf = st.scoreBuf[:rows*m]
+	if nd > 0 {
+		if cap(st.denseOut) < nd*m {
+			st.denseOut = make([]float64, nd*m)
+		}
+		st.denseOut = st.denseOut[:nd*m]
+		if err := p.ScoresDense(st.batch.Dense, st.denseOut); err != nil {
+			fail(wireCodeFor(err), "%v", err)
+			return
+		}
+	}
+	if ns > 0 {
+		if cap(st.sparseOut) < ns*m {
+			st.sparseOut = make([]float64, ns*m)
+		}
+		st.sparseOut = st.sparseOut[:ns*m]
+		if err := p.ScoresCSR(st.batch.Idx, st.batch.Val, st.sparseOut); err != nil {
+			fail(wireCodeFor(err), "%v", err)
+			return
+		}
+	}
+	// Interleave the per-kind tiles back into arrival order.
+	d, sp := 0, 0
+	for i, isSparse := range st.batch.Kind {
+		dst := st.scoreBuf[i*m : (i+1)*m]
+		if isSparse {
+			copy(dst, st.sparseOut[sp*m:(sp+1)*m])
+			sp++
+		} else {
+			copy(dst, st.denseOut[d*m:(d+1)*m])
+			d++
+		}
+	}
+	st.enc.Begin(wire.OpScoresResp, h.Corr)
+	st.enc.FloatsResp(meta.Version, rows, m, st.scoreBuf)
+}

@@ -1,0 +1,350 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math"
+	"strings"
+	"testing"
+)
+
+// buildBatchFrame assembles a two-row (dense + sparse) OpScores request
+// used across the tests.
+func buildBatchFrame(e *Encoder) []byte {
+	e.Begin(OpScores, 42)
+	e.BatchHeader(2, 3, 4)
+	e.DenseRow([]float64{1.5, -2.25, math.Pi})
+	e.SparseRow([]int{0, 2}, []float64{0.5, -0.125})
+	return e.Bytes()
+}
+
+// TestFrameLayoutMatchesSpec pins the exact byte offsets documented in
+// DESIGN.md's "Binary data plane" section: header fields at offsets
+// 0/4/5/6/8/16, batch payload fields at payload offsets 0/4/8, and the
+// row records that follow. If this test fails, either the code or the
+// spec is wrong — fix whichever drifted.
+func TestFrameLayoutMatchesSpec(t *testing.T) {
+	var e Encoder
+	f := buildBatchFrame(&e)
+
+	// Header (DESIGN.md: frame header, 20 bytes).
+	if string(f[0:4]) != "NAWP" {
+		t.Fatalf("magic at offset 0 = %q, spec says \"NAWP\"", f[0:4])
+	}
+	if f[4] != Version {
+		t.Fatalf("version at offset 4 = %d, want %d", f[4], Version)
+	}
+	if Op(f[5]) != OpScores {
+		t.Fatalf("opcode at offset 5 = %#x, want %#x", f[5], OpScores)
+	}
+	if flags := binary.LittleEndian.Uint16(f[6:8]); flags != 0 {
+		t.Fatalf("flags at offset 6 = %#x, spec requires 0", flags)
+	}
+	if corr := binary.LittleEndian.Uint64(f[8:16]); corr != 42 {
+		t.Fatalf("correlation ID at offset 8 = %d, want 42", corr)
+	}
+	payloadLen := binary.LittleEndian.Uint32(f[16:20])
+	if int(payloadLen) != len(f)-HeaderSize {
+		t.Fatalf("length at offset 16 = %d, frame has %d payload bytes", payloadLen, len(f)-HeaderSize)
+	}
+
+	// Batch payload (DESIGN.md: batch request payload).
+	p := f[HeaderSize:]
+	if rows := binary.LittleEndian.Uint32(p[0:4]); rows != 2 {
+		t.Fatalf("rows at payload offset 0 = %d, want 2", rows)
+	}
+	if feat := binary.LittleEndian.Uint32(p[4:8]); feat != 3 {
+		t.Fatalf("features at payload offset 4 = %d, want 3", feat)
+	}
+	if cols := binary.LittleEndian.Uint32(p[8:12]); cols != 4 {
+		t.Fatalf("cols at payload offset 8 = %d, want 4", cols)
+	}
+	// Row records start at payload offset 12: dense = kind 0 + raw bits.
+	if p[12] != kindDense {
+		t.Fatalf("row 0 kind at payload offset 12 = %d, want 0 (dense)", p[12])
+	}
+	if got := math.Float64frombits(binary.LittleEndian.Uint64(p[13:21])); got != 1.5 {
+		t.Fatalf("row 0 value 0 at payload offset 13 = %v, want raw IEEE-754 1.5", got)
+	}
+	// Sparse record: kind 1 at 12+1+24 = 37, nnz u32, indices, values.
+	if p[37] != kindSparse {
+		t.Fatalf("row 1 kind at payload offset 37 = %d, want 1 (sparse)", p[37])
+	}
+	if nnz := binary.LittleEndian.Uint32(p[38:42]); nnz != 2 {
+		t.Fatalf("row 1 nnz at payload offset 38 = %d, want 2", nnz)
+	}
+	if j := binary.LittleEndian.Uint32(p[42:46]); j != 0 {
+		t.Fatalf("row 1 index 0 = %d, want 0", j)
+	}
+	if got := math.Float64frombits(binary.LittleEndian.Uint64(p[50:58])); got != 0.5 {
+		t.Fatalf("row 1 value 0 at payload offset 50 = %v, want 0.5", got)
+	}
+	if len(p) != 66 {
+		t.Fatalf("payload is %d bytes, spec arithmetic says 12 + 25 + 29 = 66", len(p))
+	}
+}
+
+// TestBatchRoundTrip checks encode→decode preserves rows, kinds, and
+// every float64 bit for mixed batches.
+func TestBatchRoundTrip(t *testing.T) {
+	var e Encoder
+	f := buildBatchFrame(&e)
+	h, err := ParseHeader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Op != OpScores || h.Corr != 42 {
+		t.Fatalf("header %+v", h)
+	}
+	var b Batch
+	if err := b.Decode(f[HeaderSize:]); err != nil {
+		t.Fatal(err)
+	}
+	if b.Rows() != 2 || b.Features != 3 || b.Cols != 4 {
+		t.Fatalf("decoded shape rows=%d features=%d cols=%d", b.Rows(), b.Features, b.Cols)
+	}
+	if b.Kind[0] || !b.Kind[1] {
+		t.Fatalf("kinds %v, want [dense sparse]", b.Kind)
+	}
+	wantDense := []float64{1.5, -2.25, math.Pi}
+	for i, v := range b.Dense[0] {
+		if v != wantDense[i] {
+			t.Fatalf("dense[0][%d] = %v, want %v (bitwise)", i, v, wantDense[i])
+		}
+	}
+	if b.Idx[0][0] != 0 || b.Idx[0][1] != 2 || b.Val[0][0] != 0.5 || b.Val[0][1] != -0.125 {
+		t.Fatalf("sparse row: idx=%v val=%v", b.Idx[0], b.Val[0])
+	}
+}
+
+// TestResponseRoundTrips covers every response payload kind.
+func TestResponseRoundTrips(t *testing.T) {
+	var e Encoder
+
+	e.Begin(OpPredictResp, 7)
+	e.PredictResp(3, []int{4, 0, 9})
+	out := make([]int, 3)
+	v, n, err := DecodePredictResp(e.Bytes()[HeaderSize:], out)
+	if err != nil || v != 3 || n != 3 || out[0] != 4 || out[2] != 9 {
+		t.Fatalf("predict: v=%d n=%d out=%v err=%v", v, n, out, err)
+	}
+
+	vals := []float64{0.25, 0.75, -1.5, math.Inf(1), math.SmallestNonzeroFloat64, 0}
+	e.Begin(OpScoresResp, 8)
+	e.FloatsResp(5, 2, 3, vals)
+	got := make([]float64, 6)
+	v, rows, cols, err := DecodeFloatsResp(e.Bytes()[HeaderSize:], got)
+	if err != nil || v != 5 || rows != 2 || cols != 3 {
+		t.Fatalf("floats: v=%d %dx%d err=%v", v, rows, cols, err)
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("floats[%d] = %v, want %v (bitwise)", i, got[i], vals[i])
+		}
+	}
+
+	m := Meta{Version: 9, Classes: 5, Features: 33, ShardIndex: 1, ShardCount: 2, ShardLow: 2, ShardHigh: 4, TotalClasses: 10}
+	e.Begin(OpMetaResp, 9)
+	e.MetaResp(m)
+	gm, err := DecodeMetaResp(e.Bytes()[HeaderSize:])
+	if err != nil || gm != m {
+		t.Fatalf("meta: %+v err=%v, want %+v", gm, err, m)
+	}
+
+	e.Begin(OpReloadResp, 10)
+	e.ReloadResp(12)
+	rv, err := DecodeReloadResp(e.Bytes()[HeaderSize:])
+	if err != nil || rv != 12 {
+		t.Fatalf("reload: v=%d err=%v", rv, err)
+	}
+
+	e.Begin(OpError, 11)
+	e.Error(CodeQueueFull, "admission queue full")
+	code, msg, err := DecodeError(e.Bytes()[HeaderSize:])
+	if err != nil || code != CodeQueueFull || msg != "admission queue full" {
+		t.Fatalf("error frame: code=%d msg=%q err=%v", code, msg, err)
+	}
+
+	// Oversized messages truncate rather than bloat the frame.
+	e.Begin(OpError, 12)
+	e.Error(CodeInternal, strings.Repeat("x", 2000))
+	_, msg, err = DecodeError(e.Bytes()[HeaderSize:])
+	if err != nil || len(msg) != 512 {
+		t.Fatalf("long error message: len=%d err=%v, want 512", len(msg), err)
+	}
+
+	// The decoder enforces the spec's msgLen <= 512 bound on frames a
+	// conforming encoder would never produce.
+	over := make([]byte, 4+600)
+	binary.LittleEndian.PutUint16(over[0:2], uint16(CodeInternal))
+	binary.LittleEndian.PutUint16(over[2:4], 600)
+	if _, _, err := DecodeError(over); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("msgLen over spec bound: got %v, want ErrBadFrame", err)
+	}
+}
+
+// TestMalformedHeaders checks every header-level rejection the spec
+// requires: short reads, bad magic, wrong version, nonzero flags, and
+// an oversized length prefix.
+func TestMalformedHeaders(t *testing.T) {
+	var e Encoder
+	good := append([]byte(nil), buildBatchFrame(&e)...)
+
+	mutate := func(name string, f func(b []byte)) {
+		b := append([]byte(nil), good...)
+		f(b)
+		if _, err := ParseHeader(b); !errors.Is(err, ErrBadFrame) {
+			t.Errorf("%s: got %v, want ErrBadFrame", name, err)
+		}
+	}
+	mutate("bad magic", func(b []byte) { b[0] = 'X' })
+	mutate("bad version", func(b []byte) { b[4] = 99 })
+	mutate("nonzero flags", func(b []byte) { b[6] = 1 })
+	mutate("oversized length", func(b []byte) {
+		binary.LittleEndian.PutUint32(b[16:20], MaxPayload+1)
+	})
+	if _, err := ParseHeader(good[:HeaderSize-1]); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("short header: got %v, want ErrBadFrame", err)
+	}
+}
+
+// TestTruncatedFrames checks a stream that dies mid-frame surfaces an
+// error from Reader.Next rather than a short payload, and that payload
+// decoders reject every truncation point without panicking.
+func TestTruncatedFrames(t *testing.T) {
+	var e Encoder
+	good := append([]byte(nil), buildBatchFrame(&e)...)
+
+	// Stream truncated inside the payload: the header promised more.
+	r := NewReader(bytes.NewReader(good[:len(good)-5]))
+	if _, _, err := r.Next(); err == nil {
+		t.Fatal("reader accepted a truncated payload")
+	}
+	// Stream truncated inside the header.
+	r = NewReader(bytes.NewReader(good[:7]))
+	if _, _, err := r.Next(); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated header: got %v, want ErrUnexpectedEOF", err)
+	}
+
+	// Every proper prefix of the batch payload must decode to an error.
+	payload := good[HeaderSize:]
+	var b Batch
+	for cut := 0; cut < len(payload); cut++ {
+		if err := b.Decode(payload[:cut]); err == nil {
+			t.Fatalf("accepted batch payload truncated to %d of %d bytes", cut, len(payload))
+		}
+	}
+	// Unknown row kind.
+	bad := append([]byte(nil), payload...)
+	bad[12] = 7
+	if err := b.Decode(bad); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("unknown kind: got %v, want ErrBadFrame", err)
+	}
+	// Trailing garbage after the last record.
+	if err := b.Decode(append(append([]byte(nil), payload...), 0xEE)); !errors.Is(err, ErrBadFrame) {
+		t.Fatal("accepted trailing payload bytes")
+	}
+	// A lying row count cannot drive an allocation storm.
+	lying := append([]byte(nil), payload...)
+	binary.LittleEndian.PutUint32(lying[0:4], 1<<30)
+	if err := b.Decode(lying); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("lying row count: got %v, want ErrBadFrame", err)
+	}
+	// Zero-feature row-record flood: each record is one byte, so the
+	// payload bound alone would admit millions of rows; the spec's
+	// MaxRows bound must reject it before any output-side allocation.
+	flood := make([]byte, 12+MaxRows+1)
+	binary.LittleEndian.PutUint32(flood[0:4], MaxRows+1)
+	if err := b.Decode(flood); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("row flood: got %v, want ErrBadFrame", err)
+	}
+	// Exactly MaxRows of zero-feature dense records is within spec.
+	legal := make([]byte, 12+MaxRows)
+	binary.LittleEndian.PutUint32(legal[0:4], MaxRows)
+	if err := b.Decode(legal); err != nil {
+		t.Fatalf("MaxRows batch rejected: %v", err)
+	}
+}
+
+// TestReaderReusesPayloadBuffer checks Next is zero-alloc once the
+// payload buffer reached its high-water size, and that each frame's
+// payload view stays valid until the following Next.
+func TestReaderReusesPayloadBuffer(t *testing.T) {
+	var e Encoder
+	frame := append([]byte(nil), buildBatchFrame(&e)...)
+	const n = 8
+	// n+1 copies: one manual warm-up read, then AllocsPerRun's own
+	// warm-up call plus n-1 measured calls.
+	stream := bytes.Repeat(frame, n+1)
+	r := NewReader(bytes.NewReader(stream))
+	if _, _, err := r.Next(); err != nil { // warm the buffer
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(n-1, func() {
+		if _, p, err := r.Next(); err != nil || len(p) != len(frame)-HeaderSize {
+			t.Fatalf("next: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Reader.Next allocated %.1f times per frame at steady state, want 0", allocs)
+	}
+}
+
+// TestEncodeDecodeZeroAllocSteadyState is the data-plane allocation
+// contract from the acceptance criteria: once buffers are warm, a full
+// batch encode and a full batch decode perform zero heap allocations,
+// and so do the scores-response encode/decode pair.
+func TestEncodeDecodeZeroAllocSteadyState(t *testing.T) {
+	dense := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	idx := []int{1, 3, 5}
+	val := []float64{0.5, 0.25, -0.75}
+
+	var e Encoder
+	encode := func() []byte {
+		e.Begin(OpPredict, 1)
+		e.BatchHeader(4, len(dense), 0)
+		e.DenseRow(dense)
+		e.SparseRow(idx, val)
+		e.DenseRow(dense)
+		e.SparseRow(idx, val)
+		return e.Bytes()
+	}
+	frame := append([]byte(nil), encode()...) // warm + stable copy
+	if allocs := testing.AllocsPerRun(100, func() { encode() }); allocs != 0 {
+		t.Fatalf("batch encode: %.1f allocs/op at steady state, want 0", allocs)
+	}
+
+	var b Batch
+	if err := b.Decode(frame[HeaderSize:]); err != nil { // warm
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		if err := b.Decode(frame[HeaderSize:]); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("batch decode: %.1f allocs/op at steady state, want 0", allocs)
+	}
+
+	scores := make([]float64, 4*3)
+	var er Encoder
+	encodeResp := func() []byte {
+		er.Begin(OpScoresResp, 2)
+		er.FloatsResp(1, 4, 3, scores)
+		return er.Bytes()
+	}
+	respFrame := append([]byte(nil), encodeResp()...)
+	if allocs := testing.AllocsPerRun(100, func() { encodeResp() }); allocs != 0 {
+		t.Fatalf("scores encode: %.1f allocs/op at steady state, want 0", allocs)
+	}
+	out := make([]float64, 4*3)
+	if allocs := testing.AllocsPerRun(100, func() {
+		if _, _, _, err := DecodeFloatsResp(respFrame[HeaderSize:], out); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("scores decode: %.1f allocs/op at steady state, want 0", allocs)
+	}
+}

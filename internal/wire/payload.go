@@ -1,0 +1,474 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Meta is the wire form of a replica's model snapshot metadata
+// (MetaResp payload, 36 bytes — see DESIGN.md for the offsets). Shard
+// fields are zero for a full replica.
+type Meta struct {
+	Version    int64
+	Classes    int
+	Features   int
+	ShardIndex int
+	ShardCount int
+	ShardLow   int
+	ShardHigh  int
+	// TotalClasses is the full model's class count a shard belongs to.
+	TotalClasses int
+}
+
+// Row-record kind bytes inside a batch request payload.
+const (
+	kindDense  = 0
+	kindSparse = 1
+)
+
+// Encoder builds one frame at a time in a grow-only buffer, so
+// steady-state encodes allocate nothing. Usage: Begin, then exactly one
+// payload-builder sequence, then Bytes (which patches the payload
+// length into the header). An Encoder is not safe for concurrent use.
+type Encoder struct {
+	buf []byte
+}
+
+// Begin starts a frame with the given opcode and correlation ID.
+func (e *Encoder) Begin(op Op, corr uint64) {
+	if cap(e.buf) < HeaderSize {
+		e.buf = make([]byte, HeaderSize, 1024)
+	}
+	e.buf = e.buf[:HeaderSize]
+	PutHeader(e.buf, Header{Op: op, Corr: corr})
+}
+
+// Bytes patches the payload length into the header and returns the
+// complete frame, valid until the next Begin.
+func (e *Encoder) Bytes() []byte {
+	binary.LittleEndian.PutUint32(e.buf[16:20], uint32(len(e.buf)-HeaderSize))
+	return e.buf
+}
+
+func (e *Encoder) u8(v uint8) { e.buf = append(e.buf, v) }
+
+func (e *Encoder) u32(v uint32) {
+	e.buf = binary.LittleEndian.AppendUint32(e.buf, v)
+}
+
+func (e *Encoder) u64(v uint64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, v)
+}
+
+func (e *Encoder) f64s(vs []float64) {
+	for _, v := range vs {
+		e.u64(math.Float64bits(v))
+	}
+}
+
+// BatchHeader opens a batch request payload (OpPredict / OpProba /
+// OpScores): row count, dense feature width, and — for OpScores — the
+// shard width the caller planned (0 otherwise). Every dense row added
+// afterwards must have exactly features values.
+func (e *Encoder) BatchHeader(rows, features, cols int) {
+	e.u32(uint32(rows))
+	e.u32(uint32(features))
+	e.u32(uint32(cols))
+}
+
+// DenseRow appends one dense row record: kind byte 0 followed by the
+// row's raw IEEE-754 bits.
+func (e *Encoder) DenseRow(row []float64) {
+	e.u8(kindDense)
+	e.f64s(row)
+}
+
+// SparseRow appends one sparse row record: kind byte 1, nonzero count,
+// column indices, then values.
+func (e *Encoder) SparseRow(idx []int, val []float64) {
+	e.u8(kindSparse)
+	e.u32(uint32(len(idx)))
+	for _, j := range idx {
+		e.u32(uint32(j))
+	}
+	e.f64s(val)
+}
+
+// PredictResp writes an OpPredictResp payload: snapshot version, row
+// count, and one int32 class per row.
+func (e *Encoder) PredictResp(version int64, classes []int) {
+	e.u64(uint64(version))
+	e.u32(uint32(len(classes)))
+	for _, c := range classes {
+		e.u32(uint32(int32(c)))
+	}
+}
+
+// FloatsResp writes an OpProbaResp or OpScoresResp payload: snapshot
+// version, rows, cols, then the rows×cols row-major float64 tile as raw
+// bits (probabilities with cols = Classes, partial scores with cols =
+// the shard's explicit-class width).
+func (e *Encoder) FloatsResp(version int64, rows, cols int, vals []float64) {
+	e.u64(uint64(version))
+	e.u32(uint32(rows))
+	e.u32(uint32(cols))
+	e.f64s(vals[:rows*cols])
+}
+
+// MetaResp writes an OpMetaResp payload.
+func (e *Encoder) MetaResp(m Meta) {
+	e.u64(uint64(m.Version))
+	e.u32(uint32(m.Classes))
+	e.u32(uint32(m.Features))
+	e.u32(uint32(m.ShardIndex))
+	e.u32(uint32(m.ShardCount))
+	e.u32(uint32(m.ShardLow))
+	e.u32(uint32(m.ShardHigh))
+	e.u32(uint32(m.TotalClasses))
+}
+
+// ReloadResp writes an OpReloadResp payload: the deployed version.
+func (e *Encoder) ReloadResp(version int64) { e.u64(uint64(version)) }
+
+// Error writes an OpError payload: code, message length, message. The
+// message is truncated to 512 bytes so an error path cannot balloon a
+// frame.
+func (e *Encoder) Error(code ErrCode, msg string) {
+	if len(msg) > 512 {
+		msg = msg[:512]
+	}
+	e.buf = binary.LittleEndian.AppendUint16(e.buf, uint16(code))
+	e.buf = binary.LittleEndian.AppendUint16(e.buf, uint16(len(msg)))
+	e.buf = append(e.buf, msg...)
+}
+
+// reader walks a payload with bounds checking; every decode failure
+// wraps ErrBadFrame.
+type reader struct {
+	p   []byte
+	off int
+}
+
+func (r *reader) need(n int) error {
+	if len(r.p)-r.off < n {
+		return fmt.Errorf("%w: payload truncated at offset %d (need %d of %d bytes)", ErrBadFrame, r.off, n, len(r.p))
+	}
+	return nil
+}
+
+func (r *reader) u8() (uint8, error) {
+	if err := r.need(1); err != nil {
+		return 0, err
+	}
+	v := r.p[r.off]
+	r.off++
+	return v, nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	if err := r.need(4); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint32(r.p[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+func (r *reader) u64() (uint64, error) {
+	if err := r.need(8); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint64(r.p[r.off:])
+	r.off += 8
+	return v, nil
+}
+
+func (r *reader) f64s(dst []float64) error {
+	if err := r.need(8 * len(dst)); err != nil {
+		return err
+	}
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(r.p[r.off:]))
+		r.off += 8
+	}
+	return nil
+}
+
+func (r *reader) done() error {
+	if r.off != len(r.p) {
+		return fmt.Errorf("%w: %d trailing payload bytes", ErrBadFrame, len(r.p)-r.off)
+	}
+	return nil
+}
+
+// Batch is a decoded batch request staged in the per-kind form the
+// serving stack scores (dense rows for Predictor.ScoresDense /
+// Batcher.SubmitDense, index/value pairs for the CSR twins), with the
+// arrival order retained in Kind. All backing buffers are grow-only:
+// steady-state decodes allocate nothing.
+type Batch struct {
+	Features int    // dense feature width announced by the request
+	Cols     int    // OpScores: shard width the client planned (0 otherwise)
+	Kind     []bool // per arrival row: true = sparse
+	Dense    [][]float64
+	Idx      [][]int
+	Val      [][]float64
+
+	denseBuf []float64
+	idxBuf   []int
+	valBuf   []float64
+}
+
+// Decode parses a batch request payload (the bytes after the frame
+// header of an OpPredict/OpProba/OpScores request), reusing the batch's
+// backing buffers. On error the batch contents are undefined.
+func (b *Batch) Decode(p []byte) error {
+	b.Kind = b.Kind[:0]
+	b.Dense = b.Dense[:0]
+	b.Idx = b.Idx[:0]
+	b.Val = b.Val[:0]
+
+	r := reader{p: p}
+	rows, err := r.u32()
+	if err != nil {
+		return err
+	}
+	features, err := r.u32()
+	if err != nil {
+		return err
+	}
+	cols, err := r.u32()
+	if err != nil {
+		return err
+	}
+	// A row record is at least 1 byte, so rows > len(p) is provably
+	// truncated; this caps the sizing pass before any buffer grows.
+	if int(rows) > len(p) {
+		return fmt.Errorf("%w: %d rows in a %d-byte payload", ErrBadFrame, rows, len(p))
+	}
+	// MaxRows bounds what the row count alone can make the *output*
+	// side allocate (per-row headers here, rows×classes staging in the
+	// server) — the payload bound does not, because records can be a
+	// single byte.
+	if rows > MaxRows {
+		return fmt.Errorf("%w: %d rows exceeds %d", ErrBadFrame, rows, MaxRows)
+	}
+	if features > MaxPayload/8 {
+		return fmt.Errorf("%w: feature width %d", ErrBadFrame, features)
+	}
+	b.Features, b.Cols = int(features), int(cols)
+
+	// Sizing pass: walk the records once to bound the flat buffers, so
+	// the fill pass never reallocates mid-way (row views must stay
+	// valid) and a lying header cannot oversize an allocation.
+	denseRows, nnzTotal := 0, 0
+	rs := r
+	for i := 0; i < int(rows); i++ {
+		kind, err := rs.u8()
+		if err != nil {
+			return err
+		}
+		switch kind {
+		case kindDense:
+			denseRows++
+			rs.off += 8 * int(features)
+			if rs.off > len(p) {
+				return fmt.Errorf("%w: dense row %d truncated", ErrBadFrame, i)
+			}
+		case kindSparse:
+			nnz, err := rs.u32()
+			if err != nil {
+				return err
+			}
+			nnzTotal += int(nnz)
+			rs.off += 12 * int(nnz)
+			if rs.off > len(p) || int(nnz) > len(p) {
+				return fmt.Errorf("%w: sparse row %d truncated", ErrBadFrame, i)
+			}
+		default:
+			return fmt.Errorf("%w: row %d has unknown kind %d", ErrBadFrame, i, kind)
+		}
+	}
+	if err := rs.done(); err != nil {
+		return err
+	}
+
+	if need := denseRows * int(features); cap(b.denseBuf) < need {
+		b.denseBuf = make([]float64, need)
+	}
+	if cap(b.idxBuf) < nnzTotal {
+		b.idxBuf = make([]int, nnzTotal)
+	}
+	if cap(b.valBuf) < nnzTotal {
+		b.valBuf = make([]float64, nnzTotal)
+	}
+
+	// Fill pass: decode rows into stable views of the flat buffers.
+	dOff, sOff := 0, 0
+	for i := 0; i < int(rows); i++ {
+		kind, _ := r.u8()
+		if kind == kindDense {
+			row := b.denseBuf[dOff : dOff+int(features)]
+			if err := r.f64s(row); err != nil {
+				return err
+			}
+			dOff += int(features)
+			b.Kind = append(b.Kind, false)
+			b.Dense = append(b.Dense, row)
+			continue
+		}
+		nnz32, _ := r.u32()
+		nnz := int(nnz32)
+		idx := b.idxBuf[sOff : sOff+nnz]
+		for k := range idx {
+			j, err := r.u32()
+			if err != nil {
+				return err
+			}
+			idx[k] = int(int32(j))
+		}
+		val := b.valBuf[sOff : sOff+nnz]
+		if err := r.f64s(val); err != nil {
+			return err
+		}
+		sOff += nnz
+		b.Kind = append(b.Kind, true)
+		b.Idx = append(b.Idx, idx)
+		b.Val = append(b.Val, val)
+	}
+	return nil
+}
+
+// Rows returns the decoded batch's row count in arrival order.
+func (b *Batch) Rows() int { return len(b.Kind) }
+
+// DecodePredictResp parses an OpPredictResp payload into out, returning
+// the snapshot version and row count. out must hold every row.
+func DecodePredictResp(p []byte, out []int) (version int64, rows int, err error) {
+	r := reader{p: p}
+	v, err := r.u64()
+	if err != nil {
+		return 0, 0, err
+	}
+	n, err := r.u32()
+	if err != nil {
+		return 0, 0, err
+	}
+	if int(n) > len(out) {
+		return 0, 0, fmt.Errorf("wire: %d predictions for a %d-slot buffer", n, len(out))
+	}
+	if err := r.need(4 * int(n)); err != nil {
+		return 0, 0, err
+	}
+	for i := 0; i < int(n); i++ {
+		c, _ := r.u32()
+		out[i] = int(int32(c))
+	}
+	if err := r.done(); err != nil {
+		return 0, 0, err
+	}
+	return int64(v), int(n), nil
+}
+
+// DecodeFloatsResp parses an OpProbaResp/OpScoresResp payload into out,
+// returning the snapshot version and tile shape. out must hold
+// rows×cols values.
+func DecodeFloatsResp(p []byte, out []float64) (version int64, rows, cols int, err error) {
+	r := reader{p: p}
+	v, err := r.u64()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	nr, err := r.u32()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	nc, err := r.u32()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	// Bound the factors before multiplying so a hostile header cannot
+	// overflow the size arithmetic past the bounds check.
+	if nr > MaxPayload/8 || nc > MaxPayload/8 {
+		return 0, 0, 0, fmt.Errorf("%w: implausible tile %dx%d", ErrBadFrame, nr, nc)
+	}
+	if err := r.need(8 * int(nr) * int(nc)); err != nil {
+		return 0, 0, 0, err
+	}
+	if n := int(nr) * int(nc); n > len(out) {
+		return 0, 0, 0, fmt.Errorf("wire: %dx%d tile for a %d-slot buffer", nr, nc, len(out))
+	}
+	if err := r.f64s(out[:int(nr)*int(nc)]); err != nil {
+		return 0, 0, 0, err
+	}
+	if err := r.done(); err != nil {
+		return 0, 0, 0, err
+	}
+	return int64(v), int(nr), int(nc), nil
+}
+
+// DecodeMetaResp parses an OpMetaResp payload.
+func DecodeMetaResp(p []byte) (Meta, error) {
+	r := reader{p: p}
+	v, err := r.u64()
+	if err != nil {
+		return Meta{}, err
+	}
+	var f [7]int
+	for i := range f {
+		u, err := r.u32()
+		if err != nil {
+			return Meta{}, err
+		}
+		f[i] = int(int32(u))
+	}
+	if err := r.done(); err != nil {
+		return Meta{}, err
+	}
+	return Meta{
+		Version: int64(v),
+		Classes: f[0], Features: f[1],
+		ShardIndex: f[2], ShardCount: f[3],
+		ShardLow: f[4], ShardHigh: f[5], TotalClasses: f[6],
+	}, nil
+}
+
+// DecodeReloadResp parses an OpReloadResp payload.
+func DecodeReloadResp(p []byte) (int64, error) {
+	r := reader{p: p}
+	v, err := r.u64()
+	if err != nil {
+		return 0, err
+	}
+	if err := r.done(); err != nil {
+		return 0, err
+	}
+	return int64(v), nil
+}
+
+// DecodeError parses an OpError payload. The message allocates — error
+// frames are off the steady-state path by definition.
+func DecodeError(p []byte) (ErrCode, string, error) {
+	r := reader{p: p}
+	if err := r.need(4); err != nil {
+		return 0, "", err
+	}
+	code := ErrCode(binary.LittleEndian.Uint16(p[0:2]))
+	n := int(binary.LittleEndian.Uint16(p[2:4]))
+	if n > 512 {
+		// The spec bounds msgLen at 512 (Encoder.Error truncates to
+		// match); enforce it on the read side too.
+		return 0, "", fmt.Errorf("%w: error message length %d exceeds 512", ErrBadFrame, n)
+	}
+	r.off = 4
+	if err := r.need(n); err != nil {
+		return 0, "", err
+	}
+	msg := string(p[4 : 4+n])
+	r.off += n
+	if err := r.done(); err != nil {
+		return 0, "", err
+	}
+	return code, msg, nil
+}

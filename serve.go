@@ -156,6 +156,11 @@ type ServeOptions struct {
 	// Addr is the listen address (e.g. ":8080"); empty serves no
 	// listener — use Handler with your own server.
 	Addr string
+	// WireAddr, when set, additionally listens there with the binary
+	// frame data plane (internal/wire; see DESIGN.md "Binary data
+	// plane"), sharing the same batcher and registry as the HTTP
+	// surface. A scatter-gather router joins it via a tcp:// URL.
+	WireAddr string
 	// MaxBatch is the micro-batcher's launch size cap; <= 0 selects 64.
 	MaxBatch int
 	// Linger is the micro-batcher's flush window; 0 selects 200µs,
@@ -191,6 +196,8 @@ type ModelServer struct {
 
 	ln    net.Listener
 	hsrv  *http.Server
+	wln   net.Listener
+	fsrv  *serve.FrameServer
 	stopW chan struct{}
 }
 
@@ -227,6 +234,16 @@ func Serve(m *Model, opts ServeOptions) (*ModelServer, error) {
 		ms.ln = ln
 		ms.hsrv = &http.Server{Handler: ms.srv.Handler()}
 		go ms.hsrv.Serve(ln)
+	}
+	if opts.WireAddr != "" {
+		wln, err := net.Listen("tcp", opts.WireAddr)
+		if err != nil {
+			ms.shutdown()
+			return nil, fmt.Errorf("newtonadmm: %w", err)
+		}
+		ms.wln = wln
+		ms.fsrv = serve.NewFrameServer(ms.reg, ms.bat, reload)
+		go ms.fsrv.Serve(wln)
 	}
 	if opts.Watch > 0 && opts.ModelPath != "" {
 		ms.stopW = make(chan struct{})
@@ -346,6 +363,16 @@ func (ms *ModelServer) Addr() string {
 	return ms.ln.Addr().String()
 }
 
+// WireAddr returns the binary data plane's bound listen address (""
+// when WireAddr was not configured); join it from a router with
+// "tcp://" + WireAddr().
+func (ms *ModelServer) WireAddr() string {
+	if ms.wln == nil {
+		return ""
+	}
+	return ms.wln.Addr().String()
+}
+
 // Batcher exposes the micro-batcher, the in-process load-test target.
 func (ms *ModelServer) Batcher() *serve.Batcher { return ms.bat }
 
@@ -357,6 +384,10 @@ func (ms *ModelServer) shutdown() {
 	if ms.hsrv != nil {
 		ms.hsrv.Close()
 		ms.hsrv = nil
+	}
+	if ms.fsrv != nil {
+		ms.fsrv.Close()
+		ms.fsrv = nil
 	}
 	if ms.bat != nil {
 		ms.bat.Close()
@@ -381,12 +412,19 @@ type RouterOptions struct {
 	// (model-parallel class-sharded replicas, partial-logit
 	// scatter-gather merged bitwise-identically to single-node scoring).
 	Mode string
-	// Join lists remote replica base URLs (e.g. "http://host:8081") to
-	// front instead of building in-process replicas: each must be a
-	// running nadmm-serve — full models for replica mode, shard replicas
-	// (started with ShardIndex/ShardCount) tiling one model for class
-	// mode.
+	// Join lists remote replica base URLs to front instead of building
+	// in-process replicas: each must be a running nadmm-serve — full
+	// models for replica mode, shard replicas (started with
+	// ShardIndex/ShardCount) tiling one model for class mode. The URL
+	// scheme negotiates the data plane per replica: "http://host:8081"
+	// joins the JSON surface, "tcp://host:9081" the binary frame
+	// listener (the replica's -wire-addr); a scheme-less host:port uses
+	// Wire.
 	Join []string
+	// Wire selects the data plane for scheme-less Join addresses:
+	// "json" (the default) or "binary". Explicit tcp:// and http://
+	// schemes win over it.
+	Wire string
 	// MaxBatch, Linger, QueueDepth, Workers configure each in-process
 	// replica's micro-batcher and device exactly like ServeOptions.
 	MaxBatch   int
@@ -433,7 +471,14 @@ func ServeSharded(m *Model, opts RouterOptions) (*RouterServer, error) {
 	var backends []router.Backend
 	if len(opts.Join) > 0 {
 		for _, base := range opts.Join {
-			backends = append(backends, &router.HTTPBackend{Base: base})
+			b, err := router.BackendForURL(base, opts.Wire)
+			if err != nil {
+				for _, b := range backends {
+					b.Close()
+				}
+				return nil, fmt.Errorf("newtonadmm: %w", err)
+			}
+			backends = append(backends, b)
 		}
 	} else {
 		if m == nil {
