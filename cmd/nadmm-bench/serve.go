@@ -52,7 +52,8 @@ func runServeBench(args []string) {
 		seed     = fs.Int64("seed", 1, "request-row generator seed")
 		sample   = fs.Int("sample", 1, "record latency for 1 in N requests (closed loop; all requests still count)")
 		proba    = fs.Bool("proba", false, "drive the probability path (/v1/proba semantics) instead of plain prediction")
-		replicas = fs.Int("replicas", 2, "router replica count for the -compare router rows")
+		replicas = fs.Int("replicas", 2, "router replica count for the -compare router rows (class mode: shard count S)")
+		perShard = fs.Int("replicas-per-shard", 1, "siblings per class shard for the in-process router-class row (R; >1 measures the replicated grid's failover-capable path)")
 		compare  = fs.Bool("compare", false, "also run one-shot, batch-1, and router (both modes, plus remote JSON and binary wire rows) and report every row")
 	)
 	fs.Parse(args)
@@ -109,10 +110,15 @@ func runServeBench(args []string) {
 	// runRouter drives the scatter-gather tier in the given placement
 	// mode and returns the per-replica breakdown with the result.
 	runRouter := func(placement string) (serve.LoadResult, router.Stats) {
-		rs, err := newtonadmm.ServeSharded(m, newtonadmm.RouterOptions{
+		ro := newtonadmm.RouterOptions{
 			Replicas: *replicas, Mode: placement,
 			MaxBatch: *maxB, Linger: *linger, QueueDepth: *queue,
-		})
+		}
+		if placement == "class" {
+			// R x S grid row: the replicated, failover-capable layout.
+			ro.ReplicasPerShard = *perShard
+		}
+		rs, err := newtonadmm.ServeSharded(m, ro)
 		if err != nil {
 			log.Fatal(err)
 		}

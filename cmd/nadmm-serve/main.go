@@ -33,6 +33,12 @@
 //	# in-process class-sharded fleet: partial-logit scatter-gather
 //	nadmm-serve -model model.gob -addr :8080 -replicas 2 -shard-mode class
 //
+//	# replicated R x S grid: 2 class shards x 2 zone-spread siblings
+//	# each — any single replica death fails over to its shard sibling
+//	# and is never client-visible
+//	nadmm-serve -model model.gob -addr :8080 -replicas 2 -shard-mode class \
+//	    -replicas-per-shard 2 -zone zone-a,zone-b
+//
 //	# multi-process class-sharded fleet: two shard replicas + a router
 //	nadmm-serve -model model.gob -addr :8081 -shard-index 0 -shard-count 2 &
 //	nadmm-serve -model model.gob -addr :8082 -shard-index 1 -shard-count 2 &
@@ -74,13 +80,15 @@ func main() {
 
 		wireAddr = flag.String("wire-addr", "", "also listen here with the binary frame data plane (join it with tcp:// from a router)")
 
-		replicas  = flag.Int("replicas", 1, "serve through a router over this many in-process replicas (>1 enables the fleet)")
+		replicas  = flag.Int("replicas", 1, "serve through a router over this many in-process replicas (>1 enables the fleet; class mode: the shard count S)")
+		perShard  = flag.Int("replicas-per-shard", 1, "in-process siblings per class shard (R; >1 builds an R x S replicated grid with per-shard failover)")
 		shardMode = flag.String("shard-mode", "replica", "fleet placement: replica (whole-model copies) or class (class-sharded partial logits)")
 		join      = flag.String("join", "", "comma-separated replica base URLs to route over instead of in-process replicas (tcp:// = binary plane, http:// = JSON)")
 		wirePlane = flag.String("wire", "json", "data plane for scheme-less -join addresses: json or binary")
 
 		shardIndex = flag.Int("shard-index", 0, "serve class shard N of -shard-count (replica side of a multi-process fleet)")
 		shardCount = flag.Int("shard-count", 0, "total class shards; > 0 makes this server a shard replica")
+		zone       = flag.String("zone", "", "failure-domain label: single server advertises it on /healthz and the wire meta; a router with in-process replicas takes a comma-separated list spread across each shard's siblings")
 	)
 	flag.Parse()
 
@@ -93,14 +101,20 @@ func main() {
 		}
 	}
 
-	if *replicas > 1 || len(joins) > 0 {
+	if *replicas > 1 || *perShard > 1 || len(joins) > 0 {
 		if *wireAddr != "" {
 			// The frame listener is a replica-side surface; silently
 			// ignoring the flag would leave a router downstream dialing
 			// a port nothing listens on.
 			log.Fatal("-wire-addr applies to replica servers, not the router (join replicas' frame listeners with tcp:// instead)")
 		}
-		runRouter(*model, *addr, *shardMode, *wirePlane, joins, *replicas, *maxBatch, *linger, *queue, *workers)
+		var zones []string
+		for _, z := range strings.Split(*zone, ",") {
+			if z = strings.TrimSpace(z); z != "" {
+				zones = append(zones, z)
+			}
+		}
+		runRouter(*model, *addr, *shardMode, *wirePlane, joins, zones, *replicas, *perShard, *maxBatch, *linger, *queue, *workers)
 		return
 	}
 
@@ -117,7 +131,7 @@ func main() {
 	srv, err := newtonadmm.Serve(m, newtonadmm.ServeOptions{
 		Addr: *addr, WireAddr: *wireAddr, MaxBatch: *maxBatch, Linger: *linger, QueueDepth: *queue,
 		Workers: *workers, ModelPath: *model, Watch: *watch,
-		ShardIndex: *shardIndex, ShardCount: *shardCount,
+		ShardIndex: *shardIndex, ShardCount: *shardCount, Zone: *zone,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -161,7 +175,7 @@ func main() {
 // runRouter starts the scatter-gather serving tier: in-process replicas
 // built from the checkpoint, or remote replicas joined by URL (with the
 // data plane negotiated per URL scheme).
-func runRouter(model, addr, mode, wirePlane string, joins []string, replicas, maxBatch int, linger time.Duration, queue, workers int) {
+func runRouter(model, addr, mode, wirePlane string, joins, zones []string, replicas, perShard, maxBatch int, linger time.Duration, queue, workers int) {
 	var m *newtonadmm.Model
 	if len(joins) == 0 {
 		if model == "" {
@@ -175,7 +189,8 @@ func runRouter(model, addr, mode, wirePlane string, joins []string, replicas, ma
 		log.Printf("loaded %s: %d classes, %d features (solver %s)", model, m.Classes, m.Features, m.Solver)
 	}
 	rs, err := newtonadmm.ServeSharded(m, newtonadmm.RouterOptions{
-		Addr: addr, Replicas: replicas, Mode: mode, Join: joins, Wire: wirePlane,
+		Addr: addr, Replicas: replicas, ReplicasPerShard: perShard, Zones: zones,
+		Mode: mode, Join: joins, Wire: wirePlane,
 		MaxBatch: maxBatch, Linger: linger, QueueDepth: queue, Workers: workers,
 		ModelPath: model,
 	})
@@ -183,10 +198,14 @@ func runRouter(model, addr, mode, wirePlane string, joins []string, replicas, ma
 		log.Fatal(err)
 	}
 	defer rs.Close()
-	if len(joins) > 0 {
+	switch {
+	case len(joins) > 0:
 		log.Printf("routing (%s mode) on %s over %d remote replicas: %s",
 			mode, rs.Addr(), len(joins), strings.Join(joins, ", "))
-	} else {
+	case perShard > 1:
+		log.Printf("routing (%s mode) on %s over a %dx%d in-process grid (%d shards x %d siblings)",
+			mode, rs.Addr(), perShard, replicas, replicas, perShard)
+	default:
 		log.Printf("routing (%s mode) on %s over %d in-process replicas", mode, rs.Addr(), replicas)
 	}
 

@@ -42,6 +42,10 @@ type Meta struct {
 	ShardLow     int
 	ShardHigh    int
 	TotalClasses int
+	// Zone is the replica's placement zone/rack label ("" when the
+	// operator declared none); the planner uses it to validate that a
+	// replicated shard group spreads across failure domains.
+	Zone string
 }
 
 // IsShard reports whether the backend serves a class shard rather than
@@ -59,6 +63,7 @@ func metaFromModel(mm serve.ModelMeta) Meta {
 		ShardLow:     mm.ShardLow,
 		ShardHigh:    mm.ShardHigh,
 		TotalClasses: mm.TotalClasses,
+		Zone:         mm.Zone,
 	}
 	if m.ShardCount == 0 {
 		m.ShardLow, m.ShardHigh = 0, mm.Classes-1

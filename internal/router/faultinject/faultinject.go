@@ -1,0 +1,187 @@
+// Package faultinject wraps the router's Backend seam with scriptable,
+// deterministic faults — crash, hang-until-deadline, slow-start,
+// flaky-dial-style error bursts — so the chaos suite can kill any
+// replica at any position (mid-scatter, mid-drain, mid-reload) and
+// assert the fleet's availability invariants. Determinism is the whole
+// design: faults arm from explicit test calls and trip on exact call
+// counts, never on timers or randomness, so a failing chaos run replays
+// identically.
+package faultinject
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"newtonadmm/internal/router"
+)
+
+// FaultBackend wraps a router.Backend and injects faults at the call
+// boundary, before the inner backend sees the request — a crashed
+// backend never writes a partial tile, exactly like a dead process.
+// All faults surface as router.ErrReplicaUnreachable, the transport
+// taxonomy that feeds the router's health signal. Safe for concurrent
+// use.
+type FaultBackend struct {
+	inner router.Backend
+
+	mu         sync.Mutex
+	crashed    bool
+	hangUntil  time.Time
+	slowN      int
+	slowD      time.Duration
+	failN      int
+	crashAfter int64 // calls still allowed before an armed crash; -1 disarmed
+	calls      int64
+}
+
+// Wrap builds a FaultBackend over inner with no faults armed.
+func Wrap(inner router.Backend) *FaultBackend {
+	return &FaultBackend{inner: inner, crashAfter: -1}
+}
+
+// Inner returns the wrapped backend.
+func (f *FaultBackend) Inner() router.Backend { return f.inner }
+
+// Crash makes every subsequent call fail immediately with
+// router.ErrReplicaUnreachable, like a dead process: no request reaches
+// the inner backend until Revive.
+func (f *FaultBackend) Crash() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashed = true
+}
+
+// CrashAfter arms a deterministic crash: the next n calls pass through,
+// the one after trips Crash. CrashAfter(0) crashes on the very next
+// call. This is how the chaos suite kills a replica at an exact
+// position in a scatter.
+func (f *FaultBackend) CrashAfter(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashAfter = int64(n)
+}
+
+// Revive clears a crash (armed or tripped); calls flow to the inner
+// backend again.
+func (f *FaultBackend) Revive() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashed = false
+	f.crashAfter = -1
+}
+
+// HangFor makes calls arriving within the next d block until the window
+// closes and then fail unreachable — a wedged replica that holds the
+// socket open without answering, cut off by the caller's deadline.
+func (f *FaultBackend) HangFor(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.hangUntil = time.Now().Add(d)
+}
+
+// SlowStart delays the next n calls by d each before letting them
+// succeed — a replica warming caches or recovering from a restart.
+func (f *FaultBackend) SlowStart(n int, d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.slowN, f.slowD = n, d
+}
+
+// FailNext makes the next n calls fail unreachable without reaching the
+// inner backend — a flaky dial or transient error burst.
+func (f *FaultBackend) FailNext(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failN = n
+}
+
+// Calls reports how many calls have entered the fault gate.
+func (f *FaultBackend) Calls() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls
+}
+
+// gate applies the armed faults to one call, in severity order: crash,
+// hang, error burst, slow-start.
+func (f *FaultBackend) gate() error {
+	f.mu.Lock()
+	f.calls++
+	if f.crashAfter >= 0 {
+		f.crashAfter--
+		if f.crashAfter < 0 {
+			f.crashed = true
+		}
+	}
+	if f.crashed {
+		f.mu.Unlock()
+		return fmt.Errorf("%w: injected crash", router.ErrReplicaUnreachable)
+	}
+	if until := f.hangUntil; time.Now().Before(until) {
+		f.mu.Unlock()
+		time.Sleep(time.Until(until))
+		return fmt.Errorf("%w: injected hang", router.ErrReplicaUnreachable)
+	}
+	if f.failN > 0 {
+		f.failN--
+		f.mu.Unlock()
+		return fmt.Errorf("%w: injected error burst", router.ErrReplicaUnreachable)
+	}
+	if f.slowN > 0 {
+		f.slowN--
+		d := f.slowD
+		f.mu.Unlock()
+		time.Sleep(d)
+		return nil
+	}
+	f.mu.Unlock()
+	return nil
+}
+
+// Meta probes the inner backend through the fault gate (a crashed
+// replica fails its health probes, so the monitor marks it down).
+func (f *FaultBackend) Meta() (router.Meta, error) {
+	if err := f.gate(); err != nil {
+		return router.Meta{}, err
+	}
+	return f.inner.Meta()
+}
+
+// Predict scores through the fault gate.
+func (f *FaultBackend) Predict(b *router.Batch, out []int) error {
+	if err := f.gate(); err != nil {
+		return err
+	}
+	return f.inner.Predict(b, out)
+}
+
+// Proba scores through the fault gate.
+func (f *FaultBackend) Proba(b *router.Batch, out []float64) error {
+	if err := f.gate(); err != nil {
+		return err
+	}
+	return f.inner.Proba(b, out)
+}
+
+// PartialScores scores through the fault gate; a tripped fault returns
+// before the tile is written, like a replica that died mid-scatter.
+func (f *FaultBackend) PartialScores(b *router.Batch, cols int, out []float64) (int64, error) {
+	if err := f.gate(); err != nil {
+		return 0, err
+	}
+	return f.inner.PartialScores(b, cols, out)
+}
+
+// Reload hot-swaps through the fault gate (a crashed replica cannot
+// take the new checkpoint — the rollout must survive without it).
+func (f *FaultBackend) Reload() (int64, error) {
+	if err := f.gate(); err != nil {
+		return 0, err
+	}
+	return f.inner.Reload()
+}
+
+// Close always reaches the inner backend: resource cleanup is not a
+// fault surface.
+func (f *FaultBackend) Close() { f.inner.Close() }

@@ -40,7 +40,12 @@ func (s State) String() string {
 // Replica is one pool member: a backend plus the routing-side view of it
 // (health state, in-flight load for least-loaded picking, counters).
 type Replica struct {
-	ID      int
+	ID int
+	// GroupID is the shard group this replica belongs to (index into
+	// Pool.Groups); -1 until groups are assigned.
+	GroupID int
+	// Zone is the replica's placement zone/rack label ("" undeclared).
+	Zone    string
 	backend Backend
 
 	meta  atomic.Pointer[Meta] // refreshed by the health monitor
@@ -77,6 +82,8 @@ func (r *Replica) available() bool { return r.State() == StateHealthy }
 // generator's per-replica breakdown.
 type ReplicaStats struct {
 	ID       int
+	Group    int
+	Zone     string
 	State    string
 	Version  int64
 	InFlight int64
@@ -90,6 +97,8 @@ type ReplicaStats struct {
 func (r *Replica) Stats() ReplicaStats {
 	return ReplicaStats{
 		ID:       r.ID,
+		Group:    r.GroupID,
+		Zone:     r.Zone,
 		State:    r.State().String(),
 		Version:  r.Meta().Version,
 		InFlight: r.inflight.Load(),
@@ -100,9 +109,34 @@ func (r *Replica) Stats() ReplicaStats {
 	}
 }
 
-// Pool owns the replica set and the health monitor.
+// Group is one shard group of the R×S grid: the replicas jointly
+// serving one class-shard range. Health is tracked per member;
+// serviceability is a group property — the group serves as long as at
+// least one member is available.
+type Group struct {
+	ID      int
+	Range   ShardRange
+	members []*Replica
+}
+
+// Members returns the group's replicas (fixed after construction).
+func (g *Group) Members() []*Replica { return g.members }
+
+// availableCount counts members currently accepting traffic.
+func (g *Group) availableCount() int {
+	n := 0
+	for _, r := range g.members {
+		if r.available() {
+			n++
+		}
+	}
+	return n
+}
+
+// Pool owns the replica set, its shard groups, and the health monitor.
 type Pool struct {
 	replicas []*Replica
+	groups   []*Group
 
 	mu  sync.Mutex // guards rng
 	rng *rand.Rand
@@ -119,13 +153,33 @@ func newPool(backends []Backend, metas []Meta) *Pool {
 		stop: make(chan struct{}),
 	}
 	for i, b := range backends {
-		r := &Replica{ID: i, backend: b, Latency: metrics.NewHistogram()}
+		r := &Replica{ID: i, GroupID: -1, Zone: metas[i].Zone, backend: b, Latency: metrics.NewHistogram()}
 		m := metas[i]
 		r.meta.Store(&m)
 		p.replicas = append(p.replicas, r)
 	}
 	return p
 }
+
+// setGroups wires the planner's placement into the pool: one Group per
+// plan entry, members resolved to replicas and back-linked via GroupID.
+// Called once at construction, before any traffic.
+func (p *Pool) setGroups(plans []GroupPlan) {
+	p.groups = p.groups[:0]
+	for gi, plan := range plans {
+		g := &Group{ID: gi, Range: plan.Range}
+		for _, ri := range plan.Members {
+			r := p.replicas[ri]
+			r.GroupID = gi
+			g.members = append(g.members, r)
+		}
+		p.groups = append(p.groups, g)
+	}
+}
+
+// Groups returns the shard groups in range order (fixed after
+// construction; empty until setGroups).
+func (p *Pool) Groups() []*Group { return p.groups }
 
 // Replicas returns the pool members (fixed after construction).
 func (p *Pool) Replicas() []*Replica { return p.replicas }
@@ -139,12 +193,13 @@ func (p *Pool) Stats() []ReplicaStats {
 	return out
 }
 
-// pick selects a replica by power-of-two-choices: two distinct available
-// replicas at random, the one with fewer requests in flight wins. With
-// one available replica it returns it; with none it returns nil.
-func (p *Pool) pick() *Replica {
-	avail := make([]*Replica, 0, len(p.replicas))
-	for _, r := range p.replicas {
+// pickFrom selects one of members by power-of-two-choices: two distinct
+// available members at random, the one with fewer requests in flight
+// wins. With one available member it returns it; with none it returns
+// nil.
+func (p *Pool) pickFrom(members []*Replica) *Replica {
+	avail := make([]*Replica, 0, len(members))
+	for _, r := range members {
 		if r.available() {
 			avail = append(avail, r)
 		}
@@ -169,21 +224,88 @@ func (p *Pool) pick() *Replica {
 	return a
 }
 
-// failoverOrder returns the available replicas to try, first choice
-// first: the power-of-two pick, then every other available replica.
-func (p *Pool) failoverOrder() []*Replica {
-	first := p.pick()
+// pick selects from the whole pool (replica-balanced mode).
+func (p *Pool) pick() *Replica { return p.pickFrom(p.replicas) }
+
+// failoverOrderFrom returns the available members to try, first choice
+// first: the power-of-two pick, then every other available member.
+func (p *Pool) failoverOrderFrom(members []*Replica) []*Replica {
+	first := p.pickFrom(members)
 	if first == nil {
 		return nil
 	}
-	order := make([]*Replica, 0, len(p.replicas))
+	order := make([]*Replica, 0, len(members))
 	order = append(order, first)
-	for _, r := range p.replicas {
+	for _, r := range members {
 		if r != first && r.available() {
 			order = append(order, r)
 		}
 	}
 	return order
+}
+
+// failoverOrder is failoverOrderFrom over the whole pool.
+func (p *Pool) failoverOrder() []*Replica {
+	return p.failoverOrderFrom(p.replicas)
+}
+
+// ShardCoverage is one group's serviceability summary for /healthz.
+type ShardCoverage struct {
+	Group   int `json:"group"`
+	Low     int `json:"low"`
+	High    int `json:"high"`
+	Healthy int `json:"healthy"`
+	Members int `json:"members"`
+}
+
+// Coverage summarizes fleet serviceability by group: "ok" when every
+// member of every group is available, "degraded" when every group still
+// has at least one available member but some member is down or
+// draining, "unserviceable" when some group has zero available members
+// (that shard's partial logits cannot be assembled and class-mode
+// requests fail 503 until a member recovers).
+func (p *Pool) Coverage() (string, []ShardCoverage) {
+	status := "ok"
+	shards := make([]ShardCoverage, len(p.groups))
+	for i, g := range p.groups {
+		n := g.availableCount()
+		shards[i] = ShardCoverage{
+			Group:   g.ID,
+			Low:     g.Range.Low,
+			High:    g.Range.High,
+			Healthy: n,
+			Members: len(g.members),
+		}
+		switch {
+		case n == 0:
+			status = "unserviceable"
+		case n < len(g.members) && status == "ok":
+			status = "degraded"
+		}
+	}
+	return status, shards
+}
+
+// CanDrain reports whether draining the replica leaves its group
+// serviceable: it is refused when the replica is the last available
+// member of its group, because the drain would take a shard's coverage
+// to zero. Pool.Drain itself stays unguarded — operators (and tests)
+// can force the drain; this is the advisory check the admin API applies
+// unless forced.
+func (p *Pool) CanDrain(id int) error {
+	if id < 0 || id >= len(p.replicas) {
+		return fmt.Errorf("router: no replica %d", id)
+	}
+	r := p.replicas[id]
+	if !r.available() || r.GroupID < 0 {
+		return nil
+	}
+	g := p.groups[r.GroupID]
+	if g.availableCount() <= 1 {
+		return fmt.Errorf("router: replica %d is the last available member of shard group %d [%d,%d); draining it makes the shard unserviceable (use force to override)",
+			id, g.ID, g.Range.Low, g.Range.High)
+	}
+	return nil
 }
 
 // Drain marks the replica as draining (no new traffic) and blocks until

@@ -38,6 +38,11 @@ type Options struct {
 	// when a mid-rollout hot swap makes shard versions diverge; <= 0
 	// selects 2.
 	SkewRetries int
+	// SiblingRetries bounds how many group siblings a class-sharded
+	// scatter leg fails over to when its picked member dies mid-request
+	// (transport or availability error); <= 0 selects 2. Request-shaped
+	// errors never retry.
+	SiblingRetries int
 }
 
 func (o Options) withDefaults() Options {
@@ -52,6 +57,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.SkewRetries <= 0 {
 		o.SkewRetries = 2
+	}
+	if o.SiblingRetries <= 0 {
+		o.SiblingRetries = 2
 	}
 	return o
 }
@@ -74,7 +82,7 @@ type Router struct {
 
 	classes  int // full model class count C
 	features int
-	plan     []ShardRange // class mode: plan[i] is replica i's column range
+	plan     []GroupPlan // plan[g] is shard group g's range and membership
 
 	// swapMu orders coordinated hot swaps against in-flight class-mode
 	// scatters: Reload holds the write side while the fleet swaps, so a
@@ -92,8 +100,11 @@ type Router struct {
 
 // New builds a router over the given backends. Every backend must be
 // reachable at construction: replica mode requires identically shaped
-// full models, class mode requires shards that tile the full model's
-// explicit class rows exactly.
+// full models, class mode requires an R×S grid whose shard groups tile
+// the full model's explicit class rows exactly (backends reporting the
+// same shard range are siblings of one group; R full-model copies form
+// a single S=1 group). In a multi-zone fleet, every multi-member group
+// must spread across zones.
 func New(backends []Backend, opts Options) (*Router, error) {
 	if len(backends) == 0 {
 		return nil, errors.New("router: need at least one backend")
@@ -120,8 +131,15 @@ func New(backends []Backend, opts Options) (*Router, error) {
 			}
 		}
 		r.classes, r.features = metas[0].Classes, metas[0].Features
+		// One group holding every replica: coverage and drain guards
+		// work uniformly across modes.
+		all := make([]int, len(backends))
+		for i := range all {
+			all[i] = i
+		}
+		r.plan = []GroupPlan{{Range: ShardRange{Low: 0, High: r.classes - 1}, Members: all}}
 	case ModeClass:
-		plan, err := planFromMetas(metas)
+		plan, err := planGroupsFromMetas(metas)
 		if err != nil {
 			return nil, err
 		}
@@ -131,6 +149,7 @@ func New(backends []Backend, opts Options) (*Router, error) {
 		return nil, fmt.Errorf("router: unknown mode %q (want %q or %q)", opts.Mode, ModeReplica, ModeClass)
 	}
 	r.pool = newPool(backends, metas)
+	r.pool.setGroups(r.plan)
 	if opts.HealthEvery > 0 {
 		r.pool.startHealth(opts.HealthEvery, opts.FailAfter)
 	}
@@ -149,8 +168,9 @@ func (r *Router) Features() int { return r.features }
 // Pool returns the replica pool (drain/undrain, stats).
 func (r *Router) Pool() *Pool { return r.pool }
 
-// Plan returns the class-shard placement (nil in replica mode).
-func (r *Router) Plan() []ShardRange { return r.plan }
+// Plan returns the shard-group placement: one entry per group, in
+// range order. Replica mode has a single group holding every replica.
+func (r *Router) Plan() []GroupPlan { return r.plan }
 
 // Version returns the newest model version any replica reports.
 func (r *Router) Version() int64 {
@@ -314,68 +334,111 @@ func (r *Router) classScore(b *Batch, classOut []int, probaOut []float64) error 
 	return nil
 }
 
-// scatterOnce fans the batch out to all shards once and merges the
-// partial columns into scores (rows x classes-1). All shards must be
-// available and must answer with the same model version.
+// scatterOnce fans the batch out to all shard groups once and merges
+// the partial columns into scores (rows x classes-1). Each group leg
+// picks a member and retries transport failures on siblings; a leg
+// fails only when its group exhausts the retry budget or has no
+// available member. All groups must answer with the same model version.
 func (r *Router) scatterOnce(b *Batch, scores []float64) error {
 	r.swapMu.RLock()
 	defer r.swapMu.RUnlock()
-	reps := r.pool.replicas
-	rows := b.Rows()
-	m := r.classes - 1
-	for i, rep := range reps {
-		rep.inflight.Add(1)
-		if !rep.available() {
-			for j := 0; j <= i; j++ {
-				reps[j].inflight.Add(-1)
-			}
-			return fmt.Errorf("%w: replica %d is %s", ErrShardUnavailable, rep.ID, rep.State())
-		}
-	}
-	errs := make([]error, len(reps))
-	versions := make([]int64, len(reps))
+	groups := r.pool.groups
+	errs := make([]error, len(groups))
+	versions := make([]int64, len(groups))
 	var wg sync.WaitGroup
-	for i := range reps {
+	for gi := range groups {
 		wg.Add(1)
-		go func(i int) {
+		go func(gi int) {
 			defer wg.Done()
-			rep := reps[i]
-			defer rep.inflight.Add(-1)
-			rng := r.plan[i]
-			w := rng.Width()
-			part := make([]float64, rows*w)
-			t0 := time.Now()
-			v, err := rep.backend.PartialScores(b, w, part)
-			rep.Latency.Observe(time.Since(t0))
-			if err != nil {
-				rep.errs.Add(1)
-				if errors.Is(err, ErrReplicaUnreachable) {
-					r.pool.noteRequestError(rep, r.opts.FailAfter)
-				}
-				errs[i] = err
-				return
-			}
-			rep.done.Add(1)
-			rep.fails.Store(0)
-			versions[i] = v
-			// Disjoint column ranges: concurrent writers never overlap.
-			for row := 0; row < rows; row++ {
-				copy(scores[row*m+rng.Low:row*m+rng.High], part[row*w:(row+1)*w])
-			}
-		}(i)
+			versions[gi], errs[gi] = r.scatterGroup(groups[gi], b, scores)
+		}(gi)
 	}
 	wg.Wait()
-	for i, err := range errs {
+	for gi, err := range errs {
 		if err != nil {
-			return fmt.Errorf("router: shard %d: %w", i, err)
+			return fmt.Errorf("router: shard group %d: %w", gi, err)
 		}
 	}
 	for i := 1; i < len(versions); i++ {
 		if versions[i] != versions[0] {
-			return fmt.Errorf("%w (shard 0 at v%d, shard %d at v%d)", ErrVersionSkew, versions[0], i, versions[i])
+			return fmt.Errorf("%w (group 0 at v%d, group %d at v%d)", ErrVersionSkew, versions[0], i, versions[i])
 		}
 	}
 	return nil
+}
+
+// scatterGroup scores one shard group's partial tile. The member is
+// picked by power-of-two-choices least-loaded; transport and
+// availability failures retry on group siblings (bounded by
+// SiblingRetries), so a mid-scatter member death is absorbed inside the
+// group and never surfaces to the client while a sibling lives. The
+// successful attempt writes the whole tile, so the buffer is safely
+// reused across attempts. Returns the snapshot version the tile was
+// scored against.
+func (r *Router) scatterGroup(g *Group, b *Batch, scores []float64) (int64, error) {
+	rows := b.Rows()
+	m := r.classes - 1
+	w := g.Range.Width()
+	order := r.pool.failoverOrderFrom(g.members)
+	if len(order) == 0 {
+		return 0, fmt.Errorf("%w: group [%d,%d) has no available member", ErrShardUnavailable, g.Range.Low, g.Range.High)
+	}
+	attempts := r.opts.SiblingRetries + 1
+	if attempts > len(order) {
+		attempts = len(order)
+	}
+	part := make([]float64, rows*w)
+	var lastErr error
+	for k := 0; k < attempts; k++ {
+		rep := order[k]
+		rep.inflight.Add(1)
+		if !rep.available() {
+			// Lost a race with Drain: it saw our increment or we see its
+			// state change — either way the member takes no new work.
+			rep.inflight.Add(-1)
+			lastErr = fmt.Errorf("%w: replica %d is %s", ErrShardUnavailable, rep.ID, rep.State())
+			continue
+		}
+		if k > 0 {
+			r.failovers.Add(1)
+		}
+		t0 := time.Now()
+		v, err := rep.backend.PartialScores(b, w, part)
+		rep.Latency.Observe(time.Since(t0))
+		rep.inflight.Add(-1)
+		if err == nil {
+			rep.done.Add(1)
+			rep.fails.Store(0)
+			// Disjoint column ranges per group: concurrent writers never
+			// overlap.
+			for row := 0; row < rows; row++ {
+				copy(scores[row*m+g.Range.Low:row*m+g.Range.High], part[row*w:(row+1)*w])
+			}
+			return v, nil
+		}
+		switch {
+		case errors.Is(err, serve.ErrQueueFull):
+			// Backpressure is a load signal, not a failure signal: a
+			// sibling may have headroom.
+			rep.rejected.Add(1)
+		case errors.Is(err, ErrReplicaUnreachable):
+			// Only transport-level failures feed the health signal.
+			rep.errs.Add(1)
+			r.pool.noteRequestError(rep, r.opts.FailAfter)
+		case errors.Is(err, serve.ErrNoModel), errors.Is(err, serve.ErrClosed),
+			errors.Is(err, serve.ErrModelShapeChanged):
+			// Member-availability problems: a sibling may hold a usable
+			// snapshot.
+			rep.errs.Add(1)
+		default:
+			// Request-shaped (400-class) errors are deterministic: every
+			// sibling would reject the same batch.
+			rep.errs.Add(1)
+			return 0, err
+		}
+		lastErr = err
+	}
+	return 0, lastErr
 }
 
 // Reload hot-swaps every replica's checkpoint, holding the swap lock so
@@ -389,10 +452,19 @@ func (r *Router) Reload() (int64, error) {
 	r.swapMu.Lock()
 	defer r.swapMu.Unlock()
 	var latest int64
+	var firstErr error
 	for _, rep := range r.pool.replicas {
 		v, err := rep.backend.Reload()
 		if err != nil {
-			return 0, fmt.Errorf("router: reloading replica %d: %w", rep.ID, err)
+			// Best-effort: keep rolling the rest of the fleet forward so
+			// the survivors of a mid-reload replica death converge on one
+			// version. Aborting here would strand the fleet half
+			// rolled-out and turn every scatter into a version-skew 503
+			// until the dead replica came back.
+			if firstErr == nil {
+				firstErr = fmt.Errorf("router: reloading replica %d: %w", rep.ID, err)
+			}
+			continue
 		}
 		if v > latest {
 			latest = v
@@ -400,6 +472,9 @@ func (r *Router) Reload() (int64, error) {
 	}
 	if err := r.refreshMetasLocked(); err != nil {
 		return 0, fmt.Errorf("router: reload deployed an incompatible model — restart the router to serve it: %w", err)
+	}
+	if firstErr != nil {
+		return latest, firstErr
 	}
 	return latest, nil
 }
@@ -435,14 +510,17 @@ func (r *Router) refreshMetasLocked() error {
 	}
 	switch r.mode {
 	case ModeClass:
-		plan, err := planFromMetas(metas)
-		if err != nil {
+		if _, err := planGroupsFromMetas(metas); err != nil {
 			return err
 		}
-		for i := range plan {
-			if plan[i] != r.plan[i] {
+		// The grid must be unchanged: every replica still serves exactly
+		// the range its group was planned for.
+		for _, rep := range r.pool.replicas {
+			g := r.pool.groups[rep.GroupID]
+			m := metas[rep.ID]
+			if (ShardRange{Low: m.ShardLow, High: m.ShardHigh}) != g.Range {
 				return fmt.Errorf("router: replica %d now serves shard [%d,%d), planned [%d,%d)",
-					i, plan[i].Low, plan[i].High, r.plan[i].Low, r.plan[i].High)
+					rep.ID, m.ShardLow, m.ShardHigh, g.Range.Low, g.Range.High)
 			}
 		}
 		if metas[0].TotalClasses != r.classes {

@@ -140,6 +140,8 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request, proba boo
 // replicaHealth is one replica's row in /healthz.
 type replicaHealth struct {
 	ID       int    `json:"id"`
+	Group    int    `json:"group"`
+	Zone     string `json:"zone,omitempty"`
 	State    string `json:"state"`
 	Version  int64  `json:"version"`
 	InFlight int64  `json:"in_flight"`
@@ -147,37 +149,29 @@ type replicaHealth struct {
 	ShardHi  int    `json:"shard_high,omitempty"`
 }
 
+// handleHealthz reports shard coverage, not mere liveness: "ok" when
+// every group member everywhere is healthy, "degraded" (still 200 —
+// every shard retains at least one healthy member) when some member is
+// down or draining, "unserviceable" (503) when some group has zero
+// healthy members and class-sharded requests cannot be assembled. The
+// per-shard healthy counts pinpoint which range lost coverage.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	reps := s.rt.Pool().Replicas()
 	rows := make([]replicaHealth, len(reps))
-	healthy := 0
 	for i, rep := range reps {
 		m := rep.Meta()
 		rows[i] = replicaHealth{
-			ID: rep.ID, State: rep.State().String(), Version: m.Version, InFlight: rep.InFlight(),
+			ID: rep.ID, Group: rep.GroupID, Zone: rep.Zone,
+			State: rep.State().String(), Version: m.Version, InFlight: rep.InFlight(),
 		}
 		if s.rt.Mode() == ModeClass {
-			rows[i].ShardLow, rows[i].ShardHi = s.rt.Plan()[i].Low, s.rt.Plan()[i].High
-		}
-		if rep.State() == StateHealthy {
-			healthy++
+			rows[i].ShardLow, rows[i].ShardHi = m.ShardLow, m.ShardHigh
 		}
 	}
-	// Replica mode serves as long as one replica is up; class mode needs
-	// the whole tile.
-	status := "ok"
+	status, shards := s.rt.Pool().Coverage()
 	code := http.StatusOK
-	switch s.rt.Mode() {
-	case ModeReplica:
-		if healthy == 0 {
-			status, code = "unavailable", http.StatusServiceUnavailable
-		} else if healthy < len(reps) {
-			status = "degraded"
-		}
-	case ModeClass:
-		if healthy < len(reps) {
-			status, code = "unavailable", http.StatusServiceUnavailable
-		}
+	if status == "unserviceable" {
+		code = http.StatusServiceUnavailable
 	}
 	writeJSON(w, code, map[string]any{
 		"status": status,
@@ -187,6 +181,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			Classes:  s.rt.Classes(),
 			Features: s.rt.Features(),
 		},
+		"shards":         shards,
 		"replicas":       rows,
 		"uptime_seconds": time.Since(s.start).Seconds(),
 	})
@@ -200,6 +195,12 @@ func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "router_failovers %d\n", st.Failovers)
 	fmt.Fprintf(w, "router_skew_retries %d\n", st.SkewRetry)
 	fmt.Fprintf(w, "router_model_version %d\n", s.rt.Version())
+	coverage, shards := s.rt.Pool().Coverage()
+	fmt.Fprintf(w, "router_coverage %s\n", coverage)
+	for _, sc := range shards {
+		fmt.Fprintf(w, "router_shard_%d_healthy %d\n", sc.Group, sc.Healthy)
+		fmt.Fprintf(w, "router_shard_%d_members %d\n", sc.Group, sc.Members)
+	}
 	for _, rs := range st.Replicas {
 		fmt.Fprintf(w, "router_replica_%d_state %s\n", rs.ID, rs.State)
 		fmt.Fprintf(w, "router_replica_%d_done %d\n", rs.ID, rs.Done)
@@ -225,18 +226,27 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"status": "reloaded", "model_version": version})
 }
 
-// handleReplicas is the admin surface: GET lists replica stats, POST
-// with {"id":N,"action":"drain"|"undrain"} (or ?id=&action=) changes a
-// replica's routing state. Draining blocks until the replica's in-flight
-// requests finish.
+// handleReplicas is the admin surface: GET lists replica stats plus
+// shard coverage, POST with {"id":N,"action":"drain"|"undrain"} (or
+// ?id=&action=) changes a replica's routing state. Draining blocks
+// until the replica's in-flight requests finish; draining the last
+// available member of a shard group is refused with 409 unless
+// "force":true (or ?force=true) — that drain takes the shard's
+// coverage to zero.
 func (s *Server) handleReplicas(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodGet:
-		writeJSON(w, http.StatusOK, map[string]any{"replicas": s.rt.Pool().Stats()})
+		coverage, shards := s.rt.Pool().Coverage()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"replicas": s.rt.Pool().Stats(),
+			"coverage": coverage,
+			"shards":   shards,
+		})
 	case http.MethodPost:
 		var req struct {
 			ID     int    `json:"id"`
 			Action string `json:"action"`
+			Force  bool   `json:"force"`
 		}
 		if q := r.URL.Query(); q.Get("action") != "" {
 			req.Action = q.Get("action")
@@ -246,6 +256,7 @@ func (s *Server) handleReplicas(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			req.ID = id
+			req.Force, _ = strconv.ParseBool(q.Get("force"))
 		} else if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 			return
@@ -253,6 +264,12 @@ func (s *Server) handleReplicas(w http.ResponseWriter, r *http.Request) {
 		var err error
 		switch req.Action {
 		case "drain":
+			if !req.Force {
+				if err := s.rt.Pool().CanDrain(req.ID); err != nil {
+					writeError(w, http.StatusConflict, "%v", err)
+					return
+				}
+			}
 			err = s.rt.Pool().Drain(req.ID, 30*time.Second)
 		case "undrain":
 			err = s.rt.Pool().Undrain(req.ID)

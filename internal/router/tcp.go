@@ -3,6 +3,7 @@ package router
 import (
 	"bufio"
 	"fmt"
+	"math/rand"
 	"net"
 	"strings"
 	"sync"
@@ -46,11 +47,23 @@ type TCPBackend struct {
 	// drops the late response by its unknown ID), while a write expiry
 	// retires the connection.
 	Timeout time.Duration
+	// RedialBase is the initial backoff after a failed dial: it doubles
+	// per consecutive failure up to RedialMax, carries ±25% jitter so a
+	// fleet of routers does not redial a recovering replica in lockstep,
+	// and resets on the first successful dial. While the backoff window
+	// is open, calls fail fast with ErrReplicaUnreachable instead of
+	// dialing — a flapping replica must not be hammered with immediate
+	// reconnect attempts from every pooled connection. <= 0 selects 50ms.
+	RedialBase time.Duration
+	// RedialMax caps the redial backoff; <= 0 selects 5s.
+	RedialMax time.Duration
 
-	mu     sync.Mutex
-	pool   []*wireConn
-	rr     int
-	closed bool
+	mu        sync.Mutex
+	pool      []*wireConn
+	rr        int
+	closed    bool
+	dialFails int       // consecutive failed dials
+	nextDial  time.Time // earliest next dial attempt
 
 	corr      atomic.Uint64
 	bytesSent atomic.Uint64
@@ -71,6 +84,46 @@ func (t *TCPBackend) timeout() time.Duration {
 		return t.Timeout
 	}
 	return 30 * time.Second
+}
+
+func (t *TCPBackend) redialBase() time.Duration {
+	if t.RedialBase > 0 {
+		return t.RedialBase
+	}
+	return 50 * time.Millisecond
+}
+
+func (t *TCPBackend) redialMax() time.Duration {
+	if t.RedialMax > 0 {
+		return t.RedialMax
+	}
+	return 5 * time.Second
+}
+
+// noteDialFailed opens (or widens) the backoff window after a failed
+// dial: exponential in the consecutive-failure count, capped at
+// RedialMax, jittered ±25%. Caller must not hold t.mu.
+func (t *TCPBackend) noteDialFailed() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.dialFails++
+	d := t.redialBase()
+	for i := 1; i < t.dialFails && d < t.redialMax(); i++ {
+		d *= 2
+	}
+	if d > t.redialMax() {
+		d = t.redialMax()
+	}
+	d = d*3/4 + time.Duration(rand.Int63n(int64(d)/2+1)) // ±25% jitter
+	t.nextDial = time.Now().Add(d)
+}
+
+// noteDialOK closes the backoff window. Caller must not hold t.mu.
+func (t *TCPBackend) noteDialOK() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.dialFails = 0
+	t.nextDial = time.Time{}
 }
 
 // wireConn is one pooled connection: a write-serialized socket plus a
@@ -120,14 +173,22 @@ func (t *TCPBackend) get() (*wireConn, error) {
 	slot := t.rr % n
 	t.rr++
 	wc := t.pool[slot]
+	wait := time.Until(t.nextDial)
 	t.mu.Unlock()
 	if wc != nil && !wc.isDead() {
 		return wc, nil
 	}
+	if wait > 0 {
+		// Inside the redial backoff window: fail fast rather than hammer
+		// a flapping replica with another connect attempt.
+		return nil, fmt.Errorf("%w %s: redial backed off for another %v", ErrReplicaUnreachable, t.Addr, wait.Round(time.Millisecond))
+	}
 	c, err := net.DialTimeout("tcp", t.Addr, t.timeout())
 	if err != nil {
+		t.noteDialFailed()
 		return nil, fmt.Errorf("%w %s: %v", ErrReplicaUnreachable, t.Addr, err)
 	}
+	t.noteDialOK()
 	if tc, ok := c.(*net.TCPConn); ok {
 		tc.SetNoDelay(true) // frames are requests; don't batch them in the kernel
 	}
@@ -398,6 +459,7 @@ func (t *TCPBackend) Meta() (Meta, error) {
 		Version: wm.Version, Classes: wm.Classes, Features: wm.Features,
 		ShardIndex: wm.ShardIndex, ShardCount: wm.ShardCount,
 		ShardLow: wm.ShardLow, ShardHigh: wm.ShardHigh, TotalClasses: wm.TotalClasses,
+		Zone: wm.Zone,
 	}), nil
 }
 

@@ -330,3 +330,79 @@ func TestBackendForURL(t *testing.T) {
 		}
 	}
 }
+
+// TestTCPRedialBackoff pins the flapping-replica protection: after a
+// failed dial the backend opens a jittered exponential backoff window
+// during which calls fail fast (ErrReplicaUnreachable) without dialing;
+// when the window expires it dials again, and a successful dial resets
+// the backoff entirely.
+func TestTCPRedialBackoff(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	tb := &TCPBackend{Addr: addr, Timeout: time.Second, RedialBase: 60 * time.Millisecond, RedialMax: 60 * time.Millisecond}
+	defer tb.Close()
+	if _, err := tb.Meta(); !errors.Is(err, ErrReplicaUnreachable) {
+		t.Fatalf("dial to closed port: got %v, want ErrReplicaUnreachable", err)
+	}
+	// Calls inside the window must not dial again: the consecutive-
+	// failure count stays at 1.
+	for i := 0; i < 3; i++ {
+		if _, err := tb.Meta(); !errors.Is(err, ErrReplicaUnreachable) {
+			t.Fatalf("backed-off call %d: got %v, want ErrReplicaUnreachable", i, err)
+		}
+	}
+	tb.mu.Lock()
+	fails, next := tb.dialFails, tb.nextDial
+	tb.mu.Unlock()
+	if fails != 1 {
+		t.Fatalf("dialFails = %d after calls inside the backoff window, want 1 (no redial storm)", fails)
+	}
+	if next.IsZero() {
+		t.Fatal("no backoff window opened after a failed dial")
+	}
+
+	// Past the window (base 60ms, +25% jitter max) the backend dials
+	// again; with a live replica on the address the dial succeeds and
+	// resets the backoff.
+	fr := func() *frameReplica {
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			lb := localReplica(t, randWeights(rand.New(rand.NewSource(73)), 3, 4), 3, 4, 0, 0)
+			ln, err := net.Listen("tcp", addr)
+			if err == nil {
+				fs := serve.NewFrameServer(lb.Registry(), lb.Batcher(), nil)
+				go fs.Serve(ln)
+				return &frameReplica{lb: lb, fs: fs, ln: ln}
+			}
+			lb.Close()
+			if time.Now().After(deadline) {
+				t.Skipf("cannot rebind %s: %v", addr, err)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}()
+	defer fr.close()
+
+	time.Sleep(100 * time.Millisecond) // let the window expire
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, err := tb.Meta(); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("backend never recovered after the replica came back")
+		}
+		time.Sleep(30 * time.Millisecond)
+	}
+	tb.mu.Lock()
+	fails, next = tb.dialFails, tb.nextDial
+	tb.mu.Unlock()
+	if fails != 0 || !next.IsZero() {
+		t.Fatalf("successful dial did not reset backoff: fails=%d window=%v", fails, next)
+	}
+}

@@ -173,6 +173,7 @@ func (s *FrameServer) handleFrame(h wire.Header, payload []byte, st *connState) 
 			Version: meta.Version, Classes: meta.Classes, Features: meta.Features,
 			ShardIndex: meta.ShardIndex, ShardCount: meta.ShardCount,
 			ShardLow: meta.ShardLow, ShardHigh: meta.ShardHigh, TotalClasses: meta.TotalClasses,
+			Zone: meta.Zone,
 		})
 	case wire.OpReload:
 		if s.reload == nil {

@@ -28,6 +28,11 @@ type ModelMeta struct {
 	ShardLow     int `json:"shard_low,omitempty"`
 	ShardHigh    int `json:"shard_high,omitempty"`
 	TotalClasses int `json:"total_classes,omitempty"`
+
+	// Zone is the placement zone/rack label the operator declared for
+	// this replica ("" when undeclared). Routers read it to spread the
+	// members of a replicated shard group across failure domains.
+	Zone string `json:"zone,omitempty"`
 }
 
 // IsShard reports whether this snapshot is a class shard of a larger

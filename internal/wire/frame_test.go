@@ -145,12 +145,20 @@ func TestResponseRoundTrips(t *testing.T) {
 		}
 	}
 
-	m := Meta{Version: 9, Classes: 5, Features: 33, ShardIndex: 1, ShardCount: 2, ShardLow: 2, ShardHigh: 4, TotalClasses: 10}
+	m := Meta{Version: 9, Classes: 5, Features: 33, ShardIndex: 1, ShardCount: 2, ShardLow: 2, ShardHigh: 4, TotalClasses: 10, Zone: "rack-a"}
 	e.Begin(OpMetaResp, 9)
 	e.MetaResp(m)
 	gm, err := DecodeMetaResp(e.Bytes()[HeaderSize:])
 	if err != nil || gm != m {
 		t.Fatalf("meta: %+v err=%v, want %+v", gm, err, m)
+	}
+
+	// Legacy peers emit the 36-byte fixed payload with no zone trailer;
+	// the decoder must accept it with Zone "".
+	legacy := e.Bytes()[HeaderSize : HeaderSize+36]
+	gm, err = DecodeMetaResp(legacy)
+	if err != nil || gm.Zone != "" || gm.Version != m.Version || gm.TotalClasses != m.TotalClasses {
+		t.Fatalf("legacy meta: %+v err=%v", gm, err)
 	}
 
 	e.Begin(OpReloadResp, 10)

@@ -7,8 +7,9 @@ import (
 )
 
 // Meta is the wire form of a replica's model snapshot metadata
-// (MetaResp payload, 36 bytes — see DESIGN.md for the offsets). Shard
-// fields are zero for a full replica.
+// (MetaResp payload, 36 bytes of fixed fields plus a length-prefixed
+// zone trailer — see DESIGN.md for the offsets). Shard fields are zero
+// for a full replica.
 type Meta struct {
 	Version    int64
 	Classes    int
@@ -19,6 +20,10 @@ type Meta struct {
 	ShardHigh  int
 	// TotalClasses is the full model's class count a shard belongs to.
 	TotalClasses int
+	// Zone is the replica's placement zone/rack label ("" when the
+	// operator did not declare one); routers read it to validate the
+	// zone-spread invariant of replicated shard groups.
+	Zone string
 }
 
 // Row-record kind bytes inside a batch request payload.
@@ -116,7 +121,8 @@ func (e *Encoder) FloatsResp(version int64, rows, cols int, vals []float64) {
 	e.f64s(vals[:rows*cols])
 }
 
-// MetaResp writes an OpMetaResp payload.
+// MetaResp writes an OpMetaResp payload: the 36 fixed bytes followed by
+// the zone trailer (u16 length + bytes, truncated to 256).
 func (e *Encoder) MetaResp(m Meta) {
 	e.u64(uint64(m.Version))
 	e.u32(uint32(m.Classes))
@@ -126,6 +132,12 @@ func (e *Encoder) MetaResp(m Meta) {
 	e.u32(uint32(m.ShardLow))
 	e.u32(uint32(m.ShardHigh))
 	e.u32(uint32(m.TotalClasses))
+	zone := m.Zone
+	if len(zone) > 256 {
+		zone = zone[:256]
+	}
+	e.buf = binary.LittleEndian.AppendUint16(e.buf, uint16(len(zone)))
+	e.buf = append(e.buf, zone...)
 }
 
 // ReloadResp writes an OpReloadResp payload: the deployed version.
@@ -408,7 +420,9 @@ func DecodeFloatsResp(p []byte, out []float64) (version int64, rows, cols int, e
 	return int64(v), int(nr), int(nc), nil
 }
 
-// DecodeMetaResp parses an OpMetaResp payload.
+// DecodeMetaResp parses an OpMetaResp payload. The zone trailer is
+// optional on the decode side: a 36-byte payload from a pre-zone
+// encoder yields Zone "".
 func DecodeMetaResp(p []byte) (Meta, error) {
 	r := reader{p: p}
 	v, err := r.u64()
@@ -423,6 +437,22 @@ func DecodeMetaResp(p []byte) (Meta, error) {
 		}
 		f[i] = int(int32(u))
 	}
+	zone := ""
+	if r.off < len(r.p) {
+		if err := r.need(2); err != nil {
+			return Meta{}, err
+		}
+		n := int(binary.LittleEndian.Uint16(r.p[r.off : r.off+2]))
+		r.off += 2
+		if n > 256 {
+			return Meta{}, fmt.Errorf("%w: zone length %d exceeds 256", ErrBadFrame, n)
+		}
+		if err := r.need(n); err != nil {
+			return Meta{}, err
+		}
+		zone = string(r.p[r.off : r.off+n])
+		r.off += n
+	}
 	if err := r.done(); err != nil {
 		return Meta{}, err
 	}
@@ -431,6 +461,7 @@ func DecodeMetaResp(p []byte) (Meta, error) {
 		Classes: f[0], Features: f[1],
 		ShardIndex: f[2], ShardCount: f[3],
 		ShardLow: f[4], ShardHigh: f[5], TotalClasses: f[6],
+		Zone: zone,
 	}, nil
 }
 

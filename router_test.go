@@ -332,6 +332,137 @@ func TestServeShardedValidation(t *testing.T) {
 	if _, err := Serve(m, ServeOptions{ShardIndex: 5, ShardCount: 2, Workers: 1}); err == nil {
 		t.Fatal("accepted out-of-range shard index")
 	}
+	// Replica mode already replicates the whole model; a per-shard
+	// sibling count there is a misconfiguration, not a bigger fleet.
+	if _, err := ServeSharded(m, RouterOptions{Replicas: 2, ReplicasPerShard: 2, Mode: "replica", HealthEvery: -1}); err == nil {
+		t.Fatal("accepted ReplicasPerShard in replica mode")
+	}
+}
+
+// TestServeShardedGridFailover drives the public R x S grid: 2 class
+// shards x 2 zone-spread siblings. Scoring stays bitwise-identical to
+// the single-node model, healthz reports the grid placement, draining
+// one sibling leaves the shard served, draining its last sibling is
+// refused with 409, and a fleet-wide Swap re-slices every member onto
+// its own shard (not one shard per member).
+func TestServeShardedGridFailover(t *testing.T) {
+	m := testModel(5, 8, 31)
+	rng := rand.New(rand.NewSource(33))
+	rows := make([][]float64, 6)
+	for i := range rows {
+		rows[i] = make([]float64, m.Features)
+		for j := range rows[i] {
+			rows[i][j] = rng.NormFloat64()
+		}
+	}
+	wantProba, err := m.PredictProba(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rs, err := ServeSharded(m, RouterOptions{
+		Addr: "127.0.0.1:0", Replicas: 2, ReplicasPerShard: 2,
+		Zones: []string{"zone-a", "zone-b"}, Mode: "class", Workers: 1,
+		MaxBatch: 8, Linger: 50 * time.Microsecond, HealthEvery: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	base := "http://" + rs.Addr()
+
+	checkBitwise := func(stage string) {
+		t.Helper()
+		resp, body := postInstances(t, base+"/v1/proba", mixedInstances(rows))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", stage, resp.StatusCode, body)
+		}
+		var pr wireResponse
+		if err := json.Unmarshal(body, &pr); err != nil {
+			t.Fatal(err)
+		}
+		for i := range rows {
+			for c := range wantProba[i] {
+				if pr.Probabilities[i][c] != wantProba[i][c] {
+					t.Fatalf("%s: row %d class %d: grid %v, single-node %v",
+						stage, i, c, pr.Probabilities[i][c], wantProba[i][c])
+				}
+			}
+		}
+	}
+	checkBitwise("fresh grid")
+
+	// healthz shows 4 members in 2 groups with spread zones and full
+	// coverage.
+	hresp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status string `json:"status"`
+		Shards []struct {
+			Group, Healthy, Members int
+		} `json:"shards"`
+		Replicas []struct {
+			ID    int    `json:"id"`
+			Group int    `json:"group"`
+			Zone  string `json:"zone"`
+		} `json:"replicas"`
+	}
+	if err := json.NewDecoder(hresp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if health.Status != "ok" || len(health.Replicas) != 4 || len(health.Shards) != 2 {
+		t.Fatalf("healthz: %+v", health)
+	}
+	for _, sh := range health.Shards {
+		if sh.Healthy != 2 || sh.Members != 2 {
+			t.Fatalf("shard %d: %d/%d healthy, want 2/2", sh.Group, sh.Healthy, sh.Members)
+		}
+	}
+	zones := map[int]map[string]bool{}
+	for _, rep := range health.Replicas {
+		if zones[rep.Group] == nil {
+			zones[rep.Group] = map[string]bool{}
+		}
+		zones[rep.Group][rep.Zone] = true
+	}
+	for g, zs := range zones {
+		if len(zs) != 2 {
+			t.Fatalf("group %d zones %v, want spread across 2", g, zs)
+		}
+	}
+
+	// Drain one sibling of group 0: the shard keeps serving bitwise off
+	// the survivor.
+	adminPost := func(body string) *http.Response {
+		t.Helper()
+		resp, err := http.Post(base+"/v1/replicas", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+	if resp := adminPost(`{"id":0,"action":"drain"}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("drain sibling: HTTP %d", resp.StatusCode)
+	}
+	checkBitwise("one sibling drained")
+	// Its sibling is now the shard's last member: refused without force.
+	if resp := adminPost(`{"id":1,"action":"drain"}`); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("drain last member: HTTP %d, want 409", resp.StatusCode)
+	}
+	if resp := adminPost(`{"id":0,"action":"undrain"}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("undrain: HTTP %d", resp.StatusCode)
+	}
+
+	// A fleet-wide hot swap re-slices each of the 4 members onto its own
+	// shard and stays bitwise.
+	if _, err := rs.Swap(m); err != nil {
+		t.Fatal(err)
+	}
+	checkBitwise("after fleet swap")
 }
 
 // TestRouterTargetProba checks the in-process load-generation target's

@@ -185,6 +185,12 @@ type ServeOptions struct {
 	// assemble the fleet. Reload and Watch re-slice the same shard from
 	// the refreshed checkpoint.
 	ShardIndex, ShardCount int
+	// Zone is this replica's failure-domain label (zone, rack, host),
+	// advertised on /healthz and the binary data plane's meta frame. A
+	// router fronting a replicated fleet uses it to enforce the
+	// zone-spread placement invariant — see DESIGN.md "Replicated-shard
+	// topology". Empty opts out of placement checks.
+	Zone string
 }
 
 // ModelServer is a running (or embeddable) inference server.
@@ -253,7 +259,7 @@ func Serve(m *Model, opts ServeOptions) (*ModelServer, error) {
 }
 
 func (ms *ModelServer) swapModel(m *Model, path string) (int64, error) {
-	return swapShardInto(ms.reg, m, path, ms.opts.ShardIndex, ms.opts.ShardCount, ms.opts.Workers)
+	return swapShardInto(ms.reg, m, path, ms.opts.ShardIndex, ms.opts.ShardCount, ms.opts.Workers, ms.opts.Zone)
 }
 
 // swapShardInto builds a predictor for m — or, when shardCount > 0, its
@@ -261,9 +267,9 @@ func (ms *ModelServer) swapModel(m *Model, path string) (int64, error) {
 // — and hot-swaps it into reg. This is the single swap path shared by
 // the single-node server, the in-process router replicas, and the
 // fleet-wide Swap.
-func swapShardInto(reg *serve.Registry, m *Model, path string, shardIndex, shardCount, workers int) (int64, error) {
+func swapShardInto(reg *serve.Registry, m *Model, path string, shardIndex, shardCount, workers int, zone string) (int64, error) {
 	weights, classes := m.Weights, m.Classes
-	meta := serve.ModelMeta{Path: path, Solver: m.Solver}
+	meta := serve.ModelMeta{Path: path, Solver: m.Solver, Zone: zone}
 	if shardCount > 0 {
 		var rng router.ShardRange
 		var err error
@@ -405,8 +411,24 @@ type RouterOptions struct {
 	// Addr is the router's listen address; empty serves no listener.
 	Addr string
 	// Replicas is the in-process replica count; <= 0 selects 2. Ignored
-	// when Join is set.
+	// when Join is set. In class mode this is S, the shard count; with
+	// ReplicasPerShard > 1 the tier becomes an R x S grid of
+	// Replicas*ReplicasPerShard members.
 	Replicas int
+	// ReplicasPerShard is R, the in-process member count per class-shard
+	// group; <= 0 selects 1. Every shard is served by R interchangeable
+	// siblings: a member death fails over within the group and is never
+	// client-visible while a sibling survives. Class mode only — replica
+	// mode already replicates the whole model (raise Replicas instead).
+	// Ignored when Join is set (remote grids replicate by joining several
+	// servers per shard range).
+	ReplicasPerShard int
+	// Zones labels in-process members with failure domains: member r of
+	// each shard group gets Zones[r % len(Zones)], so R <= len(Zones)
+	// places every group's siblings in distinct zones. Empty leaves
+	// members zoneless (placement checks opt out). Ignored when Join is
+	// set — remote replicas advertise their own -zone.
+	Zones []string
 	// Mode is "replica" (data-parallel whole-model replicas,
 	// least-loaded routing with failover; the default) or "class"
 	// (model-parallel class-sharded replicas, partial-logit
@@ -447,6 +469,15 @@ type RouterServer struct {
 	opts   RouterOptions
 	model  *Model
 
+	// Per-local grid placement, parallel to locals: which class shard
+	// each member serves (shards is S; 0 when unsharded) and its zone
+	// label. Swap re-slices by these, so an R x S grid hot-swaps every
+	// member onto its own shard rather than assuming one member per
+	// shard.
+	shards     int
+	localShard []int
+	localZones []string
+
 	ln   net.Listener
 	hsrv *http.Server
 }
@@ -457,14 +488,24 @@ type RouterServer struct {
 // with health tracking, draining, failover, and coordinated hot swap,
 // exposed over the same HTTP surface as Serve. In class mode the
 // router's merged predictions and probabilities are bitwise identical to
-// a single-node Predictor over the full model.
+// a single-node Predictor over the full model, and ReplicasPerShard > 1
+// builds an R x S replicated-shard grid: each class shard is served by R
+// interchangeable siblings, a mid-scatter member death retries on a
+// sibling, and no single replica failure is client-visible (see
+// DESIGN.md "Replicated-shard topology").
 func ServeSharded(m *Model, opts RouterOptions) (*RouterServer, error) {
 	if opts.Replicas <= 0 {
 		opts.Replicas = 2
 	}
+	if opts.ReplicasPerShard <= 0 {
+		opts.ReplicasPerShard = 1
+	}
 	mode := router.Mode(opts.Mode)
 	if opts.Mode == "" {
 		mode = router.ModeReplica
+	}
+	if opts.ReplicasPerShard > 1 && mode != router.ModeClass {
+		return nil, fmt.Errorf("newtonadmm: ReplicasPerShard needs class mode (replica mode already replicates the whole model; raise Replicas)")
 	}
 	rs := &RouterServer{opts: opts, model: m}
 
@@ -484,16 +525,38 @@ func ServeSharded(m *Model, opts RouterOptions) (*RouterServer, error) {
 		if m == nil {
 			return nil, fmt.Errorf("newtonadmm: ServeSharded needs a model (or Join addresses)")
 		}
-		for i := 0; i < opts.Replicas; i++ {
-			lb, err := rs.buildLocalReplica(m, i, mode)
-			if err != nil {
-				for _, b := range backends {
-					b.Close()
+		// Lay out the in-process grid group-major: S shard groups
+		// (opts.Replicas; one group of whole-model copies in replica
+		// mode) of R siblings each, so member s*R+r serves shard s from
+		// zone Zones[r % len(Zones)].
+		if mode == router.ModeClass {
+			rs.shards = opts.Replicas
+		}
+		for s := 0; s < opts.Replicas; s++ {
+			for r := 0; r < opts.ReplicasPerShard; r++ {
+				zone := ""
+				if len(opts.Zones) > 0 {
+					zone = opts.Zones[r%len(opts.Zones)]
 				}
-				return nil, err
+				shardIdx := s
+				if mode != router.ModeClass {
+					shardIdx = 0
+					if len(opts.Zones) > 0 {
+						zone = opts.Zones[s%len(opts.Zones)]
+					}
+				}
+				lb, err := rs.buildLocalReplica(m, shardIdx, rs.shards, zone)
+				if err != nil {
+					for _, b := range backends {
+						b.Close()
+					}
+					return nil, err
+				}
+				rs.locals = append(rs.locals, lb)
+				rs.localShard = append(rs.localShard, shardIdx)
+				rs.localZones = append(rs.localZones, zone)
+				backends = append(backends, lb)
 			}
-			rs.locals = append(rs.locals, lb)
-			backends = append(backends, lb)
 		}
 	}
 
@@ -523,14 +586,10 @@ func ServeSharded(m *Model, opts RouterOptions) (*RouterServer, error) {
 // buildLocalReplica assembles one in-process replica: registry with the
 // (possibly shard-sliced) snapshot, micro-batcher, and a reloader that
 // re-reads ModelPath and re-slices the same shard.
-func (rs *RouterServer) buildLocalReplica(m *Model, i int, mode router.Mode) (*router.LocalBackend, error) {
+func (rs *RouterServer) buildLocalReplica(m *Model, shardIdx, shardCount int, zone string) (*router.LocalBackend, error) {
 	reg := serve.NewRegistry()
-	shardCount := 0
-	if mode == router.ModeClass {
-		shardCount = rs.opts.Replicas
-	}
 	swap := func(nm *Model) (int64, error) {
-		return swapShardInto(reg, nm, rs.opts.ModelPath, i, shardCount, rs.opts.Workers)
+		return swapShardInto(reg, nm, rs.opts.ModelPath, shardIdx, shardCount, rs.opts.Workers, zone)
 	}
 	if _, err := swap(m); err != nil {
 		reg.Close()
@@ -581,14 +640,10 @@ func (rs *RouterServer) Swap(m *Model) (int64, error) {
 	if len(rs.locals) == 0 {
 		return 0, fmt.Errorf("newtonadmm: Swap needs in-process replicas (remote fleets reload via /v1/reload)")
 	}
-	shardCount := 0
-	if rs.rt.Mode() == router.ModeClass {
-		shardCount = len(rs.locals)
-	}
 	var latest int64
 	err := rs.rt.Coordinate(func() error {
 		for i, lb := range rs.locals {
-			v, err := swapShardInto(lb.Registry(), m, "", i, shardCount, rs.opts.Workers)
+			v, err := swapShardInto(lb.Registry(), m, "", rs.localShard[i], rs.shards, rs.opts.Workers, rs.localZones[i])
 			if err != nil {
 				return err
 			}
@@ -625,7 +680,7 @@ func (rs *RouterServer) SwapReplica(id int, m *Model) (int64, error) {
 		return 0, fmt.Errorf("newtonadmm: replacement model shape (%d classes, %d features) != serving tier (%d, %d)",
 			m.Classes, m.Features, rs.rt.Classes(), rs.rt.Features())
 	}
-	return swapShardInto(rs.locals[id].Registry(), m, "", 0, 0, rs.opts.Workers)
+	return swapShardInto(rs.locals[id].Registry(), m, "", 0, 0, rs.opts.Workers, rs.localZones[id])
 }
 
 // routerTarget adapts the router to the load generator's Target and
