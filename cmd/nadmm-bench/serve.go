@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"newtonadmm"
+	"newtonadmm/internal/obs"
 	"newtonadmm/internal/router"
 	"newtonadmm/internal/serve"
 )
@@ -55,6 +56,7 @@ func runServeBench(args []string) {
 		replicas = fs.Int("replicas", 2, "router replica count for the -compare router rows (class mode: shard count S)")
 		perShard = fs.Int("replicas-per-shard", 1, "siblings per class shard for the in-process router-class row (R; >1 measures the replicated grid's failover-capable path)")
 		compare  = fs.Bool("compare", false, "also run one-shot, batch-1, and router (both modes, plus remote JSON and binary wire rows) and report every row")
+		trace    = fs.Bool("trace", false, "print the per-stage breakdown of the slowest sampled request after each in-process row")
 	)
 	fs.Parse(args)
 
@@ -92,7 +94,7 @@ func runServeBench(args []string) {
 		*mode, *conc, *dur, *maxB, *linger, *queue, *proba)
 	rows := benchRows(*nRows, m.Features, *seed)
 
-	run := func(maxBatch int, linger time.Duration) serve.LoadResult {
+	run := func(maxBatch int, linger time.Duration) (serve.LoadResult, obs.TraceView, bool) {
 		srv, err := newtonadmm.Serve(m, newtonadmm.ServeOptions{
 			MaxBatch: maxBatch, Linger: linger, QueueDepth: *queue, Workers: 0,
 		})
@@ -104,12 +106,13 @@ func runServeBench(args []string) {
 		if err != nil {
 			log.Fatal(err)
 		}
-		return res
+		slow, ok := srv.Batcher().Recorder().TakeSlowest()
+		return res, slow, ok
 	}
 
 	// runRouter drives the scatter-gather tier in the given placement
 	// mode and returns the per-replica breakdown with the result.
-	runRouter := func(placement string) (serve.LoadResult, router.Stats) {
+	runRouter := func(placement string) (serve.LoadResult, router.Stats, obs.TraceView, bool) {
 		ro := newtonadmm.RouterOptions{
 			Replicas: *replicas, Mode: placement,
 			MaxBatch: *maxB, Linger: *linger, QueueDepth: *queue,
@@ -127,7 +130,8 @@ func runServeBench(args []string) {
 		if err != nil {
 			log.Fatal(err)
 		}
-		return res, rs.Router().Stats()
+		slow, ok := rs.Router().Recorder().TakeSlowest()
+		return res, rs.Router().Stats(), slow, ok
 	}
 
 	// runRouterRemote drives the tier over real replica servers and a
@@ -191,23 +195,25 @@ func runServeBench(args []string) {
 		// per request and leaves the process with a bloated heap and GC
 		// debt that would unfairly depress any phase after it. A forced
 		// GC between phases keeps them independent.
-		batched := run(*maxB, *linger)
+		batched, batchedSlow, batchedOK := run(*maxB, *linger)
 		runtime.GC()
 		// Baseline 1: the same zero-alloc serving stack pinned to
 		// batch-size 1 (no coalescing, no linger).
-		base := run(1, -1)
+		base, baseSlow, baseOK := run(1, -1)
 		runtime.GC()
 		// The serving fleet: replica-balanced routing over N full
 		// replicas, then class-sharded partial-logit scatter-gather
 		// (skipped when the model has fewer explicit classes than
 		// replicas).
-		routed, routedStats := runRouter("replica")
+		routed, routedStats, routedSlow, routedOK := runRouter("replica")
 		runtime.GC()
 		var sharded serve.LoadResult
 		var shardedStats router.Stats
+		var shardedSlow obs.TraceView
+		var shardedOK bool
 		haveSharded := m.Classes-1 >= *replicas
 		if haveSharded {
-			sharded, shardedStats = runRouter("class")
+			sharded, shardedStats, shardedSlow, shardedOK = runRouter("class")
 			runtime.GC()
 		}
 		// The remote data planes: the same placements over real replica
@@ -241,12 +247,24 @@ func runServeBench(args []string) {
 		}
 		printLoadResult("one-shot        ", oneShot)
 		printLoadResult("batch-1         ", base)
+		if *trace {
+			printSlowTrace(baseSlow, baseOK)
+		}
 		printLoadResult(fmt.Sprintf("batch-%-10d", *maxB), batched)
+		if *trace {
+			printSlowTrace(batchedSlow, batchedOK)
+		}
 		printLoadResult(fmt.Sprintf("router-replica%-2d", *replicas), routed)
 		printReplicaBreakdown(routedStats)
+		if *trace {
+			printSlowTrace(routedSlow, routedOK)
+		}
 		if haveSharded {
 			printLoadResult(fmt.Sprintf("router-class%-4d", *replicas), sharded)
 			printReplicaBreakdown(shardedStats)
+			if *trace {
+				printSlowTrace(shardedSlow, shardedOK)
+			}
 		} else {
 			fmt.Printf("router-class     skipped: %d explicit classes < %d replicas\n", m.Classes-1, *replicas)
 		}
@@ -292,7 +310,39 @@ func runServeBench(args []string) {
 		}
 		return
 	}
-	printLoadResult("batched ", run(*maxB, *linger))
+	res, slow, ok := run(*maxB, *linger)
+	printLoadResult("batched ", res)
+	if *trace {
+		printSlowTrace(slow, ok)
+	}
+}
+
+// printSlowTrace renders the slowest sampled request's per-stage
+// waterfall: one line per span with its offset into the request and
+// duration, then the unattributed remainder (time outside any span).
+func printSlowTrace(v obs.TraceView, ok bool) {
+	if !ok {
+		fmt.Printf("    slowest trace: none sampled\n")
+		return
+	}
+	fmt.Printf("    slowest trace %016x: total=%v spans=%d\n", v.ID, v.Total, len(v.Spans))
+	var attributed time.Duration
+	for _, sp := range v.Spans {
+		leg := ""
+		if sp.Leg >= 0 {
+			leg = fmt.Sprintf(" leg=%d try=%d", sp.Leg, sp.Try)
+		}
+		fmt.Printf("      %-8s +%-12v %v%s\n", sp.Stage, sp.Start, sp.Dur, leg)
+		if sp.Leg < 0 || sp.Try == 0 {
+			attributed += sp.Dur
+		}
+	}
+	if rem := v.Total - attributed; rem > 0 {
+		fmt.Printf("      %-8s %v\n", "other", rem)
+	}
+	if v.Dropped > 0 {
+		fmt.Printf("      (%d spans dropped)\n", v.Dropped)
+	}
 }
 
 // oneShotTarget serves each request the way the public API did before

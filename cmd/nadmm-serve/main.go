@@ -89,6 +89,9 @@ func main() {
 		shardIndex = flag.Int("shard-index", 0, "serve class shard N of -shard-count (replica side of a multi-process fleet)")
 		shardCount = flag.Int("shard-count", 0, "total class shards; > 0 makes this server a shard replica")
 		zone       = flag.String("zone", "", "failure-domain label: single server advertises it on /healthz and the wire meta; a router with in-process replicas takes a comma-separated list spread across each shard's siblings")
+
+		sampleEvery = flag.Int("sample-every", 0, "observability sampling period: every Nth request is latency-stamped and trace-captured (0 = default 8, negative disables)")
+		debug       = flag.Bool("debug", false, "mount net/http/pprof under /debug/pprof/ (exposes stack traces; opt-in)")
 	)
 	flag.Parse()
 
@@ -114,7 +117,7 @@ func main() {
 				zones = append(zones, z)
 			}
 		}
-		runRouter(*model, *addr, *shardMode, *wirePlane, joins, zones, *replicas, *perShard, *maxBatch, *linger, *queue, *workers)
+		runRouter(*model, *addr, *shardMode, *wirePlane, joins, zones, *replicas, *perShard, *maxBatch, *linger, *queue, *workers, *sampleEvery, *debug)
 		return
 	}
 
@@ -132,6 +135,7 @@ func main() {
 		Addr: *addr, WireAddr: *wireAddr, MaxBatch: *maxBatch, Linger: *linger, QueueDepth: *queue,
 		Workers: *workers, ModelPath: *model, Watch: *watch,
 		ShardIndex: *shardIndex, ShardCount: *shardCount, Zone: *zone,
+		SampleEvery: *sampleEvery, Debug: *debug,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -175,7 +179,7 @@ func main() {
 // runRouter starts the scatter-gather serving tier: in-process replicas
 // built from the checkpoint, or remote replicas joined by URL (with the
 // data plane negotiated per URL scheme).
-func runRouter(model, addr, mode, wirePlane string, joins, zones []string, replicas, perShard, maxBatch int, linger time.Duration, queue, workers int) {
+func runRouter(model, addr, mode, wirePlane string, joins, zones []string, replicas, perShard, maxBatch int, linger time.Duration, queue, workers, sampleEvery int, debug bool) {
 	var m *newtonadmm.Model
 	if len(joins) == 0 {
 		if model == "" {
@@ -192,7 +196,7 @@ func runRouter(model, addr, mode, wirePlane string, joins, zones []string, repli
 		Addr: addr, Replicas: replicas, ReplicasPerShard: perShard, Zones: zones,
 		Mode: mode, Join: joins, Wire: wirePlane,
 		MaxBatch: maxBatch, Linger: linger, QueueDepth: queue, Workers: workers,
-		ModelPath: model,
+		ModelPath: model, SampleEvery: sampleEvery, Debug: debug,
 	})
 	if err != nil {
 		log.Fatal(err)

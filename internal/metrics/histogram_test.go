@@ -144,3 +144,92 @@ func TestHistogramWriteMetrics(t *testing.T) {
 		}
 	}
 }
+
+// TestHistogramQuantileEmptyAndClampedQ pins the edge contract: every
+// quantile of an empty histogram is zero (not NaN, not a panic), and q
+// outside [0,1] clamps to the endpoints instead of extrapolating.
+func TestHistogramQuantileEmptyAndClampedQ(t *testing.T) {
+	h := NewHistogram()
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	h.Observe(time.Millisecond)
+	if got := h.Quantile(-0.5); got != h.Quantile(0) {
+		t.Fatalf("Quantile(-0.5) = %v, want clamp to Quantile(0) = %v", got, h.Quantile(0))
+	}
+	if got := h.Quantile(1.5); got != h.Quantile(1) {
+		t.Fatalf("Quantile(1.5) = %v, want clamp to Quantile(1) = %v", got, h.Quantile(1))
+	}
+}
+
+// TestHistogramSingleObservation pins the degenerate distribution:
+// after exactly one observation, min, max, mean, and every quantile
+// collapse to that value exactly (the quantile interpolation must not
+// leak bucket bounds past the observed extremes).
+func TestHistogramSingleObservation(t *testing.T) {
+	const v = 123456 * time.Nanosecond
+	h := NewHistogram()
+	h.Observe(v)
+	if h.Count() != 1 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Min() != v || h.Max() != v || h.Mean() != v {
+		t.Fatalf("min=%v max=%v mean=%v, want all %v", h.Min(), h.Max(), h.Mean(), v)
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != v {
+			t.Fatalf("Quantile(%v) = %v, want %v", q, got, v)
+		}
+	}
+}
+
+// TestHistogramConcurrentObserveSnapshot races writers against
+// Snapshot readers under -race: mid-stream snapshots must be safe and
+// count must never regress (min/p50/max ordering is only checked on
+// the final quiesced snapshot — Snapshot's fields are read at slightly
+// different instants, so mid-stream ordering is not guaranteed).
+func TestHistogramConcurrentObserveSnapshot(t *testing.T) {
+	h := NewHistogram()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 5000; i++ {
+				h.Observe(time.Duration(1 + rng.Intn(1e6)))
+			}
+		}(int64(w))
+	}
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		var lastCount int64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := h.Snapshot()
+			if s.Count < lastCount {
+				t.Errorf("snapshot count regressed: %d -> %d", lastCount, s.Count)
+				return
+			}
+			lastCount = s.Count
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	<-readerDone
+	s := h.Snapshot()
+	if s.Count != 4*5000 {
+		t.Fatalf("final count %d, want %d", s.Count, 4*5000)
+	}
+	if s.P50 < s.Min || s.P50 > s.Max {
+		t.Fatalf("inconsistent final snapshot: %v", s)
+	}
+}

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// TracezHandler serves /debug/tracez: the slowest sampled trace since
+// the last scrape, then the recent-trace ring newest first, each
+// rendered as a per-stage waterfall. Plain text, grep-friendly — every
+// trace header line carries `trace id=%016x` so a scraper can follow
+// one ID across the router's and a replica's endpoints.
+func TracezHandler(r *Recorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "tracez: %d sampled traces recorded\n\n", r.Finished())
+		if slow, ok := r.TakeSlowest(); ok {
+			io.WriteString(w, "slowest since last scrape:\n")
+			WriteTrace(w, slow)
+			io.WriteString(w, "\n")
+		}
+		recent := r.Snapshot()
+		fmt.Fprintf(w, "recent (%d):\n", len(recent))
+		for _, v := range recent {
+			WriteTrace(w, v)
+		}
+	})
+}
+
+// waterfallWidth is the character width of the rendered span bars.
+const waterfallWidth = 32
+
+// WriteTrace renders one trace as a waterfall: a header line with the
+// ID, origin, and total, then one line per span with its stage, leg and
+// sibling attempt (scatter only), start offset, duration, and a bar
+// positioned proportionally inside the trace's total.
+func WriteTrace(w io.Writer, v TraceView) {
+	origin := "local"
+	if v.Remote {
+		origin = "remote"
+	}
+	fmt.Fprintf(w, "trace id=%016x origin=%s total=%v spans=%d", v.ID, origin, v.Total, len(v.Spans))
+	if v.Dropped > 0 {
+		fmt.Fprintf(w, " dropped=%d", v.Dropped)
+	}
+	io.WriteString(w, "\n")
+	for _, s := range v.Spans {
+		tag := s.Stage.String()
+		if s.Stage == StageScatter {
+			tag = fmt.Sprintf("%s leg=%d try=%d", tag, s.Leg, s.Try)
+		}
+		fmt.Fprintf(w, "  %-22s start=%-12v dur=%-12v |%s|\n", tag, s.Start, s.Dur, bar(s, v.Total))
+	}
+}
+
+// bar renders a fixed-width timeline with the span's extent filled.
+func bar(s Span, total time.Duration) string {
+	b := make([]byte, waterfallWidth)
+	for i := range b {
+		b[i] = ' '
+	}
+	if total <= 0 {
+		return string(b)
+	}
+	lo := int(float64(s.Start) / float64(total) * waterfallWidth)
+	hi := int(float64(s.Start+s.Dur) / float64(total) * waterfallWidth)
+	if lo < 0 {
+		lo = 0
+	}
+	if lo >= waterfallWidth {
+		lo = waterfallWidth - 1
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	if hi > waterfallWidth {
+		hi = waterfallWidth
+	}
+	for i := lo; i < hi; i++ {
+		b[i] = '='
+	}
+	return string(b)
+}

@@ -3,6 +3,7 @@ package router
 import (
 	"errors"
 
+	"newtonadmm/internal/obs"
 	"newtonadmm/internal/serve"
 )
 
@@ -114,6 +115,14 @@ type Batch struct {
 	dense  [][]float64
 	idx    [][]int
 	val    [][]float64
+
+	// Trace, when non-nil, is the request's sampled observability trace
+	// (see internal/obs and DESIGN.md "Observability"). The router
+	// records scatter-leg and merge spans into it, and backends
+	// propagate its ID across the wire so replica-side spans stitch to
+	// the same trace. The party that set it owns finishing it; the
+	// router only adds spans.
+	Trace *obs.Trace
 }
 
 // AddDense appends one dense row.

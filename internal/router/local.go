@@ -45,13 +45,17 @@ func (l *LocalBackend) Meta() (Meta, error) {
 // tickets. probaOut non-nil selects the probability path with the given
 // class count. Every submitted ticket is always waited, even after a
 // submit failure, so no accepted request is abandoned; the first error
-// (submit or per-row) is returned.
+// (submit or per-row) is returned. A sampled request's trace rides on
+// the first row only — one representative pass through the batcher's
+// queue/linger/execute stages — so a wide batch cannot overflow the
+// trace's fixed span array.
 func (l *LocalBackend) submitAll(b *Batch, out []int, probaOut []float64, classes int) error {
 	n := b.Rows()
 	tickets := make([]serve.Ticket, 0, n)
 	rowOf := make([]int, 0, n)
 	var submitErr error
 	d, s := 0, 0
+	trace := b.Trace
 	for i, isSparse := range b.sparse {
 		var po []float64
 		if probaOut != nil {
@@ -60,12 +64,13 @@ func (l *LocalBackend) submitAll(b *Batch, out []int, probaOut []float64, classe
 		var t serve.Ticket
 		var err error
 		if isSparse {
-			t, err = l.bat.SubmitCSR(b.idx[s], b.val[s], po)
+			t, err = l.bat.SubmitCSRTraced(b.idx[s], b.val[s], po, trace)
 			s++
 		} else {
-			t, err = l.bat.SubmitDense(b.dense[d], po)
+			t, err = l.bat.SubmitDenseTraced(b.dense[d], po, trace)
 			d++
 		}
+		trace = nil
 		if err != nil {
 			submitErr = err
 			break

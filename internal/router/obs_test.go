@@ -1,0 +1,170 @@
+package router
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"newtonadmm/internal/obs"
+	"newtonadmm/internal/serve"
+)
+
+// TestRouterPredictZeroAlloc pins the acceptance bound from DESIGN.md
+// "Observability": the scatter path — StartTrace, Predict, FinishTrace —
+// performs zero heap allocations per request at the default 1-in-8
+// sampling stride, in both routing modes. Published traces occupy ring
+// slots until displacement recycling begins, so the warm-up pushes
+// enough sampled requests through to fill the recorder ring first.
+func TestRouterPredictZeroAlloc(t *testing.T) {
+	cases := []struct {
+		name     string
+		mode     Mode
+		backends func() []Backend
+	}{
+		{"replica", ModeReplica, func() []Backend {
+			return []Backend{newFakeBackend(4, 8), newFakeBackend(4, 8)}
+		}},
+		{"class", ModeClass, func() []Backend {
+			return []Backend{gridFake(0, 2, 5, ""), gridFake(2, 4, 5, "")}
+		}},
+	}
+	if raceEnabled {
+		t.Skip("allocation counts are skewed by -race instrumentation")
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rt, err := New(tc.backends(), Options{Mode: tc.mode, HealthEvery: -1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rt.Close()
+
+			b := oneRowBatch(8)
+			out := make([]int, 1)
+			call := func() {
+				b.Trace = rt.StartTrace(time.Now())
+				if err := rt.Predict(b, out); err != nil {
+					t.Fatal(err)
+				}
+				rt.FinishTrace(b.Trace, time.Now())
+				b.Trace = nil
+			}
+			for i := 0; i < obs.DefaultRingSize*serve.DefaultSampleEvery*2; i++ {
+				call()
+			}
+			if allocs := testing.AllocsPerRun(400, call); allocs != 0 {
+				t.Fatalf("%s Predict: %.2f allocs/op at default sampling, want 0", tc.name, allocs)
+			}
+		})
+	}
+}
+
+// findTrace locates a published trace by ID on a recorder, checking
+// both the recent ring and the slowest-request slot (a lone finished
+// trace lands in the slow slot, not the ring).
+func findTrace(rec *obs.Recorder, id uint64) (obs.TraceView, bool) {
+	if v, ok := rec.PeekSlowest(); ok && v.ID == id {
+		return v, true
+	}
+	for _, v := range rec.Snapshot() {
+		if v.ID == id {
+			return v, true
+		}
+	}
+	return obs.TraceView{}, false
+}
+
+// hasStage reports whether the view recorded at least one span of the
+// given stage.
+func hasStage(v obs.TraceView, stage obs.Stage) bool {
+	for _, s := range v.Spans {
+		if s.Stage == stage {
+			return true
+		}
+	}
+	return false
+}
+
+// TestStitchedTraceAcrossBinaryPlane runs one sampled request through a
+// real two-process-shaped fleet — a router scattering over the binary
+// frame plane to a replica's FrameServer — and asserts the trace
+// stitches: the NAWP trace trailer carries the router's trace ID to the
+// replica, whose recorder publishes a Remote trace under the SAME ID
+// with queue/execute spans, and the replica's sequential span sum fits
+// inside the end-to-end latency the router measured.
+func TestStitchedTraceAcrossBinaryPlane(t *testing.T) {
+	const classes, features = 4, 8
+	rng := rand.New(rand.NewSource(99))
+	w := randWeights(rng, classes, features)
+	fr := startFrameReplica(t, w, classes, features, 0, 0)
+	defer fr.close()
+	tb := &TCPBackend{Addr: fr.addr()}
+	defer tb.Close()
+
+	rt, err := New([]Backend{tb}, Options{Mode: ModeReplica, HealthEvery: -1, SampleEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	b := oneRowBatch(features)
+	out := make([]int, 1)
+	t0 := time.Now()
+	tr := rt.StartTrace(t0)
+	if tr == nil {
+		t.Fatal("SampleEvery=1 must sample every request")
+	}
+	id := tr.ID // save before FinishTrace: the trace may be recycled after publish
+	b.Trace = tr
+	if err := rt.Predict(b, out); err != nil {
+		t.Fatal(err)
+	}
+	rt.FinishTrace(tr, time.Now())
+	e2e := time.Since(t0)
+
+	routerView, ok := findTrace(rt.Recorder(), id)
+	if !ok {
+		t.Fatalf("router trace %016x not published", id)
+	}
+	if routerView.Remote {
+		t.Fatal("router-originated trace marked Remote")
+	}
+	if !hasStage(routerView, obs.StageScatter) {
+		t.Fatalf("router trace has no scatter-leg span: %+v", routerView.Spans)
+	}
+
+	// The replica publishes its trace before the response frame is
+	// written, but poll briefly anyway so scheduler jitter cannot flake
+	// the test.
+	var replicaView obs.TraceView
+	rec := fr.lb.Batcher().Recorder()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if replicaView, ok = findTrace(rec, id); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica trace %016x never published", id)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !replicaView.Remote {
+		t.Fatal("replica-side trace not marked Remote: stitching by ID would double-count it as an origin")
+	}
+	if !hasStage(replicaView, obs.StageQueue) || !hasStage(replicaView, obs.StageExecute) {
+		t.Fatalf("replica trace missing queue/execute spans: %+v", replicaView.Spans)
+	}
+
+	// The replica's stages are sequential slices of the router-observed
+	// round trip, so their sum must fit inside the e2e latency.
+	var sum time.Duration
+	for _, s := range replicaView.Spans {
+		sum += s.Dur
+	}
+	if sum > e2e {
+		t.Fatalf("replica span sum %v exceeds end-to-end latency %v", sum, e2e)
+	}
+	if replicaView.Dropped != 0 {
+		t.Fatalf("replica trace dropped %d spans", replicaView.Dropped)
+	}
+}

@@ -230,18 +230,41 @@ func (p *Pool) pick() *Replica { return p.pickFrom(p.replicas) }
 // failoverOrderFrom returns the available members to try, first choice
 // first: the power-of-two pick, then every other available member.
 func (p *Pool) failoverOrderFrom(members []*Replica) []*Replica {
-	first := p.pickFrom(members)
-	if first == nil {
+	order := p.failoverOrderInto(members, nil)
+	if len(order) == 0 {
 		return nil
 	}
-	order := make([]*Replica, 0, len(members))
-	order = append(order, first)
+	return order
+}
+
+// failoverOrderInto is failoverOrderFrom writing into a caller-owned
+// buffer (grown as needed, reused across calls), so the scatter hot
+// path stays allocation-free at steady state. The power-of-two-choices
+// winner is swapped to the front; the rest of the available members
+// follow in pool order (modulo that swap).
+func (p *Pool) failoverOrderInto(members []*Replica, buf []*Replica) []*Replica {
+	buf = buf[:0]
 	for _, r := range members {
-		if r != first && r.available() {
-			order = append(order, r)
+		if r.available() {
+			buf = append(buf, r)
 		}
 	}
-	return order
+	if len(buf) < 2 {
+		return buf
+	}
+	p.mu.Lock()
+	i := p.rng.Intn(len(buf))
+	j := p.rng.Intn(len(buf) - 1)
+	p.mu.Unlock()
+	if j >= i {
+		j++
+	}
+	win := i
+	if buf[j].inflight.Load() < buf[i].inflight.Load() {
+		win = j
+	}
+	buf[0], buf[win] = buf[win], buf[0]
+	return buf
 }
 
 // failoverOrder is failoverOrderFrom over the whole pool.

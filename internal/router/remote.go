@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"sync/atomic"
 
+	"newtonadmm/internal/obs"
 	"newtonadmm/internal/serve"
 )
 
@@ -77,14 +78,25 @@ func wireError(status int, body []byte) error {
 	}
 }
 
-// postJSON posts payload and decodes a 200 response into resp.
-func (h *HTTPBackend) postJSON(path string, payload, resp any) error {
+// postJSON posts payload and decodes a 200 response into resp. A
+// non-nil trace rides along as the serve.TraceHeader request header
+// (hex trace ID), the JSON plane's equivalent of the binary plane's
+// trace trailer.
+func (h *HTTPBackend) postJSON(path string, payload, resp any, trace *obs.Trace) error {
 	body, err := json.Marshal(payload)
 	if err != nil {
 		return err
 	}
 	h.bytesSent.Add(uint64(len(body)))
-	r, err := h.client().Post(h.Base+path, "application/json", bytes.NewReader(body))
+	req, err := http.NewRequest(http.MethodPost, h.Base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if trace != nil {
+		req.Header.Set(serve.TraceHeader, fmt.Sprintf("%016x", trace.ID))
+	}
+	r, err := h.client().Do(req)
 	if err != nil {
 		return fmt.Errorf("%w %s: %v", ErrReplicaUnreachable, h.Base, err)
 	}
@@ -128,7 +140,7 @@ type wirePredictResponse struct {
 // Predict posts the batch to /v1/predict.
 func (h *HTTPBackend) Predict(b *Batch, out []int) error {
 	var resp wirePredictResponse
-	if err := h.postJSON("/v1/predict", map[string]any{"instances": b.instances()}, &resp); err != nil {
+	if err := h.postJSON("/v1/predict", map[string]any{"instances": b.instances()}, &resp, b.Trace); err != nil {
 		return err
 	}
 	if len(resp.Predictions) != b.Rows() {
@@ -141,7 +153,7 @@ func (h *HTTPBackend) Predict(b *Batch, out []int) error {
 // Proba posts the batch to /v1/proba; out is rows x classes.
 func (h *HTTPBackend) Proba(b *Batch, out []float64) error {
 	var resp wirePredictResponse
-	if err := h.postJSON("/v1/proba", map[string]any{"instances": b.instances()}, &resp); err != nil {
+	if err := h.postJSON("/v1/proba", map[string]any{"instances": b.instances()}, &resp, b.Trace); err != nil {
 		return err
 	}
 	if len(resp.Probabilities) != b.Rows() {
@@ -173,7 +185,7 @@ func (h *HTTPBackend) PartialScores(b *Batch, cols int, out []float64) (int64, e
 		Cols         int         `json:"cols"`
 		ModelVersion int64       `json:"model_version"`
 	}
-	if err := h.postJSON("/v1/scores", map[string]any{"instances": b.instances()}, &resp); err != nil {
+	if err := h.postJSON("/v1/scores", map[string]any{"instances": b.instances()}, &resp, b.Trace); err != nil {
 		return 0, err
 	}
 	if resp.Cols != cols {

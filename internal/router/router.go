@@ -8,6 +8,8 @@ import (
 	"time"
 
 	"newtonadmm/internal/loss"
+	"newtonadmm/internal/metrics"
+	"newtonadmm/internal/obs"
 	"newtonadmm/internal/serve"
 )
 
@@ -43,6 +45,11 @@ type Options struct {
 	// (transport or availability error); <= 0 selects 2. Request-shaped
 	// errors never retry.
 	SiblingRetries int
+	// SampleEvery is the observability sampling period shared by the
+	// latency histograms' request stamps and trace recording: StartTrace
+	// returns a live trace for one request in every SampleEvery. 0
+	// selects serve.DefaultSampleEvery (8); negative disables sampling.
+	SampleEvery int
 }
 
 func (o Options) withDefaults() Options {
@@ -60,6 +67,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.SiblingRetries <= 0 {
 		o.SiblingRetries = 2
+	}
+	if o.SampleEvery == 0 {
+		o.SampleEvery = serve.DefaultSampleEvery
+	}
+	if o.SampleEvery < 0 {
+		o.SampleEvery = 0 // disabled
 	}
 	return o
 }
@@ -96,6 +109,26 @@ type Router struct {
 	skewRetry atomic.Int64
 
 	scratch sync.Pool // *[]float64 merge buffers
+
+	// Observability (DESIGN.md "Observability"): StageScatter observes
+	// every scatter-leg round trip (all attempts, all groups),
+	// StageMerge the router-side gather+merge of a class-mode request.
+	// rec records sampled traces; sampleTick drives StartTrace's 1-in-N
+	// admission.
+	StageScatter *metrics.Histogram
+	StageMerge   *metrics.Histogram
+	rec          *obs.Recorder
+	sampleTick   atomic.Int64
+
+	// Zero-alloc scatter plumbing: states are pooled per-request fan-out
+	// descriptors with grow-only scratch; legs feeds persistent leg
+	// workers, grown on demand, so steady-state scatters spawn no
+	// goroutines and allocate nothing.
+	scatterStates sync.Pool // *scatterState
+	orderBufs     sync.Pool // *[]*Replica (replicaCall failover order)
+	legs          chan *scatterJob
+	legStop       chan struct{}
+	closeOnce     sync.Once
 }
 
 // New builds a router over the given backends. Every backend must be
@@ -118,7 +151,15 @@ func New(backends []Backend, opts Options) (*Router, error) {
 		}
 		metas[i] = m
 	}
-	r := &Router{mode: opts.Mode, opts: opts}
+	r := &Router{
+		mode:         opts.Mode,
+		opts:         opts,
+		StageScatter: metrics.NewHistogram(),
+		StageMerge:   metrics.NewHistogram(),
+		rec:          obs.NewRecorder(0),
+		legs:         make(chan *scatterJob),
+		legStop:      make(chan struct{}),
+	}
 	switch opts.Mode {
 	case ModeReplica:
 		for i, m := range metas {
@@ -194,8 +235,39 @@ func (r *Router) Stats() Stats {
 	}
 }
 
-// Close stops the health monitor and closes every backend.
-func (r *Router) Close() { r.pool.Close() }
+// Recorder returns the router's trace recorder (the /debug/tracez
+// surface and the bench's slowest-request breakdown read it).
+func (r *Router) Recorder() *obs.Recorder { return r.rec }
+
+// StartTrace applies the 1-in-SampleEvery sampling decision and, when
+// this request is sampled, starts a trace rooted at the router. The
+// caller attaches it to the request's Batch (so scatter legs and the
+// merge record spans into it) and must pass it to FinishTrace when the
+// request completes. Returns nil — attach and finish nothing — for
+// unsampled requests or when sampling is disabled.
+func (r *Router) StartTrace(at time.Time) *obs.Trace {
+	n := r.opts.SampleEvery
+	if n <= 0 || r.sampleTick.Add(1)%int64(n) != 0 {
+		return nil
+	}
+	return r.rec.Start(at)
+}
+
+// FinishTrace publishes a trace started by StartTrace to the recorder.
+// Nil-safe, so callers can finish unconditionally.
+func (r *Router) FinishTrace(t *obs.Trace, end time.Time) {
+	if t == nil {
+		return
+	}
+	r.rec.Finish(t, end)
+}
+
+// Close stops the health monitor, reaps the leg workers, and closes
+// every backend.
+func (r *Router) Close() {
+	r.closeOnce.Do(func() { close(r.legStop) })
+	r.pool.Close()
+}
 
 // Predict scores the batch and writes the predicted classes into
 // out[:b.Rows()].
@@ -210,7 +282,7 @@ func (r *Router) Predict(b *Batch, out []int) error {
 	if r.mode == ModeClass {
 		return r.classScore(b, out, nil)
 	}
-	return r.replicaCall(func(rep *Replica) error { return rep.backend.Predict(b, out) })
+	return r.replicaCall(b, func(rep *Replica) error { return rep.backend.Predict(b, out) })
 }
 
 // Proba scores the batch with class probabilities: out is rows x Classes
@@ -230,7 +302,7 @@ func (r *Router) Proba(b *Batch, out []float64, classOut []int) error {
 	// Pass an exact-size view: backends derive the class stride from the
 	// buffer, and an oversized caller buffer must not skew it.
 	probaView := out[:b.Rows()*r.classes]
-	err := r.replicaCall(func(rep *Replica) error { return rep.backend.Proba(b, probaView) })
+	err := r.replicaCall(b, func(rep *Replica) error { return rep.backend.Proba(b, probaView) })
 	if err != nil {
 		return err
 	}
@@ -245,9 +317,17 @@ func (r *Router) Proba(b *Batch, out []float64, classOut []int) error {
 // replicaCall runs fn against one replica, failing over through the
 // remaining available replicas on backpressure (serve.ErrQueueFull) or
 // backend errors. Each replica is tried at most once; the last error is
-// returned when all fail.
-func (r *Router) replicaCall(fn func(*Replica) error) error {
-	order := r.pool.failoverOrder()
+// returned when all fail. The batch rides along only for its trace:
+// each attempt records a scatter-leg span (Leg = replica ID, Try =
+// attempt) when the request is sampled.
+func (r *Router) replicaCall(b *Batch, fn func(*Replica) error) error {
+	bufp, _ := r.orderBufs.Get().(*[]*Replica)
+	if bufp == nil {
+		bufp = new([]*Replica)
+	}
+	order := r.pool.failoverOrderInto(r.pool.replicas, *bufp)
+	*bufp = order[:0]
+	defer r.orderBufs.Put(bufp)
 	if len(order) == 0 {
 		return ErrNoReplicas
 	}
@@ -266,7 +346,10 @@ func (r *Router) replicaCall(fn func(*Replica) error) error {
 		}
 		t0 := time.Now()
 		err := fn(rep)
-		rep.Latency.Observe(time.Since(t0))
+		d := time.Since(t0)
+		rep.Latency.Observe(d)
+		r.StageScatter.Observe(d)
+		b.Trace.AddSpan(obs.StageScatter, rep.ID, k, t0, d)
 		rep.inflight.Add(-1)
 		if err == nil {
 			rep.done.Add(1)
@@ -323,15 +406,85 @@ func (r *Router) classScore(b *Batch, classOut []int, probaOut []float64) error 
 	if err != nil {
 		return err
 	}
+	mergeStart := time.Now()
 	if probaOut != nil {
 		loss.ProbaFromScores(scores, rows, r.classes, probaOut[:rows*r.classes])
 		if classOut != nil {
 			loss.PredictFromScores(scores, rows, r.classes, classOut[:rows])
 		}
-		return nil
+	} else {
+		loss.PredictFromScores(scores, rows, r.classes, classOut[:rows])
 	}
-	loss.PredictFromScores(scores, rows, r.classes, classOut[:rows])
+	d := time.Since(mergeStart)
+	r.StageMerge.Observe(d)
+	b.Trace.AddSpan(obs.StageMerge, -1, 0, mergeStart, d)
 	return nil
+}
+
+// scatterJob is one shard group's leg of a fan-out: the request inputs,
+// the leg's grow-only scratch (failover order, partial tile), and its
+// outputs. Jobs live inside a pooled scatterState and are reused, so a
+// steady-state scatter allocates nothing.
+type scatterJob struct {
+	r      *Router
+	g      *Group
+	b      *Batch
+	scores []float64
+	wg     *sync.WaitGroup
+
+	order []*Replica // failover-order scratch
+	part  []float64  // partial-tile scratch
+
+	version int64
+	err     error
+}
+
+func (j *scatterJob) run() {
+	j.version, j.err = j.r.scatterGroup(j)
+	j.wg.Done()
+}
+
+// scatterState is a pooled per-request fan-out descriptor: one job per
+// shard group plus the barrier that gathers them.
+type scatterState struct {
+	wg   sync.WaitGroup
+	jobs []*scatterJob // grow-only; the jobs themselves are reused
+}
+
+func (r *Router) getScatterState(n int) *scatterState {
+	st, ok := r.scatterStates.Get().(*scatterState)
+	if !ok {
+		st = new(scatterState)
+	}
+	for len(st.jobs) < n {
+		st.jobs = append(st.jobs, new(scatterJob))
+	}
+	return st
+}
+
+// dispatch hands the job to an idle persistent leg worker, growing the
+// worker set when none is free — the only goroutine spawn on the
+// scatter path, and only while the worker fleet is still warming up.
+func (r *Router) dispatch(j *scatterJob) {
+	select {
+	case r.legs <- j:
+	default:
+		go r.legWorker(j)
+	}
+}
+
+// legWorker runs its seed job, then serves further legs until the
+// router closes.
+func (r *Router) legWorker(seed *scatterJob) {
+	seed.run()
+	for {
+		select {
+		case <-r.legStop:
+			return
+		case j := <-r.legs:
+			j.run()
+		}
+	}
 }
 
 // scatterOnce fans the batch out to all shard groups once and merges
@@ -343,28 +496,38 @@ func (r *Router) scatterOnce(b *Batch, scores []float64) error {
 	r.swapMu.RLock()
 	defer r.swapMu.RUnlock()
 	groups := r.pool.groups
-	errs := make([]error, len(groups))
-	versions := make([]int64, len(groups))
-	var wg sync.WaitGroup
+	st := r.getScatterState(len(groups))
+	st.wg.Add(len(groups))
+	for gi, g := range groups {
+		j := st.jobs[gi]
+		j.r, j.g, j.b, j.scores, j.wg = r, g, b, scores, &st.wg
+		r.dispatch(j)
+	}
+	st.wg.Wait()
+	var err error
 	for gi := range groups {
-		wg.Add(1)
-		go func(gi int) {
-			defer wg.Done()
-			versions[gi], errs[gi] = r.scatterGroup(groups[gi], b, scores)
-		}(gi)
-	}
-	wg.Wait()
-	for gi, err := range errs {
-		if err != nil {
-			return fmt.Errorf("router: shard group %d: %w", gi, err)
+		if e := st.jobs[gi].err; e != nil {
+			err = fmt.Errorf("router: shard group %d: %w", gi, e)
+			break
 		}
 	}
-	for i := 1; i < len(versions); i++ {
-		if versions[i] != versions[0] {
-			return fmt.Errorf("%w (group 0 at v%d, group %d at v%d)", ErrVersionSkew, versions[0], i, versions[i])
+	if err == nil {
+		v0 := st.jobs[0].version
+		for gi := 1; gi < len(groups); gi++ {
+			if v := st.jobs[gi].version; v != v0 {
+				err = fmt.Errorf("%w (group 0 at v%d, group %d at v%d)", ErrVersionSkew, v0, gi, v)
+				break
+			}
 		}
 	}
-	return nil
+	// Drop request references before pooling so an idle state pins no
+	// batch or score buffer (the grow-only scratch stays).
+	for gi := range groups {
+		j := st.jobs[gi]
+		j.g, j.b, j.scores, j.wg, j.err = nil, nil, nil, nil, nil
+	}
+	r.scatterStates.Put(st)
+	return err
 }
 
 // scatterGroup scores one shard group's partial tile. The member is
@@ -374,12 +537,16 @@ func (r *Router) scatterOnce(b *Batch, scores []float64) error {
 // group and never surfaces to the client while a sibling lives. The
 // successful attempt writes the whole tile, so the buffer is safely
 // reused across attempts. Returns the snapshot version the tile was
-// scored against.
-func (r *Router) scatterGroup(g *Group, b *Batch, scores []float64) (int64, error) {
+// scored against. Scratch (failover order, partial tile) lives on the
+// pooled job; every attempt records a scatter-leg span (Leg = group ID,
+// Try = attempt) when the request is sampled.
+func (r *Router) scatterGroup(j *scatterJob) (int64, error) {
+	g, b, scores := j.g, j.b, j.scores
 	rows := b.Rows()
 	m := r.classes - 1
 	w := g.Range.Width()
-	order := r.pool.failoverOrderFrom(g.members)
+	j.order = r.pool.failoverOrderInto(g.members, j.order)
+	order := j.order
 	if len(order) == 0 {
 		return 0, fmt.Errorf("%w: group [%d,%d) has no available member", ErrShardUnavailable, g.Range.Low, g.Range.High)
 	}
@@ -387,7 +554,10 @@ func (r *Router) scatterGroup(g *Group, b *Batch, scores []float64) (int64, erro
 	if attempts > len(order) {
 		attempts = len(order)
 	}
-	part := make([]float64, rows*w)
+	if cap(j.part) < rows*w {
+		j.part = make([]float64, rows*w)
+	}
+	part := j.part[:rows*w]
 	var lastErr error
 	for k := 0; k < attempts; k++ {
 		rep := order[k]
@@ -404,7 +574,10 @@ func (r *Router) scatterGroup(g *Group, b *Batch, scores []float64) (int64, erro
 		}
 		t0 := time.Now()
 		v, err := rep.backend.PartialScores(b, w, part)
-		rep.Latency.Observe(time.Since(t0))
+		d := time.Since(t0)
+		rep.Latency.Observe(d)
+		r.StageScatter.Observe(d)
+		b.Trace.AddSpan(obs.StageScatter, g.ID, k, t0, d)
 		rep.inflight.Add(-1)
 		if err == nil {
 			rep.done.Add(1)

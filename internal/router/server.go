@@ -5,9 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
+	"runtime"
 	"strconv"
 	"time"
 
+	"newtonadmm/internal/metrics"
+	"newtonadmm/internal/obs"
 	"newtonadmm/internal/serve"
 )
 
@@ -25,18 +29,122 @@ type Server struct {
 	rt    *Router
 	mux   *http.ServeMux
 	start time.Time
+
+	// latency is the sampled client-request end-to-end latency at the
+	// router tier (same sampling tick as trace capture).
+	latency *metrics.Histogram
+	obsReg  *obs.Registry
 }
 
 // NewServer wires the router's HTTP surface.
 func NewServer(rt *Router) *Server {
-	s := &Server{rt: rt, mux: http.NewServeMux(), start: time.Now()}
+	s := &Server{rt: rt, mux: http.NewServeMux(), start: time.Now(), latency: metrics.NewHistogram()}
+	s.obsReg = obs.NewRegistry()
+	registerRouterMetrics(s.obsReg, s, rt)
 	s.mux.HandleFunc("/v1/predict", func(w http.ResponseWriter, r *http.Request) { s.handlePredict(w, r, false) })
 	s.mux.HandleFunc("/v1/proba", func(w http.ResponseWriter, r *http.Request) { s.handlePredict(w, r, true) })
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metricz", s.handleMetricz)
+	s.mux.Handle("/debug/tracez", obs.TracezHandler(rt.Recorder()))
 	s.mux.HandleFunc("/v1/reload", s.handleReload)
 	s.mux.HandleFunc("/v1/replicas", s.handleReplicas)
 	return s
+}
+
+// EnableDebug mounts net/http/pprof under /debug/pprof/. Opt-in (the
+// -debug flag): profiling endpoints expose stack traces and must not be
+// on by default on a serving port.
+func (s *Server) EnableDebug() {
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// stateValue maps a replica routing state to its gauge encoding:
+// 1 healthy, 0 draining, -1 down.
+func stateValue(st State) float64 {
+	switch st {
+	case StateHealthy:
+		return 1
+	case StateDraining:
+		return 0
+	default:
+		return -1
+	}
+}
+
+// registerRouterMetrics wires the router tier's canonical metric rows
+// (the name table in DESIGN.md "Observability") over the router's and
+// pool's live counters. Scrapes read atomics; nothing is locked against
+// the request path.
+func registerRouterMetrics(o *obs.Registry, s *Server, rt *Router) {
+	o.CounterFunc("nadmm_requests_total", "", "client requests routed (unit: requests; a replica's figure counts rows)",
+		func() uint64 { return uint64(rt.requests.Load()) })
+	o.CounterFunc("nadmm_requests_rejected_total", "", "scatter legs rejected by replica backpressure",
+		func() uint64 {
+			var n int64
+			for _, rep := range rt.Pool().Replicas() {
+				n += rep.rejected.Load()
+			}
+			return uint64(n)
+		})
+	o.GaugeFunc("nadmm_router_mode", obs.Label("mode", string(rt.Mode())), "routing mode in effect (always 1; the mode is the label)",
+		func() float64 { return 1 })
+	o.CounterFunc("nadmm_failovers_total", "", "scatter legs retried on a sibling after a replica failure",
+		func() uint64 { return uint64(rt.failovers.Load()) })
+	o.CounterFunc("nadmm_skew_retries_total", "", "class-sharded gathers retried for cross-shard version skew",
+		func() uint64 { return uint64(rt.skewRetry.Load()) })
+	o.GaugeFunc("nadmm_coverage", "", "shard coverage: 1 ok, 0.5 degraded, 0 unserviceable", func() float64 {
+		switch cov, _ := rt.Pool().Coverage(); cov {
+		case "ok":
+			return 1
+		case "degraded":
+			return 0.5
+		default:
+			return 0
+		}
+	})
+	o.GaugeFunc("nadmm_model_version", "", "model snapshot version the router plans against",
+		func() float64 { return float64(rt.Version()) })
+	for gi, g := range rt.Pool().Groups() {
+		g := g
+		shard := obs.Label("shard", strconv.Itoa(gi))
+		o.GaugeFunc("nadmm_shard_healthy", shard, "healthy members in this shard group", func() float64 {
+			n := 0
+			for _, rep := range g.Members() {
+				if rep.available() {
+					n++
+				}
+			}
+			return float64(n)
+		})
+		o.GaugeFunc("nadmm_shard_members", shard, "total members in this shard group",
+			func() float64 { return float64(len(g.Members())) })
+	}
+	for _, rep := range rt.Pool().Replicas() {
+		rep := rep
+		label := obs.Label("replica", strconv.Itoa(rep.ID))
+		o.GaugeFunc("nadmm_replica_state", label, "routing state: 1 healthy, 0 draining, -1 down",
+			func() float64 { return stateValue(rep.State()) })
+		o.CounterFunc("nadmm_replica_done_total", label, "scatter legs completed on this replica",
+			func() uint64 { return uint64(rep.done.Load()) })
+		o.CounterFunc("nadmm_replica_errors_total", label, "scatter legs failed on this replica",
+			func() uint64 { return uint64(rep.errs.Load()) })
+		o.CounterFunc("nadmm_replica_rejected_total", label, "scatter legs rejected by this replica's backpressure",
+			func() uint64 { return uint64(rep.rejected.Load()) })
+		o.GaugeFunc("nadmm_replica_inflight", label, "router requests currently executing on this replica",
+			func() float64 { return float64(rep.InFlight()) })
+		o.Duration("nadmm_leg_latency", label, "scatter-leg round-trip to this replica", rep.Latency)
+	}
+	o.Duration("nadmm_request_latency", "", "sampled end-to-end client-request latency at the router", s.latency)
+	o.Duration("nadmm_stage_scatter", "", "per-leg scatter round-trip (all replicas)", rt.StageScatter)
+	o.Duration("nadmm_stage_merge", "", "partial-tile merge time of class-sharded gathers", rt.StageMerge)
+	o.GaugeFunc("nadmm_uptime_seconds", "", "seconds since server start",
+		func() float64 { return time.Since(s.start).Seconds() })
+	o.GaugeFunc("nadmm_goroutines", "", "goroutines in this process",
+		func() float64 { return float64(runtime.NumGoroutine()) })
 }
 
 // Handler returns the root http.Handler.
@@ -91,6 +199,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request, proba boo
 		writeError(w, http.StatusMethodNotAllowed, "use POST")
 		return
 	}
+	t0 := time.Now()
 	var req predictRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
@@ -113,6 +222,17 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request, proba boo
 			b.AddDense(inst.Dense)
 		}
 	}
+	// Trace capture and the tier latency histogram share one sampling
+	// tick; unsampled requests take no clock reads beyond t0.
+	tr := s.rt.StartTrace(t0)
+	b.Trace = tr
+	finish := func() {
+		if tr != nil {
+			s.latency.Observe(time.Since(t0))
+			s.rt.FinishTrace(tr, time.Now())
+			tr = nil
+		}
+	}
 	classes := s.rt.Classes()
 	resp := predictResponse{
 		Predictions:  make([]int, b.Rows()),
@@ -132,9 +252,15 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request, proba boo
 	}
 	if err != nil {
 		writeError(w, statusFor(err), "%v", err)
+		finish()
 		return
 	}
+	encStart := time.Now()
 	writeJSON(w, http.StatusOK, resp)
+	if tr != nil {
+		tr.AddSpan(obs.StageEncode, -1, 0, encStart, time.Since(encStart))
+	}
+	finish()
 }
 
 // replicaHealth is one replica's row in /healthz.
@@ -189,28 +315,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	st := s.rt.Stats()
-	fmt.Fprintf(w, "router_mode %s\n", st.Mode)
-	fmt.Fprintf(w, "router_requests %d\n", st.Requests)
-	fmt.Fprintf(w, "router_failovers %d\n", st.Failovers)
-	fmt.Fprintf(w, "router_skew_retries %d\n", st.SkewRetry)
-	fmt.Fprintf(w, "router_model_version %d\n", s.rt.Version())
-	coverage, shards := s.rt.Pool().Coverage()
-	fmt.Fprintf(w, "router_coverage %s\n", coverage)
-	for _, sc := range shards {
-		fmt.Fprintf(w, "router_shard_%d_healthy %d\n", sc.Group, sc.Healthy)
-		fmt.Fprintf(w, "router_shard_%d_members %d\n", sc.Group, sc.Members)
-	}
-	for _, rs := range st.Replicas {
-		fmt.Fprintf(w, "router_replica_%d_state %s\n", rs.ID, rs.State)
-		fmt.Fprintf(w, "router_replica_%d_done %d\n", rs.ID, rs.Done)
-		fmt.Fprintf(w, "router_replica_%d_errors %d\n", rs.ID, rs.Errors)
-		fmt.Fprintf(w, "router_replica_%d_rejected %d\n", rs.ID, rs.Rejected)
-		fmt.Fprintf(w, "router_replica_%d_inflight %d\n", rs.ID, rs.InFlight)
-		fmt.Fprintf(w, "router_replica_%d_latency_p50_us %.1f\n", rs.ID, float64(rs.Latency.P50.Microseconds()))
-		fmt.Fprintf(w, "router_replica_%d_latency_p99_us %.1f\n", rs.ID, float64(rs.Latency.P99.Microseconds()))
-	}
-	fmt.Fprintf(w, "router_uptime_seconds %.3f\n", time.Since(s.start).Seconds())
+	s.obsReg.WriteText(w)
 }
 
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {

@@ -413,13 +413,18 @@ func validateBatch(b *Batch) (features int, err error) {
 	for _, idx := range b.idx {
 		payload += 1 + 4 + 12*len(idx)
 	}
+	if b.Trace != nil {
+		payload += wire.TraceTrailerSize
+	}
 	if payload > wire.MaxPayload {
 		return 0, fmt.Errorf("router: batch encodes to %d payload bytes, wire bound is %d (split the request)", payload, wire.MaxPayload)
 	}
 	return features, nil
 }
 
-// encodeBatch writes a batch request frame.
+// encodeBatch writes a batch request frame. A sampled request carries
+// its trace ID in the frame's trace trailer (DESIGN.md
+// "Observability"), so replica-side spans stitch to the router's trace.
 func encodeBatch(e *wire.Encoder, op wire.Op, corr uint64, b *Batch, features, cols int) {
 	e.Begin(op, corr)
 	e.BatchHeader(b.Rows(), features, cols)
@@ -432,6 +437,9 @@ func encodeBatch(e *wire.Encoder, op wire.Op, corr uint64, b *Batch, features, c
 			e.DenseRow(b.dense[d])
 			d++
 		}
+	}
+	if b.Trace != nil {
+		e.TraceTrailer(b.Trace.ID, true)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"newtonadmm/internal/metrics"
+	"newtonadmm/internal/obs"
 )
 
 // Errors returned by the batcher's admission path.
@@ -58,7 +59,16 @@ type BatcherConfig struct {
 	MaxLinger time.Duration
 	// QueueDepth bounds the admission queue; <= 0 selects 4*MaxBatch.
 	QueueDepth int
+	// SampleEvery is the observation stride shared by the server-side
+	// latency histogram and trace sampling: 1 in SampleEvery requests is
+	// stamped, timed per stage, and recorded into the trace ring. 0
+	// selects DefaultSampleEvery (the historical 1-in-8); < 0 disables
+	// sampling entirely (the effective value is then 0).
+	SampleEvery int
 }
+
+// DefaultSampleEvery is the default latency/trace sampling stride.
+const DefaultSampleEvery = 8
 
 func (c BatcherConfig) withDefaults() BatcherConfig {
 	if c.MaxBatch <= 0 {
@@ -72,6 +82,12 @@ func (c BatcherConfig) withDefaults() BatcherConfig {
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 4 * c.MaxBatch
+	}
+	if c.SampleEvery == 0 {
+		c.SampleEvery = DefaultSampleEvery
+	}
+	if c.SampleEvery < 0 {
+		c.SampleEvery = 0
 	}
 	return c
 }
@@ -92,18 +108,22 @@ type request struct {
 
 	class int
 	err   error
-	// enq is only stamped on sampled requests (1 in latencySampleEvery):
-	// the admission path is the serving hot path, and two clock reads
-	// plus a histogram update per request are measurable at the request
-	// rates a single batcher sustains. Sampling keeps /metricz honest
-	// while keeping the hot path lean.
-	enq  time.Time
-	done chan struct{}
+	// enq is only stamped on sampled requests (1 in SampleEvery): the
+	// admission path is the serving hot path, and two clock reads plus a
+	// histogram update per request are measurable at the request rates a
+	// single batcher sustains. Sampling keeps /metricz honest while
+	// keeping the hot path lean. deq is stamped at dequeue for the same
+	// requests, bounding the queue-wait span.
+	enq time.Time
+	deq time.Time
+	// trace collects per-stage spans for sampled requests. ownTrace
+	// marks traces this batcher started (published at finish); a
+	// propagated trace (scatter leg of a routed request) stays owned by
+	// the submitter, which publishes it after Wait.
+	trace    *obs.Trace
+	ownTrace bool
+	done     chan struct{}
 }
-
-// latencySampleEvery is the server-side latency sampling stride (the
-// load generator always measures every request client-side).
-const latencySampleEvery = 8
 
 // BatcherStats is a snapshot of the batcher's counters.
 type BatcherStats struct {
@@ -142,9 +162,18 @@ type Batcher struct {
 	sampleTick atomic.Int64
 
 	// Latency is enqueue-to-answer per request; BatchSize records rows
-	// per launched batch through the same histogram machinery.
-	Latency   *metrics.Histogram
-	BatchSize *metrics.Histogram
+	// per launched batch through the same histogram machinery. The
+	// Stage* histograms attribute the sampled requests' time per stage
+	// (queue wait, batch linger, kernel execute) — the same boundaries
+	// the trace spans record.
+	Latency      *metrics.Histogram
+	BatchSize    *metrics.Histogram
+	StageQueue   *metrics.Histogram
+	StageLinger  *metrics.Histogram
+	StageExecute *metrics.Histogram
+
+	// rec is the trace ring behind /debug/tracez for this replica.
+	rec *obs.Recorder
 
 	// Batch assembly scratch (loop goroutine only; grow-only).
 	batch    []*request
@@ -160,11 +189,15 @@ type Batcher struct {
 // NewBatcher starts the batching loop over the given scorer source.
 func NewBatcher(source ScorerSource, cfg BatcherConfig) *Batcher {
 	b := &Batcher{
-		cfg:       cfg.withDefaults(),
-		source:    source,
-		stop:      make(chan struct{}),
-		Latency:   metrics.NewHistogram(),
-		BatchSize: metrics.NewHistogram(),
+		cfg:          cfg.withDefaults(),
+		source:       source,
+		stop:         make(chan struct{}),
+		Latency:      metrics.NewHistogram(),
+		BatchSize:    metrics.NewHistogram(),
+		StageQueue:   metrics.NewHistogram(),
+		StageLinger:  metrics.NewHistogram(),
+		StageExecute: metrics.NewHistogram(),
+		rec:          obs.NewRecorder(0),
 	}
 	b.queue = make(chan *request, b.cfg.QueueDepth)
 	b.pool.New = func() any { return &request{done: make(chan struct{}, 1)} }
@@ -175,6 +208,10 @@ func NewBatcher(source ScorerSource, cfg BatcherConfig) *Batcher {
 
 // Config returns the effective (defaulted) configuration.
 func (b *Batcher) Config() BatcherConfig { return b.cfg }
+
+// Recorder returns the trace ring this batcher publishes sampled
+// traces into (the /debug/tracez source for the replica).
+func (b *Batcher) Recorder() *obs.Recorder { return b.rec }
 
 // Stats returns a snapshot of the batcher counters.
 func (b *Batcher) Stats() BatcherStats {
@@ -231,7 +268,8 @@ func (b *Batcher) getReq() *request {
 func (b *Batcher) putReq(r *request) {
 	r.dense, r.idx, r.val, r.probaOut = nil, nil, nil, nil
 	r.class, r.err = 0, nil
-	r.enq = time.Time{}
+	r.enq, r.deq = time.Time{}, time.Time{}
+	r.trace, r.ownTrace = nil, false
 	select {
 	case <-r.done:
 	default:
@@ -246,8 +284,14 @@ func (b *Batcher) submit(r *request) error {
 	if b.closed {
 		return ErrClosed
 	}
-	if b.sampleTick.Add(1)%latencySampleEvery == 0 {
+	if r.trace != nil {
+		// A propagated trace (the replica leg of a routed request) is
+		// always timed: the originator already made the sampling call.
+		r.enq = time.Now()
+	} else if n := b.cfg.SampleEvery; n > 0 && b.sampleTick.Add(1)%int64(n) == 0 {
 		r.enq = time.Now() // stamped before the enqueue: the loop reads it
+		r.trace = b.rec.Start(r.enq)
+		r.ownTrace = true
 	}
 	select {
 	case b.queue <- r:
@@ -255,6 +299,10 @@ func (b *Batcher) submit(r *request) error {
 		return nil
 	default:
 		b.rejected.Add(1)
+		if r.ownTrace {
+			b.rec.Discard(r.trace)
+			r.trace, r.ownTrace = nil, false
+		}
 		return ErrQueueFull
 	}
 }
@@ -300,6 +348,46 @@ func (b *Batcher) SubmitCSR(idx []int, val []float64, probaOut []float64) (Ticke
 	r := b.getReq()
 	r.idx, r.val = idx, val
 	r.probaOut = probaOut
+	if err := b.submit(r); err != nil {
+		b.putReq(r)
+		return Ticket{}, err
+	}
+	return Ticket{r: r, b: b}, nil
+}
+
+// SubmitDenseTraced is SubmitDense with a caller-owned trace attached:
+// the batcher records its queue/linger/execute spans into tr but does
+// NOT publish it — the caller keeps ownership and finishes the trace
+// after the ticket's Wait returns. This is how a propagated trace (a
+// frame with the trace trailer, or a routed in-process request) picks
+// up replica-side stages.
+func (b *Batcher) SubmitDenseTraced(row []float64, probaOut []float64, tr *obs.Trace) (Ticket, error) {
+	if tr == nil {
+		return b.SubmitDense(row, probaOut)
+	}
+	if row == nil {
+		return Ticket{}, errors.New("serve: nil dense row")
+	}
+	r := b.getReq()
+	r.dense = row
+	r.probaOut = probaOut
+	r.trace = tr
+	if err := b.submit(r); err != nil {
+		b.putReq(r)
+		return Ticket{}, err
+	}
+	return Ticket{r: r, b: b}, nil
+}
+
+// SubmitCSRTraced is SubmitCSR with a caller-owned trace attached.
+func (b *Batcher) SubmitCSRTraced(idx []int, val []float64, probaOut []float64, tr *obs.Trace) (Ticket, error) {
+	if tr == nil {
+		return b.SubmitCSR(idx, val, probaOut)
+	}
+	r := b.getReq()
+	r.idx, r.val = idx, val
+	r.probaOut = probaOut
+	r.trace = tr
 	if err := b.submit(r); err != nil {
 		b.putReq(r)
 		return Ticket{}, err
@@ -361,6 +449,7 @@ func (b *Batcher) loop() {
 			b.drainReject()
 			return
 		}
+		b.noteDequeue(first)
 		b.batch = append(b.batch[:0], first)
 		stopping := b.fill(timer)
 		b.scoreBatch(b.batch)
@@ -379,6 +468,7 @@ func (b *Batcher) fill(timer *time.Timer) bool {
 	for len(b.batch) < b.cfg.MaxBatch {
 		select {
 		case r := <-b.queue:
+			b.noteDequeue(r)
 			b.batch = append(b.batch, r)
 			continue
 		default:
@@ -403,6 +493,7 @@ func (b *Batcher) fill(timer *time.Timer) bool {
 	for len(b.batch) < b.cfg.MaxBatch {
 		select {
 		case r := <-b.queue:
+			b.noteDequeue(r)
 			b.batch = append(b.batch, r)
 		case <-timer.C:
 			return false
@@ -411,6 +502,18 @@ func (b *Batcher) fill(timer *time.Timer) bool {
 		}
 	}
 	return false
+}
+
+// noteDequeue closes a sampled request's queue-wait span the moment it
+// joins the forming batch. Untraced requests pay one nil check.
+func (b *Batcher) noteDequeue(r *request) {
+	if r.trace == nil {
+		return
+	}
+	r.deq = time.Now()
+	wait := r.deq.Sub(r.enq)
+	r.trace.AddSpan(obs.StageQueue, -1, 0, r.enq, wait)
+	b.StageQueue.Observe(wait)
 }
 
 // drainReject answers every request still queued after shutdown.
@@ -429,6 +532,14 @@ func (b *Batcher) drainReject() {
 func (b *Batcher) finish(r *request) {
 	if !r.enq.IsZero() { // latency-sampled request
 		b.Latency.Observe(time.Since(r.enq))
+	}
+	if r.ownTrace {
+		// The batcher started this trace, so the batcher publishes it;
+		// propagated traces stay with their submitter, which finishes
+		// them after Wait (the done signal below is the ownership
+		// handoff back).
+		b.rec.Finish(r.trace, time.Now())
+		r.trace, r.ownTrace = nil, false
 	}
 	b.completed.Add(1)
 	r.done <- struct{}{}
@@ -462,6 +573,27 @@ func (b *Batcher) scoreBatch(batch []*request) {
 	b.batches.Add(1)
 	b.BatchSize.ObserveValue(int64(len(batch)))
 
+	// Launch timestamp for the sampled requests' linger and execute
+	// spans; untraced batches skip both clock reads.
+	var launch time.Time
+	traced := false
+	for _, r := range batch {
+		if r.trace != nil {
+			traced = true
+			break
+		}
+	}
+	if traced {
+		launch = time.Now()
+		for _, r := range batch {
+			if r.trace != nil {
+				linger := launch.Sub(r.deq)
+				r.trace.AddSpan(obs.StageLinger, -1, 0, r.deq, linger)
+				b.StageLinger.Observe(linger)
+			}
+		}
+	}
+
 	scorer, release, err := b.source.Acquire()
 	if err != nil {
 		for _, r := range batch {
@@ -485,15 +617,16 @@ func (b *Batcher) scoreBatch(batch []*request) {
 			b.sReqs = append(b.sReqs, r)
 		}
 	}
-	b.scoreSub(scorer, false, b.dReqs)
-	b.scoreSub(scorer, true, b.sReqs)
+	b.scoreSub(scorer, false, b.dReqs, launch)
+	b.scoreSub(scorer, true, b.sReqs, launch)
 }
 
 // scoreSub scores one kind-homogeneous sub-batch (sparse selects the
 // CSR staging, otherwise the dense staging; both are one launch). The
 // kind flag instead of scorer-method closures keeps the steady-state
-// path allocation-free.
-func (b *Batcher) scoreSub(scorer Scorer, sparse bool, reqs []*request) {
+// path allocation-free. launch is non-zero only when the batch carries
+// at least one sampled trace; it anchors the execute span.
+func (b *Batcher) scoreSub(scorer Scorer, sparse bool, reqs []*request, launch time.Time) {
 	n := len(reqs)
 	if n == 0 {
 		return
@@ -535,6 +668,17 @@ func (b *Batcher) scoreSub(scorer Scorer, sparse bool, reqs []*request) {
 		if err == nil {
 			for i, r := range reqs {
 				r.class = out[i]
+			}
+		}
+	}
+	// Execute span: launch to the end of this sub-batch's scoring.
+	// Recorded before finishSub because finish publishes owned traces.
+	if !launch.IsZero() {
+		d := time.Since(launch)
+		for _, r := range reqs {
+			if r.trace != nil {
+				r.trace.AddSpan(obs.StageExecute, -1, 0, launch, d)
+				b.StageExecute.Observe(d)
 			}
 		}
 	}

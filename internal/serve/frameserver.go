@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
+	"newtonadmm/internal/obs"
 	"newtonadmm/internal/wire"
 )
 
@@ -154,12 +156,29 @@ func wireCodeFor(err error) wire.ErrCode {
 	}
 }
 
+// remoteTrace adopts a trace propagated over the wire: a nonzero
+// sampled ID starts a span collection on this replica's recorder under
+// the router's trace ID, so the fleet's traces stitch across processes.
+func (s *FrameServer) remoteTrace(id uint64, sampled bool) *obs.Trace {
+	if id == 0 || !sampled {
+		return nil
+	}
+	return s.bat.Recorder().StartRemote(id, time.Now())
+}
+
 // handleFrame dispatches one request and leaves the response frame in
 // st.enc.
 func (s *FrameServer) handleFrame(h wire.Header, payload []byte, st *connState) {
 	fail := func(code wire.ErrCode, format string, args ...any) {
 		st.enc.Begin(wire.OpError, h.Corr)
 		st.enc.Error(code, fmt.Sprintf(format, args...))
+	}
+	// The trace trailer rides at the payload's end on any flagged frame;
+	// strip it before opcode-specific decoding.
+	payload, traceID, sampled, err := wire.SplitTraceTrailer(h, payload)
+	if err != nil {
+		fail(wire.CodeBadRequest, "%v", err)
+		return
 	}
 	switch h.Op {
 	case wire.OpMeta:
@@ -188,9 +207,9 @@ func (s *FrameServer) handleFrame(h wire.Header, payload []byte, st *connState) 
 		st.enc.Begin(wire.OpReloadResp, h.Corr)
 		st.enc.ReloadResp(v)
 	case wire.OpPredict, wire.OpProba:
-		s.handleBatch(h, payload, st, h.Op == wire.OpProba)
+		s.handleBatch(h, payload, st, h.Op == wire.OpProba, s.remoteTrace(traceID, sampled))
 	case wire.OpScores:
-		s.handleScoresFrame(h, payload, st)
+		s.handleScoresFrame(h, payload, st, s.remoteTrace(traceID, sampled))
 	default:
 		fail(wire.CodeBadRequest, "unknown opcode %#x", h.Op)
 	}
@@ -199,10 +218,17 @@ func (s *FrameServer) handleFrame(h wire.Header, payload []byte, st *connState) 
 // handleBatch is the full-model data plane: decode, submit every row
 // through the shared batcher (before waiting on any, so one request's
 // rows coalesce), wait all, answer.
-func (s *FrameServer) handleBatch(h wire.Header, payload []byte, st *connState, proba bool) {
+func (s *FrameServer) handleBatch(h wire.Header, payload []byte, st *connState, proba bool, tr *obs.Trace) {
+	finishTrace := func() {
+		if tr != nil {
+			s.bat.Recorder().Finish(tr, time.Now())
+			tr = nil
+		}
+	}
 	fail := func(code wire.ErrCode, format string, args ...any) {
 		st.enc.Begin(wire.OpError, h.Corr)
 		st.enc.Error(code, fmt.Sprintf(format, args...))
+		finishTrace()
 	}
 	if err := st.batch.Decode(payload); err != nil {
 		fail(wire.CodeBadRequest, "%v", err)
@@ -233,8 +259,12 @@ func (s *FrameServer) handleBatch(h wire.Header, payload []byte, st *connState, 
 		st.probaBuf = st.probaBuf[:rows*classes]
 	}
 
+	// The propagated trace rides on the first row only — one
+	// representative pass through the batcher's stages — so a wide
+	// client batch cannot overflow the trace's fixed span array.
 	var submitErr error
 	d, sp := 0, 0
+	rowTrace := tr
 	for i, isSparse := range st.batch.Kind {
 		var po []float64
 		if proba {
@@ -243,12 +273,13 @@ func (s *FrameServer) handleBatch(h wire.Header, payload []byte, st *connState, 
 		var t Ticket
 		var err error
 		if isSparse {
-			t, err = s.bat.SubmitCSR(st.batch.Idx[sp], st.batch.Val[sp], po)
+			t, err = s.bat.SubmitCSRTraced(st.batch.Idx[sp], st.batch.Val[sp], po, rowTrace)
 			sp++
 		} else {
-			t, err = s.bat.SubmitDense(st.batch.Dense[d], po)
+			t, err = s.bat.SubmitDenseTraced(st.batch.Dense[d], po, rowTrace)
 			d++
 		}
+		rowTrace = nil
 		if err != nil {
 			submitErr = fmt.Errorf("instance %d: %w", i, err)
 			break
@@ -273,19 +304,33 @@ func (s *FrameServer) handleBatch(h wire.Header, payload []byte, st *connState, 
 		fail(wireCodeFor(submitErr), "%v", submitErr)
 		return
 	}
+	encStart := time.Now()
 	if proba {
 		st.enc.Begin(wire.OpProbaResp, h.Corr)
 		st.enc.FloatsResp(meta.Version, rows, classes, st.probaBuf)
-		return
+	} else {
+		st.enc.Begin(wire.OpPredictResp, h.Corr)
+		st.enc.PredictResp(meta.Version, st.classes)
 	}
-	st.enc.Begin(wire.OpPredictResp, h.Corr)
-	st.enc.PredictResp(meta.Version, st.classes)
+	if tr != nil {
+		tr.AddSpan(obs.StageEncode, -1, 0, encStart, time.Since(encStart))
+	}
+	finishTrace()
 }
 
 // handleScoresFrame is the class-shard data plane: score the request's
 // rows against this replica's weight slice and answer the raw partial
 // tile with the snapshot version it was computed against.
-func (s *FrameServer) handleScoresFrame(h wire.Header, payload []byte, st *connState) {
+func (s *FrameServer) handleScoresFrame(h wire.Header, payload []byte, st *connState, tr *obs.Trace) {
+	// Partial scoring bypasses the batcher, so the whole handler is the
+	// execute stage; finish publishes the trace on every exit path.
+	if tr != nil {
+		execStart := time.Now()
+		defer func() {
+			tr.AddSpan(obs.StageExecute, -1, 0, execStart, time.Since(execStart))
+			s.bat.Recorder().Finish(tr, time.Now())
+		}()
+	}
 	fail := func(code wire.ErrCode, format string, args ...any) {
 		st.enc.Begin(wire.OpError, h.Corr)
 		st.enc.Error(code, fmt.Sprintf(format, args...))

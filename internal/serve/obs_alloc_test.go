@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"testing"
+
+	"newtonadmm/internal/obs"
+)
+
+// silentScorer is a zero-allocation Scorer: unlike fakeScorer it
+// records nothing, so AllocsPerRun measures only the batcher itself.
+type silentScorer struct{ classes, features int }
+
+func (s silentScorer) Classes() int  { return s.classes }
+func (s silentScorer) Features() int { return s.features }
+
+func (s silentScorer) PredictDense(rows [][]float64, out []int) error {
+	for i := range rows {
+		out[i] = 0
+	}
+	return nil
+}
+
+func (s silentScorer) PredictCSR(idx [][]int, val [][]float64, out []int) error {
+	for i := range idx {
+		out[i] = 0
+	}
+	return nil
+}
+
+func (s silentScorer) ProbaDense(rows [][]float64, out []float64) error {
+	for i := range out {
+		out[i] = 1 / float64(s.classes)
+	}
+	return nil
+}
+
+func (s silentScorer) ProbaCSR(idx [][]int, val [][]float64, out []float64) error {
+	return s.ProbaDense(nil, out)
+}
+
+// TestBatcherSubmitZeroAlloc pins the acceptance bound: the submit/wait
+// round-trip performs zero heap allocations per request at the DEFAULT
+// sampling stride — i.e. the 1-in-8 latency stamping and trace capture
+// must themselves be allocation-free once the recorder's ring is warm.
+// Sampled traces occupy ring slots until displacement recycling starts,
+// so the warm-up must push enough sampled requests through to fill it.
+func TestBatcherSubmitZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are skewed by -race instrumentation")
+	}
+	b := NewBatcher(fakeSource{s: silentScorer{classes: 3, features: 5}},
+		BatcherConfig{MaxBatch: 8, MaxLinger: -1, QueueDepth: 1024})
+	defer b.Close()
+	row := make([]float64, 5)
+
+	submitWait := func() {
+		tk, err := b.SubmitDense(row, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tk.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < obs.DefaultRingSize*DefaultSampleEvery*2; i++ {
+		submitWait()
+	}
+	if allocs := testing.AllocsPerRun(400, submitWait); allocs != 0 {
+		t.Fatalf("SubmitDense+Wait: %.2f allocs/op at default sampling, want 0", allocs)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package serve
+
+// raceEnabled skips allocation-count tests under -race: the race
+// detector instruments sync primitives with its own allocations, so
+// AllocsPerRun bounds are only meaningful in uninstrumented builds.
+const raceEnabled = true

@@ -6,16 +6,30 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
+	"strconv"
 	"time"
+
+	"newtonadmm/internal/device"
+	"newtonadmm/internal/obs"
 )
+
+// TraceHeader is the HTTP request header a router sets to propagate a
+// sampled request's trace ID (16 hex digits) to a JSON-plane replica —
+// the HTTP equivalent of the binary plane's trace trailer (DESIGN.md
+// "Observability"). The replica adopts the ID, records its local spans
+// under it, and publishes to its own recorder so the fleet's traces
+// stitch by ID.
+const TraceHeader = "X-Nadmm-Trace"
 
 // Server is the kserve-style HTTP surface over the batcher and registry:
 //
 //	POST /v1/predict  {"instances":[[...], {"indices":[...],"values":[...]}, ...]}
 //	POST /v1/proba    same body, returns class probabilities as well
 //	GET  /healthz     serving readiness + current model metadata
-//	GET  /metricz     flat text metrics (latency quantiles, counters)
+//	GET  /metricz     unified nadmm_* metrics exposition (internal/obs)
+//	GET  /debug/tracez  recent sampled traces + slowest-request waterfall
 //	POST /v1/reload   hot-swap the model via the configured reloader
 //
 // Dense instances are JSON arrays of Features numbers; sparse instances
@@ -27,19 +41,91 @@ type Server struct {
 	reload func() (int64, error) // optional hot-reload hook
 	mux    *http.ServeMux
 	start  time.Time
+	obsReg *obs.Registry
 }
 
 // NewServer wires the HTTP surface. reload may be nil, which disables
 // /v1/reload.
 func NewServer(reg *Registry, bat *Batcher, reload func() (int64, error)) *Server {
 	s := &Server{reg: reg, bat: bat, reload: reload, mux: http.NewServeMux(), start: time.Now()}
+	s.obsReg = obs.NewRegistry()
+	registerServeMetrics(s.obsReg, reg, bat, s.start)
 	s.mux.HandleFunc("/v1/predict", func(w http.ResponseWriter, r *http.Request) { s.handlePredict(w, r, false) })
 	s.mux.HandleFunc("/v1/proba", func(w http.ResponseWriter, r *http.Request) { s.handlePredict(w, r, true) })
 	s.mux.HandleFunc("/v1/scores", s.handleScores)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metricz", s.handleMetricz)
+	s.mux.Handle("/debug/tracez", obs.TracezHandler(bat.Recorder()))
 	s.mux.HandleFunc("/v1/reload", s.handleReload)
 	return s
+}
+
+// EnableDebug mounts net/http/pprof under /debug/pprof/. Opt-in (the
+// -debug flag): profiling endpoints expose stack traces and must not be
+// on by default on a serving port.
+func (s *Server) EnableDebug() {
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// registerServeMetrics wires the serving tier's canonical metric rows
+// (the name table in DESIGN.md "Observability") over the batcher's and
+// registry's live counters. Scrapes read atomics; nothing is locked
+// against the request path.
+func registerServeMetrics(o *obs.Registry, reg *Registry, bat *Batcher, start time.Time) {
+	o.CounterFunc("nadmm_requests_total", "", "instances completed (unit: rows; the router's figure counts client requests)",
+		func() uint64 { return uint64(bat.Stats().Completed) })
+	o.CounterFunc("nadmm_requests_submitted_total", "", "instances accepted into the admission queue",
+		func() uint64 { return uint64(bat.Stats().Submitted) })
+	o.CounterFunc("nadmm_requests_rejected_total", "", "instances rejected by admission-queue backpressure (HTTP 429)",
+		func() uint64 { return uint64(bat.Stats().Rejected) })
+	o.CounterFunc("nadmm_batches_total", "", "micro-batches launched",
+		func() uint64 { return uint64(bat.Stats().Batches) })
+	o.GaugeFunc("nadmm_batch_rows_mean", "", "mean rows per launched micro-batch", func() float64 {
+		st := bat.Stats()
+		if st.Batches == 0 {
+			return 0
+		}
+		return float64(st.Completed) / float64(st.Batches)
+	})
+	o.GaugeFunc("nadmm_batch_size_p50", "", "median micro-batch size (rows)",
+		func() float64 { return float64(bat.BatchSize.Quantile(0.5)) })
+	o.GaugeFunc("nadmm_batch_size_max", "", "largest micro-batch size (rows)",
+		func() float64 { return float64(bat.BatchSize.Max()) })
+	o.Duration("nadmm_request_latency", "", "sampled end-to-end instance latency, submit to completion", bat.Latency)
+	o.Duration("nadmm_stage_queue", "", "admission-queue wait of sampled instances", bat.StageQueue)
+	o.Duration("nadmm_stage_linger", "", "dequeue-to-launch linger of sampled instances", bat.StageLinger)
+	o.Duration("nadmm_stage_execute", "", "batch execute (kernel) time of sampled instances", bat.StageExecute)
+	o.GaugeFunc("nadmm_model_version", "", "current model snapshot version (0 = none loaded)", func() float64 {
+		if m, ok := reg.Meta(); ok {
+			return float64(m.Version)
+		}
+		return 0
+	})
+	deviceStat := func(pick func(device.Stats) uint64) func() uint64 {
+		return func() uint64 {
+			p, rel, err := reg.AcquirePredictor()
+			if err != nil {
+				return 0
+			}
+			ds := p.Device().Stats()
+			rel()
+			return pick(ds)
+		}
+	}
+	o.CounterFunc("nadmm_device_launches_total", "", "kernel launches on the serving device",
+		deviceStat(func(ds device.Stats) uint64 { return uint64(ds.Launches) }))
+	o.CounterFunc("nadmm_device_flops_total", "", "floating-point operations executed by the serving device",
+		deviceStat(func(ds device.Stats) uint64 { return uint64(ds.FLOPs) }))
+	o.CounterFunc("nadmm_device_bytes_total", "", "bytes moved by the serving device",
+		deviceStat(func(ds device.Stats) uint64 { return uint64(ds.Bytes) }))
+	o.GaugeFunc("nadmm_uptime_seconds", "", "seconds since server start",
+		func() float64 { return time.Since(start).Seconds() })
+	o.GaugeFunc("nadmm_goroutines", "", "goroutines in this process",
+		func() float64 { return float64(runtime.NumGoroutine()) })
 }
 
 // Handler returns the root http.Handler.
@@ -124,16 +210,35 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request, proba boo
 		}
 	}
 
+	// A router-propagated trace (TraceHeader) is adopted under its wire
+	// ID and rides on the first instance only — one representative pass
+	// through the batcher's stages — then publishes to this replica's
+	// recorder so the fleet's traces stitch by ID.
+	var trace *obs.Trace
+	if idStr := r.Header.Get(TraceHeader); idStr != "" {
+		if id, err := strconv.ParseUint(idStr, 16, 64); err == nil && id != 0 {
+			trace = s.bat.Recorder().StartRemote(id, time.Now())
+		}
+	}
+	finishTrace := func() {
+		if trace != nil {
+			s.bat.Recorder().Finish(trace, time.Now())
+			trace = nil
+		}
+	}
+
 	// Submit every instance before waiting on any, so the instances of
 	// one HTTP request coalesce into the same micro-batches.
 	tickets := make([]Ticket, 0, len(req.Instances))
 	submitErr := error(nil)
+	rowTrace := trace
 	for i, raw := range req.Instances {
 		var probaOut []float64
 		if proba {
 			probaOut = resp.Probabilities[i]
 		}
-		t, err := s.submitInstance(raw, probaOut)
+		t, err := s.submitInstance(raw, probaOut, rowTrace)
+		rowTrace = nil
 		if err != nil {
 			submitErr = fmt.Errorf("instance %d: %w", i, err)
 			break
@@ -150,13 +255,20 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request, proba boo
 	}
 	if submitErr != nil {
 		writeError(w, statusFor(submitErr), "%v", submitErr)
+		finishTrace()
 		return
 	}
 	if waitErr != nil {
 		writeError(w, statusFor(waitErr), "%v", waitErr)
+		finishTrace()
 		return
 	}
+	encStart := time.Now()
 	writeJSON(w, http.StatusOK, resp)
+	if trace != nil {
+		trace.AddSpan(obs.StageEncode, -1, 0, encStart, time.Since(encStart))
+	}
+	finishTrace()
 }
 
 // Instance is one decoded wire instance: a dense feature row or a
@@ -201,16 +313,17 @@ func ParseInstance(raw json.RawMessage) (Instance, error) {
 	}
 }
 
-// submitInstance parses one instance and enqueues it.
-func (s *Server) submitInstance(raw json.RawMessage, probaOut []float64) (Ticket, error) {
+// submitInstance parses one instance and enqueues it, attaching the
+// propagated trace when non-nil.
+func (s *Server) submitInstance(raw json.RawMessage, probaOut []float64, trace *obs.Trace) (Ticket, error) {
 	inst, err := ParseInstance(raw)
 	if err != nil {
 		return Ticket{}, err
 	}
 	if inst.Sparse {
-		return s.bat.SubmitCSR(inst.Indices, inst.Values, probaOut)
+		return s.bat.SubmitCSRTraced(inst.Indices, inst.Values, probaOut, trace)
 	}
-	return s.bat.SubmitDense(inst.Dense, probaOut)
+	return s.bat.SubmitDenseTraced(inst.Dense, probaOut, trace)
 }
 
 // scoresResponse is the partial-logit wire format: raw explicit-class
@@ -329,29 +442,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	st := s.bat.Stats()
-	fmt.Fprintf(w, "serve_requests_submitted %d\n", st.Submitted)
-	fmt.Fprintf(w, "serve_requests_rejected %d\n", st.Rejected)
-	fmt.Fprintf(w, "serve_requests_completed %d\n", st.Completed)
-	fmt.Fprintf(w, "serve_batches %d\n", st.Batches)
-	if st.Batches > 0 {
-		fmt.Fprintf(w, "serve_batch_rows_mean %.2f\n", float64(st.Completed)/float64(st.Batches))
-	}
-	s.bat.Latency.WriteMetrics(w, "serve_request_latency")
-	fmt.Fprintf(w, "serve_batch_size_p50 %d\n", int64(s.bat.BatchSize.Quantile(0.5)))
-	fmt.Fprintf(w, "serve_batch_size_max %d\n", int64(s.bat.BatchSize.Max()))
-	if meta, ok := s.reg.Meta(); ok {
-		fmt.Fprintf(w, "serve_model_version %d\n", meta.Version)
-		if p, rel, err := s.reg.AcquirePredictor(); err == nil {
-			ds := p.Device().Stats()
-			rel()
-			fmt.Fprintf(w, "serve_device_launches %d\n", ds.Launches)
-			fmt.Fprintf(w, "serve_device_flops %d\n", ds.FLOPs)
-			fmt.Fprintf(w, "serve_device_bytes %d\n", ds.Bytes)
-		}
-	}
-	fmt.Fprintf(w, "serve_uptime_seconds %.3f\n", time.Since(s.start).Seconds())
-	fmt.Fprintf(w, "serve_goroutines %d\n", runtime.NumGoroutine())
+	s.obsReg.WriteText(w)
 }
 
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {

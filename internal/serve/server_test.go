@@ -275,9 +275,9 @@ func TestServerHealthzAndMetricz(t *testing.T) {
 	mb, _ := io.ReadAll(r.Body)
 	r.Body.Close()
 	for _, key := range []string{
-		"serve_requests_submitted", "serve_requests_completed", "serve_batches",
-		"serve_request_latency_p50_seconds", "serve_request_latency_p99_seconds",
-		"serve_model_version 1", "serve_device_launches",
+		"nadmm_requests_submitted_total", "nadmm_requests_total", "nadmm_batches_total",
+		"nadmm_request_latency_p50_seconds", "nadmm_request_latency_p99_seconds",
+		"nadmm_model_version 1", "nadmm_device_launches_total",
 	} {
 		if !strings.Contains(string(mb), key) {
 			t.Fatalf("metricz missing %q:\n%s", key, mb)

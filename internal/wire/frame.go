@@ -29,6 +29,26 @@ const (
 	MaxRows = 1 << 16
 )
 
+// Header flag bits (offset 6, uint16 LE). Bits not listed here are
+// reserved and must be zero; a frame carrying an unknown bit is
+// rejected, so every future bit is a deliberate protocol revision.
+const (
+	// FlagTrace marks a frame whose payload ends with the 9-byte trace
+	// trailer (u64 trace ID LE + u8 sampled). The trailer bytes are
+	// included in the header's length field; decoders strip them before
+	// interpreting the payload (SplitTraceTrailer). Frames without the
+	// bit are byte-identical to pre-trace frames, so legacy peers
+	// decode untraced traffic unchanged.
+	FlagTrace uint16 = 1 << 0
+
+	// knownFlags is the mask of bits a version-1 decoder understands.
+	knownFlags = FlagTrace
+)
+
+// TraceTrailerSize is the byte length of the trace trailer a FlagTrace
+// frame carries at the end of its payload.
+const TraceTrailerSize = 9
+
 // magic opens every frame: bytes 'N','A','W','P' at offsets 0..3.
 var magic = [4]byte{'N', 'A', 'W', 'P'}
 
@@ -96,13 +116,15 @@ var ErrBadFrame = errors.New("wire: malformed frame")
 //	offset 0  magic   "NAWP"
 //	offset 4  version uint8  (= Version)
 //	offset 5  opcode  uint8
-//	offset 6  flags   uint16 LE (must be zero in version 1)
+//	offset 6  flags   uint16 LE (bit 0 = trace trailer present; all
+//	          other bits reserved, must be zero)
 //	offset 8  corr    uint64 LE (correlation ID, echoed by responses)
 //	offset 16 length  uint32 LE (payload bytes following the header)
 type Header struct {
-	Op   Op
-	Corr uint64
-	Len  uint32
+	Op    Op
+	Flags uint16
+	Corr  uint64
+	Len   uint32
 }
 
 // PutHeader writes h into dst[:HeaderSize].
@@ -111,7 +133,7 @@ func PutHeader(dst []byte, h Header) {
 	copy(dst, magic[:])
 	dst[4] = Version
 	dst[5] = byte(h.Op)
-	binary.LittleEndian.PutUint16(dst[6:8], 0)
+	binary.LittleEndian.PutUint16(dst[6:8], h.Flags)
 	binary.LittleEndian.PutUint64(dst[8:16], h.Corr)
 	binary.LittleEndian.PutUint32(dst[16:20], h.Len)
 }
@@ -128,13 +150,15 @@ func ParseHeader(src []byte) (Header, error) {
 	if src[4] != Version {
 		return Header{}, fmt.Errorf("%w: protocol version %d, speak %d", ErrBadFrame, src[4], Version)
 	}
-	if flags := binary.LittleEndian.Uint16(src[6:8]); flags != 0 {
-		return Header{}, fmt.Errorf("%w: nonzero flags %#x", ErrBadFrame, flags)
+	flags := binary.LittleEndian.Uint16(src[6:8])
+	if flags&^knownFlags != 0 {
+		return Header{}, fmt.Errorf("%w: unknown flags %#x", ErrBadFrame, flags&^knownFlags)
 	}
 	h := Header{
-		Op:   Op(src[5]),
-		Corr: binary.LittleEndian.Uint64(src[8:16]),
-		Len:  binary.LittleEndian.Uint32(src[16:20]),
+		Op:    Op(src[5]),
+		Flags: flags,
+		Corr:  binary.LittleEndian.Uint64(src[8:16]),
+		Len:   binary.LittleEndian.Uint32(src[16:20]),
 	}
 	if h.Len > MaxPayload {
 		return Header{}, fmt.Errorf("%w: payload length %d exceeds %d", ErrBadFrame, h.Len, MaxPayload)

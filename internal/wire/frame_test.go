@@ -40,7 +40,7 @@ func TestFrameLayoutMatchesSpec(t *testing.T) {
 		t.Fatalf("opcode at offset 5 = %#x, want %#x", f[5], OpScores)
 	}
 	if flags := binary.LittleEndian.Uint16(f[6:8]); flags != 0 {
-		t.Fatalf("flags at offset 6 = %#x, spec requires 0", flags)
+		t.Fatalf("flags at offset 6 = %#x, spec requires 0 on an untraced frame", flags)
 	}
 	if corr := binary.LittleEndian.Uint64(f[8:16]); corr != 42 {
 		t.Fatalf("correlation ID at offset 8 = %d, want 42", corr)
@@ -194,8 +194,9 @@ func TestResponseRoundTrips(t *testing.T) {
 }
 
 // TestMalformedHeaders checks every header-level rejection the spec
-// requires: short reads, bad magic, wrong version, nonzero flags, and
-// an oversized length prefix.
+// requires: short reads, bad magic, wrong version, unknown flag bits,
+// and an oversized length prefix. Flag bit 0 (FlagTrace) is legal and
+// must NOT be rejected.
 func TestMalformedHeaders(t *testing.T) {
 	var e Encoder
 	good := append([]byte(nil), buildBatchFrame(&e)...)
@@ -209,12 +210,24 @@ func TestMalformedHeaders(t *testing.T) {
 	}
 	mutate("bad magic", func(b []byte) { b[0] = 'X' })
 	mutate("bad version", func(b []byte) { b[4] = 99 })
-	mutate("nonzero flags", func(b []byte) { b[6] = 1 })
+	mutate("unknown flag bit 1", func(b []byte) { b[6] = 2 })
+	mutate("unknown flag high byte", func(b []byte) { b[7] = 1 })
 	mutate("oversized length", func(b []byte) {
 		binary.LittleEndian.PutUint32(b[16:20], MaxPayload+1)
 	})
 	if _, err := ParseHeader(good[:HeaderSize-1]); !errors.Is(err, ErrBadFrame) {
 		t.Errorf("short header: got %v, want ErrBadFrame", err)
+	}
+
+	// FlagTrace alone is a version-1 frame, not a protocol error.
+	traced := append([]byte(nil), good...)
+	traced[6] = 1
+	h, err := ParseHeader(traced)
+	if err != nil {
+		t.Fatalf("FlagTrace frame rejected: %v", err)
+	}
+	if h.Flags != FlagTrace {
+		t.Fatalf("parsed flags = %#x, want %#x", h.Flags, FlagTrace)
 	}
 }
 

@@ -1,0 +1,51 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// The trace trailer: when a frame's header carries FlagTrace, the last
+// TraceTrailerSize (9) bytes of its payload are
+//
+//	offset len-9  trace ID  uint64 LE (nonzero)
+//	offset len-1  sampled   uint8     (1 = record spans, 0 = propagate only)
+//
+// The trailer bytes count toward the header's length field, and every
+// payload decoder in this package rejects trailing bytes — so a decoder
+// MUST strip the trailer (SplitTraceTrailer) before interpreting the
+// payload. A frame without the flag is byte-identical to a pre-trace
+// frame; legacy peers therefore interoperate as long as tracing is not
+// enabled toward them (they reject the unknown flag, by design — a
+// trailer silently read as payload would corrupt row data).
+
+// TraceTrailer appends the 9-byte trace trailer to the frame being
+// built and sets FlagTrace in its header. Call it after the payload
+// builders, immediately before Bytes.
+func (e *Encoder) TraceTrailer(id uint64, sampled bool) {
+	e.u64(id)
+	if sampled {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+	flags := binary.LittleEndian.Uint16(e.buf[6:8])
+	binary.LittleEndian.PutUint16(e.buf[6:8], flags|FlagTrace)
+}
+
+// SplitTraceTrailer strips the trace trailer from a received payload.
+// For a frame without FlagTrace it returns the payload unchanged and a
+// zero trace ID. Failures wrap ErrBadFrame: a flagged frame too short
+// to hold the trailer is a protocol error.
+func SplitTraceTrailer(h Header, payload []byte) (rest []byte, id uint64, sampled bool, err error) {
+	if h.Flags&FlagTrace == 0 {
+		return payload, 0, false, nil
+	}
+	if len(payload) < TraceTrailerSize {
+		return nil, 0, false, fmt.Errorf("%w: %d payload bytes cannot hold the trace trailer", ErrBadFrame, len(payload))
+	}
+	n := len(payload) - TraceTrailerSize
+	id = binary.LittleEndian.Uint64(payload[n : n+8])
+	sampled = payload[n+8] != 0
+	return payload[:n], id, sampled, nil
+}

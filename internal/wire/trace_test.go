@@ -1,0 +1,140 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+// TestTraceTrailerLayoutMatchesSpec pins the exact trailer offsets
+// documented in DESIGN.md "Observability": a FlagTrace frame carries
+// its u64 trace ID at payload offset len-9 and the sampled byte at
+// len-1, both counted by the header's length field.
+func TestTraceTrailerLayoutMatchesSpec(t *testing.T) {
+	var e Encoder
+	e.Begin(OpPredict, 77)
+	e.BatchHeader(1, 2, 0)
+	e.DenseRow([]float64{1, 2})
+	e.TraceTrailer(0x0123456789abcdef, true)
+	f := e.Bytes()
+
+	if flags := binary.LittleEndian.Uint16(f[6:8]); flags != FlagTrace {
+		t.Fatalf("flags at offset 6 = %#x, want FlagTrace (%#x)", flags, FlagTrace)
+	}
+	payloadLen := int(binary.LittleEndian.Uint32(f[16:20]))
+	if payloadLen != len(f)-HeaderSize {
+		t.Fatalf("length field %d does not count the trailer (frame has %d payload bytes)",
+			payloadLen, len(f)-HeaderSize)
+	}
+	p := f[HeaderSize:]
+	// Batch payload: 12 header bytes + (1 kind + 16 row bits) = 29, then 9 trailer bytes.
+	if len(p) != 29+TraceTrailerSize {
+		t.Fatalf("payload is %d bytes, spec arithmetic says 29 + 9 = 38", len(p))
+	}
+	if id := binary.LittleEndian.Uint64(p[len(p)-9 : len(p)-1]); id != 0x0123456789abcdef {
+		t.Fatalf("trace ID at payload offset len-9 = %#x, want 0x0123456789abcdef", id)
+	}
+	if p[len(p)-1] != 1 {
+		t.Fatalf("sampled byte at payload offset len-1 = %d, want 1", p[len(p)-1])
+	}
+
+	// Round trip through ParseHeader + SplitTraceTrailer, then the
+	// stripped payload must decode as a normal batch (the decoder's
+	// trailing-bytes check would reject an unstripped one).
+	h, err := ParseHeader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rest, id, sampled, err := SplitTraceTrailer(h, p)
+	if err != nil || id != 0x0123456789abcdef || !sampled {
+		t.Fatalf("split: id=%#x sampled=%v err=%v", id, sampled, err)
+	}
+	var b Batch
+	if err := b.Decode(rest); err != nil {
+		t.Fatalf("stripped payload did not decode: %v", err)
+	}
+	if err := b.Decode(p); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("unstripped traced payload must be rejected by Batch.Decode, got %v", err)
+	}
+}
+
+// TestTraceTrailerLegacyCompat pins backward compatibility: an encoder
+// that never calls TraceTrailer emits frames byte-identical to the
+// pre-trace protocol, and SplitTraceTrailer on an unflagged frame is
+// the identity.
+func TestTraceTrailerLegacyCompat(t *testing.T) {
+	var e Encoder
+	untraced := append([]byte(nil), buildBatchFrame(&e)...)
+	if flags := binary.LittleEndian.Uint16(untraced[6:8]); flags != 0 {
+		t.Fatalf("untraced frame carries flags %#x, must be 0 for legacy peers", flags)
+	}
+	h, err := ParseHeader(untraced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rest, id, sampled, err := SplitTraceTrailer(h, untraced[HeaderSize:])
+	if err != nil || id != 0 || sampled {
+		t.Fatalf("unflagged split: id=%d sampled=%v err=%v", id, sampled, err)
+	}
+	if !bytes.Equal(rest, untraced[HeaderSize:]) {
+		t.Fatal("unflagged split modified the payload")
+	}
+
+	// A traced frame is the untraced frame + flag bit + 9 trailer bytes
+	// + patched length: nothing else moves.
+	var e2 Encoder
+	f := buildBatchFrame(&e2)
+	e2.TraceTrailer(5, false)
+	traced := e2.Bytes()
+	if len(traced) != len(untraced)+TraceTrailerSize {
+		t.Fatalf("traced frame is %d bytes, want untraced+9 = %d", len(traced), len(untraced)+TraceTrailerSize)
+	}
+	if !bytes.Equal(traced[HeaderSize:len(untraced)], untraced[HeaderSize:]) {
+		t.Fatal("trailer changed payload bytes before the trailer")
+	}
+	_ = f
+
+	// A flagged frame too short for the trailer is a protocol error.
+	var e3 Encoder
+	e3.Begin(OpMeta, 1)
+	short := append([]byte(nil), e3.Bytes()...)
+	short[6] = 1
+	h3, err := ParseHeader(short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := SplitTraceTrailer(h3, short[HeaderSize:]); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("short flagged payload: got %v, want ErrBadFrame", err)
+	}
+}
+
+// TestTraceTrailerZeroAlloc extends the data-plane allocation contract
+// to traced frames: appending and stripping the trailer allocates
+// nothing at steady state.
+func TestTraceTrailerZeroAlloc(t *testing.T) {
+	dense := []float64{1, 2, 3, 4}
+	var e Encoder
+	encode := func() []byte {
+		e.Begin(OpPredict, 1)
+		e.BatchHeader(1, len(dense), 0)
+		e.DenseRow(dense)
+		e.TraceTrailer(0xfeed, true)
+		return e.Bytes()
+	}
+	frame := append([]byte(nil), encode()...)
+	if allocs := testing.AllocsPerRun(100, func() { encode() }); allocs != 0 {
+		t.Fatalf("traced encode: %.1f allocs/op, want 0", allocs)
+	}
+	h, err := ParseHeader(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		if _, _, _, err := SplitTraceTrailer(h, frame[HeaderSize:]); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("trailer split: %.1f allocs/op, want 0", allocs)
+	}
+}

@@ -191,6 +191,14 @@ type ServeOptions struct {
 	// zone-spread placement invariant — see DESIGN.md "Replicated-shard
 	// topology". Empty opts out of placement checks.
 	Zone string
+	// SampleEvery is the observability sampling period: every Nth
+	// request is latency-stamped and trace-captured (DESIGN.md
+	// "Observability"). 0 selects the default (8); negative disables
+	// sampling entirely.
+	SampleEvery int
+	// Debug mounts net/http/pprof under /debug/pprof/ (opt-in: the
+	// profiling endpoints expose stack traces).
+	Debug bool
 }
 
 // ModelServer is a running (or embeddable) inference server.
@@ -224,12 +232,16 @@ func Serve(m *Model, opts ServeOptions) (*ModelServer, error) {
 	}
 	ms.bat = serve.NewBatcher(ms.reg, serve.BatcherConfig{
 		MaxBatch: opts.MaxBatch, MaxLinger: opts.Linger, QueueDepth: opts.QueueDepth,
+		SampleEvery: opts.SampleEvery,
 	})
 	var reload func() (int64, error)
 	if opts.ModelPath != "" {
 		reload = func() (int64, error) { return ms.reloadFromPath() }
 	}
 	ms.srv = serve.NewServer(ms.reg, ms.bat, reload)
+	if opts.Debug {
+		ms.srv.EnableDebug()
+	}
 
 	if opts.Addr != "" {
 		ln, err := net.Listen("tcp", opts.Addr)
@@ -459,6 +471,13 @@ type RouterOptions struct {
 	// HealthEvery is the replica health-probe interval; 0 selects 250ms,
 	// negative disables the monitor.
 	HealthEvery time.Duration
+	// SampleEvery is the observability sampling period for the router
+	// tier and every in-process replica: every Nth request is
+	// latency-stamped and trace-captured (DESIGN.md "Observability").
+	// 0 selects the default (8); negative disables sampling entirely.
+	SampleEvery int
+	// Debug mounts net/http/pprof on the router's surface (opt-in).
+	Debug bool
 }
 
 // RouterServer is a running scatter-gather serving tier.
@@ -560,7 +579,7 @@ func ServeSharded(m *Model, opts RouterOptions) (*RouterServer, error) {
 		}
 	}
 
-	rt, err := router.New(backends, router.Options{Mode: mode, HealthEvery: opts.HealthEvery})
+	rt, err := router.New(backends, router.Options{Mode: mode, HealthEvery: opts.HealthEvery, SampleEvery: opts.SampleEvery})
 	if err != nil {
 		for _, b := range backends {
 			b.Close()
@@ -569,6 +588,9 @@ func ServeSharded(m *Model, opts RouterOptions) (*RouterServer, error) {
 	}
 	rs.rt = rt
 	rs.srv = router.NewServer(rt)
+	if opts.Debug {
+		rs.srv.EnableDebug()
+	}
 
 	if opts.Addr != "" {
 		ln, err := net.Listen("tcp", opts.Addr)
@@ -597,6 +619,7 @@ func (rs *RouterServer) buildLocalReplica(m *Model, shardIdx, shardCount int, zo
 	}
 	bat := serve.NewBatcher(reg, serve.BatcherConfig{
 		MaxBatch: rs.opts.MaxBatch, MaxLinger: rs.opts.Linger, QueueDepth: rs.opts.QueueDepth,
+		SampleEvery: rs.opts.SampleEvery,
 	})
 	var reload func() (int64, error)
 	if rs.opts.ModelPath != "" {
@@ -685,14 +708,19 @@ func (rs *RouterServer) SwapReplica(id int, m *Model) (int64, error) {
 
 // routerTarget adapts the router to the load generator's Target and
 // ProbaTarget interfaces (single-row requests, the same unit the HTTP
-// surface submits per instance).
+// surface submits per instance). It applies the router's trace
+// sampling exactly like the HTTP surface, so in-process load tests
+// capture the same per-stage waterfalls a live fleet would.
 type routerTarget struct{ rt *router.Router }
 
 func (t routerTarget) Predict(row []float64) (int, error) {
 	var b router.Batch
 	b.AddDense(row)
+	b.Trace = t.rt.StartTrace(time.Now())
 	var out [1]int
-	if err := t.rt.Predict(&b, out[:]); err != nil {
+	err := t.rt.Predict(&b, out[:])
+	t.rt.FinishTrace(b.Trace, time.Now())
+	if err != nil {
 		return 0, err
 	}
 	return out[0], nil
@@ -701,8 +729,11 @@ func (t routerTarget) Predict(row []float64) (int, error) {
 func (t routerTarget) Proba(row []float64, out []float64) (int, error) {
 	var b router.Batch
 	b.AddDense(row)
+	b.Trace = t.rt.StartTrace(time.Now())
 	var cls [1]int
-	if err := t.rt.Proba(&b, out, cls[:]); err != nil {
+	err := t.rt.Proba(&b, out, cls[:])
+	t.rt.FinishTrace(b.Trace, time.Now())
+	if err != nil {
 		return 0, err
 	}
 	return cls[0], nil
