@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"newtonadmm"
+	"newtonadmm/internal/control"
 	"newtonadmm/internal/obs"
 	"newtonadmm/internal/router"
 	"newtonadmm/internal/serve"
@@ -55,10 +56,20 @@ func runServeBench(args []string) {
 		proba    = fs.Bool("proba", false, "drive the probability path (/v1/proba semantics) instead of plain prediction")
 		replicas = fs.Int("replicas", 2, "router replica count for the -compare router rows (class mode: shard count S)")
 		perShard = fs.Int("replicas-per-shard", 1, "siblings per class shard for the in-process router-class row (R; >1 measures the replicated grid's failover-capable path)")
-		compare  = fs.Bool("compare", false, "also run one-shot, batch-1, and router (both modes, plus remote JSON and binary wire rows) and report every row")
+		compare  = fs.Bool("compare", false, "also run one-shot, batch-1, router (both modes, plus remote JSON and binary wire rows), and a mixed-priority row, and report every row")
 		trace    = fs.Bool("trace", false, "print the per-stage breakdown of the slowest sampled request after each in-process row")
+
+		admission = fs.String("admission", "none", "admission policy on the in-process rows: none, token-bucket, or cost")
+		admRate   = fs.Float64("admission-rate", 0, "admission refill rate (requests/s or cost units/s)")
+		admBurst  = fs.Int("admission-burst", 0, "admission burst capacity (0 = max(rate,1))")
+		priority  = fs.String("priority", "", "submit every request under this service class: interactive (default), batch, or background")
 	)
 	fs.Parse(args)
+
+	pri, err := control.ParsePriority(*priority)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	cfg := serve.LoadConfig{
 		Mode: *mode, Concurrency: *conc, Rate: *rate,
@@ -69,7 +80,7 @@ func runServeBench(args []string) {
 	if *addr != "" {
 		// Remote mode: the server's shape is whatever is running there;
 		// probe /healthz for the feature count.
-		target := &serve.HTTPTarget{Base: *addr}
+		target := &serve.HTTPTarget{Base: *addr, Priority: *priority}
 		m, err := fetchRemoteMeta(*addr)
 		if err != nil {
 			log.Fatalf("probing %s: %v", *addr, err)
@@ -97,17 +108,48 @@ func runServeBench(args []string) {
 	run := func(maxBatch int, linger time.Duration) (serve.LoadResult, obs.TraceView, bool) {
 		srv, err := newtonadmm.Serve(m, newtonadmm.ServeOptions{
 			MaxBatch: maxBatch, Linger: linger, QueueDepth: *queue, Workers: 0,
+			Admission: *admission, AdmissionRate: *admRate, AdmissionBurst: *admBurst,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer srv.Close()
-		res, err := serve.RunLoad(srv.Batcher(), rows, cfg)
+		res, err := serve.RunLoad(&serve.PriorityTarget{B: srv.Batcher(), Priority: pri}, rows, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
 		slow, ok := srv.Batcher().Recorder().TakeSlowest()
 		return res, slow, ok
+	}
+
+	// runMixed measures priority isolation: an interactive closed loop
+	// (the reported latency row) while a background flood hammers the
+	// same batcher, optionally behind an admission policy. Returns the
+	// interactive and background results.
+	runMixed := func() (serve.LoadResult, serve.LoadResult) {
+		srv, err := newtonadmm.Serve(m, newtonadmm.ServeOptions{
+			MaxBatch: *maxB, Linger: *linger, QueueDepth: *queue, Workers: 0,
+			Admission: *admission, AdmissionRate: *admRate, AdmissionBurst: *admBurst,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		bgCfg := cfg
+		bgCfg.Mode = "closed"
+		bgDone := make(chan serve.LoadResult, 1)
+		go func() {
+			res, err := serve.RunLoad(&serve.PriorityTarget{B: srv.Batcher(), Priority: control.Background}, rows, bgCfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			bgDone <- res
+		}()
+		it, err := serve.RunLoad(&serve.PriorityTarget{B: srv.Batcher(), Priority: control.Interactive}, rows, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return it, <-bgDone
 	}
 
 	// runRouter drives the scatter-gather tier in the given placement
@@ -201,6 +243,11 @@ func runServeBench(args []string) {
 		// batch-size 1 (no coalescing, no linger).
 		base, baseSlow, baseOK := run(1, -1)
 		runtime.GC()
+		// Priority isolation: the same batched stack serving an
+		// interactive closed loop while a background flood of equal
+		// concurrency competes through the 16/4/1 weighted dequeue.
+		mixedIt, mixedBg := runMixed()
+		runtime.GC()
 		// The serving fleet: replica-balanced routing over N full
 		// replicas, then class-sharded partial-logit scatter-gather
 		// (skipped when the model has fewer explicit classes than
@@ -254,6 +301,8 @@ func runServeBench(args []string) {
 		if *trace {
 			printSlowTrace(batchedSlow, batchedOK)
 		}
+		printLoadResult("mixed-pri int   ", mixedIt)
+		printLoadResult("mixed-pri bg    ", mixedBg)
 		printLoadResult(fmt.Sprintf("router-replica%-2d", *replicas), routed)
 		printReplicaBreakdown(routedStats)
 		if *trace {
@@ -289,6 +338,10 @@ func runServeBench(args []string) {
 		if base.Throughput > 0 {
 			fmt.Printf("batched vs zero-alloc batch-1 pipeline:  %.2fx (%.0f -> %.0f req/s)\n",
 				batched.Throughput/base.Throughput, base.Throughput, batched.Throughput)
+		}
+		if batched.Latency.P99 > 0 {
+			fmt.Printf("interactive p99 under background flood:  %v (vs %v unloaded, bg absorbed %d rejections)\n",
+				mixedIt.Latency.P99, batched.Latency.P99, mixedBg.Rejected)
 		}
 		if batched.Throughput > 0 {
 			fmt.Printf("router (replica x%d) vs single batched:   %.2fx (%.0f -> %.0f req/s)\n",
@@ -415,6 +468,10 @@ func printLoadResult(label string, r serve.LoadResult) {
 	l := r.Latency
 	fmt.Printf("%s  %10.0f req/s   ok=%d rejected=%d errors=%d shed=%d\n",
 		label, r.Throughput, r.Done, r.Rejected, r.Errors, r.Shed)
+	if r.RejectedRateLimited > 0 || r.RejectedCost > 0 {
+		fmt.Printf("%s  rejections by reason: queue_full=%d rate_limited=%d cost_rejected=%d\n",
+			label, r.RejectedQueueFull, r.RejectedRateLimited, r.RejectedCost)
+	}
 	fmt.Printf("%s  latency mean=%v p50=%v p95=%v p99=%v max=%v\n",
 		label, l.Mean, l.P50, l.P95, l.P99, l.Max)
 }

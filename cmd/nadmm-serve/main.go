@@ -92,6 +92,16 @@ func main() {
 
 		sampleEvery = flag.Int("sample-every", 0, "observability sampling period: every Nth request is latency-stamped and trace-captured (0 = default 8, negative disables)")
 		debug       = flag.Bool("debug", false, "mount net/http/pprof under /debug/pprof/ (exposes stack traces; opt-in)")
+
+		admission = flag.String("admission", "none", "admission policy: none, token-bucket (requests/s), or cost (rows x features units/s)")
+		admRate   = flag.Float64("admission-rate", 0, "admission refill rate (requests/s for token-bucket, cost units/s for cost)")
+		admBurst  = flag.Int("admission-burst", 0, "admission burst capacity (0 = max(rate,1))")
+
+		asMin      = flag.Int("autoscale-min", 0, "autoscaler floor (0 = the initial replica count); router with in-process replicas only")
+		asMax      = flag.Int("autoscale-max", 0, "autoscaler ceiling; > 0 enables the in-process autoscaler (replica mode only)")
+		asP99      = flag.Duration("autoscale-target-p99", 0, "latency target driving scale-up (0 tracks utilization only)")
+		asTick     = flag.Duration("autoscale-tick", 0, "autoscaler evaluation period (0 = 1s)")
+		asCooldown = flag.Duration("autoscale-cooldown", 0, "override both scale cooldowns (0 keeps the 3s up / 10s down defaults)")
 	)
 	flag.Parse()
 
@@ -117,8 +127,19 @@ func main() {
 				zones = append(zones, z)
 			}
 		}
-		runRouter(*model, *addr, *shardMode, *wirePlane, joins, zones, *replicas, *perShard, *maxBatch, *linger, *queue, *workers, *sampleEvery, *debug)
+		runRouter(*model, newtonadmm.RouterOptions{
+			Addr: *addr, Replicas: *replicas, ReplicasPerShard: *perShard, Zones: zones,
+			Mode: *shardMode, Join: joins, Wire: *wirePlane,
+			MaxBatch: *maxBatch, Linger: *linger, QueueDepth: *queue, Workers: *workers,
+			ModelPath: *model, SampleEvery: *sampleEvery, Debug: *debug,
+			Admission: *admission, AdmissionRate: *admRate, AdmissionBurst: *admBurst,
+			AutoscaleMin: *asMin, AutoscaleMax: *asMax, AutoscaleTargetP99: *asP99,
+			AutoscaleTick: *asTick, AutoscaleCooldown: *asCooldown,
+		})
 		return
+	}
+	if *asMax > 0 {
+		log.Fatal("-autoscale-max needs a router with in-process replicas (-replicas > 1)")
 	}
 
 	if *model == "" {
@@ -136,6 +157,7 @@ func main() {
 		Workers: *workers, ModelPath: *model, Watch: *watch,
 		ShardIndex: *shardIndex, ShardCount: *shardCount, Zone: *zone,
 		SampleEvery: *sampleEvery, Debug: *debug,
+		Admission: *admission, AdmissionRate: *admRate, AdmissionBurst: *admBurst,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -179,9 +201,9 @@ func main() {
 // runRouter starts the scatter-gather serving tier: in-process replicas
 // built from the checkpoint, or remote replicas joined by URL (with the
 // data plane negotiated per URL scheme).
-func runRouter(model, addr, mode, wirePlane string, joins, zones []string, replicas, perShard, maxBatch int, linger time.Duration, queue, workers, sampleEvery int, debug bool) {
+func runRouter(model string, opts newtonadmm.RouterOptions) {
 	var m *newtonadmm.Model
-	if len(joins) == 0 {
+	if len(opts.Join) == 0 {
 		if model == "" {
 			log.Fatal("router with in-process replicas needs -model (or use -join)")
 		}
@@ -192,25 +214,26 @@ func runRouter(model, addr, mode, wirePlane string, joins, zones []string, repli
 		}
 		log.Printf("loaded %s: %d classes, %d features (solver %s)", model, m.Classes, m.Features, m.Solver)
 	}
-	rs, err := newtonadmm.ServeSharded(m, newtonadmm.RouterOptions{
-		Addr: addr, Replicas: replicas, ReplicasPerShard: perShard, Zones: zones,
-		Mode: mode, Join: joins, Wire: wirePlane,
-		MaxBatch: maxBatch, Linger: linger, QueueDepth: queue, Workers: workers,
-		ModelPath: model, SampleEvery: sampleEvery, Debug: debug,
-	})
+	rs, err := newtonadmm.ServeSharded(m, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer rs.Close()
 	switch {
-	case len(joins) > 0:
+	case len(opts.Join) > 0:
 		log.Printf("routing (%s mode) on %s over %d remote replicas: %s",
-			mode, rs.Addr(), len(joins), strings.Join(joins, ", "))
-	case perShard > 1:
+			opts.Mode, rs.Addr(), len(opts.Join), strings.Join(opts.Join, ", "))
+	case opts.ReplicasPerShard > 1:
 		log.Printf("routing (%s mode) on %s over a %dx%d in-process grid (%d shards x %d siblings)",
-			mode, rs.Addr(), perShard, replicas, replicas, perShard)
+			opts.Mode, rs.Addr(), opts.ReplicasPerShard, opts.Replicas, opts.Replicas, opts.ReplicasPerShard)
 	default:
-		log.Printf("routing (%s mode) on %s over %d in-process replicas", mode, rs.Addr(), replicas)
+		log.Printf("routing (%s mode) on %s over %d in-process replicas", opts.Mode, rs.Addr(), opts.Replicas)
+	}
+	if opts.Admission != "" && opts.Admission != "none" {
+		log.Printf("admission policy %s (rate %g, burst %d)", opts.Admission, opts.AdmissionRate, opts.AdmissionBurst)
+	}
+	if opts.AutoscaleMax > 0 {
+		log.Printf("autoscaler enabled: %d..%d replicas", opts.AutoscaleMin, opts.AutoscaleMax)
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -1,0 +1,67 @@
+package control
+
+// DefaultWeights is the batcher's per-class dequeue weight: of every
+// 21 batch slots filled under saturation, interactive gets 16, batch 4,
+// background 1. Background still always progresses (weight >= 1), so a
+// flood degrades to a bounded share instead of starving — the other
+// half of the starvation bound (the first half is the token bucket's
+// reserve thresholds).
+var DefaultWeights = [NumPriorities]int{16, 4, 1}
+
+// WRR is deterministic credit-based weighted round-robin over the
+// priority classes. It is NOT safe for concurrent use; the batcher's
+// single dequeue goroutine owns it.
+type WRR struct {
+	weights [NumPriorities]int
+	credits [NumPriorities]int
+}
+
+// NewWRR returns a scheduler with the given weights; non-positive
+// entries are clamped to 1 so every class keeps forward progress.
+func NewWRR(weights [NumPriorities]int) *WRR {
+	w := &WRR{}
+	for i, v := range weights {
+		if v <= 0 {
+			v = 1
+		}
+		w.weights[i] = v
+	}
+	w.credits = w.weights
+	return w
+}
+
+// Pick selects the next class to dequeue among those with pending > 0,
+// spending one credit; when every pending class is out of credits the
+// credits replenish to the weights. Returns false when nothing is
+// pending.
+func (w *WRR) Pick(pending func(Priority) int) (Priority, bool) {
+	any := false
+	for c := Priority(0); c < NumPriorities; c++ {
+		if pending(c) > 0 {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return 0, false
+	}
+	for {
+		for c := Priority(0); c < NumPriorities; c++ {
+			if pending(c) > 0 && w.credits[c] > 0 {
+				w.credits[c]--
+				return c, true
+			}
+		}
+		w.credits = w.weights
+	}
+}
+
+// Spend charges one credit to a class dequeued outside Pick (the
+// batcher's blocking first-request receive takes whichever class
+// arrives); the floor keeps a burst of out-of-band receives from
+// going negative.
+func (w *WRR) Spend(c Priority) {
+	if c < NumPriorities && w.credits[c] > 0 {
+		w.credits[c]--
+	}
+}

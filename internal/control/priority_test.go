@@ -1,0 +1,74 @@
+package control
+
+import "testing"
+
+// TestWRRShares: under saturation (every class always pending) the pick
+// distribution is exactly the weights.
+func TestWRRShares(t *testing.T) {
+	w := NewWRR(DefaultWeights)
+	allPending := func(Priority) int { return 1 }
+	var got [NumPriorities]int
+	total := 16 + 4 + 1
+	for i := 0; i < 10*total; i++ {
+		c, ok := w.Pick(allPending)
+		if !ok {
+			t.Fatal("Pick returned false with every class pending")
+		}
+		got[c]++
+	}
+	want := [NumPriorities]int{160, 40, 10}
+	if got != want {
+		t.Fatalf("10 full cycles dequeued %v, want %v", got, want)
+	}
+}
+
+// TestWRRSkipsEmptyClasses: an idle class's credits do not block the
+// others, and a lone pending class is always picked.
+func TestWRRSkipsEmptyClasses(t *testing.T) {
+	w := NewWRR(DefaultWeights)
+	onlyBackground := func(c Priority) int {
+		if c == Background {
+			return 1
+		}
+		return 0
+	}
+	for i := 0; i < 50; i++ {
+		c, ok := w.Pick(onlyBackground)
+		if !ok || c != Background {
+			t.Fatalf("pick %d = (%v, %v), want Background", i, c, ok)
+		}
+	}
+	if _, ok := w.Pick(func(Priority) int { return 0 }); ok {
+		t.Fatal("Pick returned true with nothing pending")
+	}
+}
+
+// TestWRRClampsWeights: non-positive weights clamp to 1 so every class
+// keeps forward progress.
+func TestWRRClampsWeights(t *testing.T) {
+	w := NewWRR([NumPriorities]int{0, -3, 5})
+	allPending := func(Priority) int { return 1 }
+	var got [NumPriorities]int
+	for i := 0; i < 7; i++ { // one full cycle of 1+1+5
+		c, _ := w.Pick(allPending)
+		got[c]++
+	}
+	if got != [NumPriorities]int{1, 1, 5} {
+		t.Fatalf("cycle = %v, want [1 1 5]", got)
+	}
+}
+
+// TestWRRSpend: out-of-band dequeues (the batcher's blocking receive)
+// charge the class's credit, shifting the next cycle accordingly; a
+// burst of spends floors at zero rather than going negative.
+func TestWRRSpend(t *testing.T) {
+	w := NewWRR([NumPriorities]int{2, 1, 1})
+	w.Spend(Interactive)
+	w.Spend(Interactive)
+	w.Spend(Interactive) // would go negative; floors at 0
+	allPending := func(Priority) int { return 1 }
+	c, _ := w.Pick(allPending)
+	if c != Batch {
+		t.Fatalf("after spending interactive's credits, first pick = %v, want Batch", c)
+	}
+}

@@ -1,0 +1,73 @@
+package metrics
+
+import "time"
+
+// Delta windows a cumulative Histogram: each Advance computes quantiles
+// over only the observations recorded since the previous Advance. A
+// control loop needs this — the cumulative p99 never recovers after a
+// load spike, which would wedge any scale-down decision keyed on it —
+// while the histogram itself stays the cheap lock-free cumulative type
+// the hot path records into.
+//
+// Delta is NOT safe for concurrent use; the control loop that owns it
+// calls Advance once per tick.
+type Delta struct {
+	h    *Histogram
+	prev []int64
+	cur  []int64
+}
+
+// NewDelta starts a window over h; the first Advance covers everything
+// observed since this call.
+func NewDelta(h *Histogram) *Delta {
+	d := &Delta{h: h, prev: make([]int64, histBuckets), cur: make([]int64, histBuckets)}
+	for i := range d.prev {
+		d.prev[i] = h.buckets[i].Load()
+	}
+	return d
+}
+
+// Advance closes the current window and returns its observation count
+// and q-quantile (zero when the window is empty). Concurrent Observe
+// calls may land on either side of the boundary — acceptable for a
+// monitoring signal.
+func (d *Delta) Advance(q float64) (count int64, quantile time.Duration) {
+	for i := range d.cur {
+		d.cur[i] = d.h.buckets[i].Load()
+	}
+	var n int64
+	for i := range d.cur {
+		n += d.cur[i] - d.prev[i]
+	}
+	if n > 0 {
+		if q < 0 {
+			q = 0
+		}
+		if q > 1 {
+			q = 1
+		}
+		rank := q * float64(n-1)
+		var seen float64
+		for i := range d.cur {
+			c := float64(d.cur[i] - d.prev[i])
+			if c <= 0 {
+				continue
+			}
+			if seen+c > rank {
+				lo := bucketLower(i)
+				var hi int64
+				if i+1 < histBuckets {
+					hi = bucketLower(i + 1)
+				} else {
+					hi = lo * 2
+				}
+				frac := (rank - seen + 0.5) / c
+				quantile = time.Duration(float64(lo) + frac*float64(hi-lo))
+				break
+			}
+			seen += c
+		}
+	}
+	d.prev, d.cur = d.cur, d.prev
+	return n, quantile
+}

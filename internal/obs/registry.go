@@ -17,9 +17,10 @@ import (
 // through one code path, in one Prometheus-style text exposition, under
 // the canonical nadmm_* names documented in DESIGN.md "Observability".
 //
-// Registration happens at construction time (the fleet is statically
-// sized); rendering reads atomics and snapshot closures, so a scrape
-// never blocks a request.
+// Most rows are registered at construction time; families whose label
+// sets change at runtime (the per-replica rows of an autoscaled pool)
+// register a Collect callback instead. Rendering reads atomics and
+// snapshot closures, so a scrape never blocks a request.
 type Registry struct {
 	mu   sync.Mutex
 	rows []row
@@ -31,6 +32,7 @@ const (
 	kindCounter rowKind = iota
 	kindGauge
 	kindDuration
+	kindCollect
 )
 
 type row struct {
@@ -41,6 +43,7 @@ type row struct {
 	cfn    func() uint64  // kindCounter
 	gfn    func() float64 // kindGauge
 	hist   *metrics.Histogram
+	colfn  func(io.Writer) // kindCollect
 }
 
 // NewRegistry returns an empty registry.
@@ -113,6 +116,30 @@ func (r *Registry) Duration(name, labels, help string, h *metrics.Histogram) {
 	r.add(row{name: name, labels: labels, help: help, kind: kindDuration, hist: h})
 }
 
+// Collect registers a scrape-time collector: fn writes fully formed
+// exposition lines (including any HELP/TYPE comments it wants) into
+// the scrape at this position. It exists for metric families whose
+// label set changes at runtime — the per-replica rows of an autoscaled
+// pool — where construction-time registration would freeze a stale
+// membership.
+func (r *Registry) Collect(fn func(io.Writer)) {
+	r.add(row{kind: kindCollect, colfn: fn})
+}
+
+// FindDuration returns the first histogram registered under name (any
+// labels); control loops use it to window a tier's latency signal
+// without holding a second reference path to the histogram.
+func (r *Registry) FindDuration(name string) (*metrics.Histogram, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.rows {
+		if r.rows[i].kind == kindDuration && r.rows[i].name == name {
+			return r.rows[i].hist, true
+		}
+	}
+	return nil, false
+}
+
 // WriteText renders the exposition: HELP/TYPE comments once per metric
 // family (first registration wins), then one line per row in
 // registration order.
@@ -124,6 +151,10 @@ func (r *Registry) WriteText(w io.Writer) {
 	seen := make(map[string]bool, len(rows))
 	for i := range rows {
 		rw := &rows[i]
+		if rw.kind == kindCollect {
+			rw.colfn(w)
+			continue
+		}
 		if !seen[rw.name] {
 			seen[rw.name] = true
 			if rw.help != "" {

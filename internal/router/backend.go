@@ -3,6 +3,7 @@ package router
 import (
 	"errors"
 
+	"newtonadmm/internal/control"
 	"newtonadmm/internal/obs"
 	"newtonadmm/internal/serve"
 )
@@ -123,6 +124,12 @@ type Batch struct {
 	// the same trace. The party that set it owns finishing it; the
 	// router only adds spans.
 	Trace *obs.Trace
+
+	// Priority is the request's service class (DESIGN.md "Control
+	// plane"). The zero value is interactive, so untouched batches keep
+	// the legacy behavior; backends propagate it to replicas (priority
+	// header on the JSON plane, priority trailer on the binary plane).
+	Priority control.Priority
 }
 
 // AddDense appends one dense row.

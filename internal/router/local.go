@@ -64,10 +64,10 @@ func (l *LocalBackend) submitAll(b *Batch, out []int, probaOut []float64, classe
 		var t serve.Ticket
 		var err error
 		if isSparse {
-			t, err = l.bat.SubmitCSRTraced(b.idx[s], b.val[s], po, trace)
+			t, err = l.bat.SubmitCSRPri(b.idx[s], b.val[s], po, b.Priority, trace)
 			s++
 		} else {
-			t, err = l.bat.SubmitDenseTraced(b.dense[d], po, trace)
+			t, err = l.bat.SubmitDensePri(b.dense[d], po, b.Priority, trace)
 			d++
 		}
 		trace = nil

@@ -134,9 +134,16 @@ func (g *Group) availableCount() int {
 }
 
 // Pool owns the replica set, its shard groups, and the health monitor.
+// Membership is copy-on-write: the replica and group slices are
+// immutable once published, mutators build replacements under memMu,
+// and readers snapshot the current slices — an in-flight scatter keeps
+// scoring against the membership it started with while the autoscaler
+// grows or shrinks the pool.
 type Pool struct {
+	memMu    sync.RWMutex // guards membership (replicas/groups/nextID)
 	replicas []*Replica
 	groups   []*Group
+	nextID   int // next replica ID; IDs are stable and never reused
 
 	mu  sync.Mutex // guards rng
 	rng *rand.Rand
@@ -158,6 +165,7 @@ func newPool(backends []Backend, metas []Meta) *Pool {
 		r.meta.Store(&m)
 		p.replicas = append(p.replicas, r)
 	}
+	p.nextID = len(backends)
 	return p
 }
 
@@ -177,17 +185,108 @@ func (p *Pool) setGroups(plans []GroupPlan) {
 	}
 }
 
-// Groups returns the shard groups in range order (fixed after
-// construction; empty until setGroups).
-func (p *Pool) Groups() []*Group { return p.groups }
+// snapshot returns the current membership. The returned slices are
+// immutable — mutators publish replacements, never edit in place.
+func (p *Pool) snapshot() ([]*Replica, []*Group) {
+	p.memMu.RLock()
+	defer p.memMu.RUnlock()
+	return p.replicas, p.groups
+}
 
-// Replicas returns the pool members (fixed after construction).
-func (p *Pool) Replicas() []*Replica { return p.replicas }
+// byID resolves a replica by its stable ID (IDs survive removals, so
+// they are not slice indices). Returns nil when the ID has left the
+// pool.
+func (p *Pool) byID(id int) *Replica {
+	reps, _ := p.snapshot()
+	for _, r := range reps {
+		if r.ID == id {
+			return r
+		}
+	}
+	return nil
+}
+
+// addReplica grows the pool: the new member (stable fresh ID) joins the
+// given shard group and starts receiving traffic as soon as the new
+// membership publishes. The caller has already probed and validated the
+// meta.
+func (p *Pool) addReplica(b Backend, m Meta, groupID int) *Replica {
+	p.memMu.Lock()
+	defer p.memMu.Unlock()
+	r := &Replica{ID: p.nextID, GroupID: groupID, Zone: m.Zone, backend: b, Latency: metrics.NewHistogram()}
+	p.nextID++
+	mc := m
+	r.meta.Store(&mc)
+	reps := make([]*Replica, len(p.replicas), len(p.replicas)+1)
+	copy(reps, p.replicas)
+	reps = append(reps, r)
+	p.replicas = reps
+	if groupID >= 0 && groupID < len(p.groups) {
+		old := p.groups[groupID]
+		ng := &Group{ID: old.ID, Range: old.Range}
+		ng.members = append(append(ng.members, old.members...), r)
+		groups := make([]*Group, len(p.groups))
+		copy(groups, p.groups)
+		groups[groupID] = ng
+		p.groups = groups
+	}
+	return r
+}
+
+// removeReplica shrinks the pool, returning the removed member (the
+// caller owns closing its backend). In-flight requests that picked the
+// replica from an older snapshot finish normally — removal only stops
+// new snapshots from seeing it. Returns nil when the ID is not pooled.
+func (p *Pool) removeReplica(id int) *Replica {
+	p.memMu.Lock()
+	defer p.memMu.Unlock()
+	var victim *Replica
+	reps := make([]*Replica, 0, len(p.replicas))
+	for _, r := range p.replicas {
+		if r.ID == id {
+			victim = r
+			continue
+		}
+		reps = append(reps, r)
+	}
+	if victim == nil {
+		return nil
+	}
+	p.replicas = reps
+	if gi := victim.GroupID; gi >= 0 && gi < len(p.groups) {
+		old := p.groups[gi]
+		ng := &Group{ID: old.ID, Range: old.Range}
+		for _, r := range old.members {
+			if r.ID != id {
+				ng.members = append(ng.members, r)
+			}
+		}
+		groups := make([]*Group, len(p.groups))
+		copy(groups, p.groups)
+		groups[gi] = ng
+		p.groups = groups
+	}
+	return victim
+}
+
+// Groups returns the current shard groups in range order (empty until
+// setGroups). The slice is an immutable snapshot.
+func (p *Pool) Groups() []*Group {
+	_, groups := p.snapshot()
+	return groups
+}
+
+// Replicas returns the current pool members as an immutable snapshot.
+func (p *Pool) Replicas() []*Replica {
+	reps, _ := p.snapshot()
+	return reps
+}
 
 // Stats snapshots every replica.
 func (p *Pool) Stats() []ReplicaStats {
-	out := make([]ReplicaStats, len(p.replicas))
-	for i, r := range p.replicas {
+	reps, _ := p.snapshot()
+	out := make([]ReplicaStats, len(reps))
+	for i, r := range reps {
 		out[i] = r.Stats()
 	}
 	return out
@@ -225,7 +324,7 @@ func (p *Pool) pickFrom(members []*Replica) *Replica {
 }
 
 // pick selects from the whole pool (replica-balanced mode).
-func (p *Pool) pick() *Replica { return p.pickFrom(p.replicas) }
+func (p *Pool) pick() *Replica { return p.pickFrom(p.Replicas()) }
 
 // failoverOrderFrom returns the available members to try, first choice
 // first: the power-of-two pick, then every other available member.
@@ -269,7 +368,7 @@ func (p *Pool) failoverOrderInto(members []*Replica, buf []*Replica) []*Replica 
 
 // failoverOrder is failoverOrderFrom over the whole pool.
 func (p *Pool) failoverOrder() []*Replica {
-	return p.failoverOrderFrom(p.replicas)
+	return p.failoverOrderFrom(p.Replicas())
 }
 
 // ShardCoverage is one group's serviceability summary for /healthz.
@@ -288,9 +387,10 @@ type ShardCoverage struct {
 // (that shard's partial logits cannot be assembled and class-mode
 // requests fail 503 until a member recovers).
 func (p *Pool) Coverage() (string, []ShardCoverage) {
+	_, groups := p.snapshot()
 	status := "ok"
-	shards := make([]ShardCoverage, len(p.groups))
-	for i, g := range p.groups {
+	shards := make([]ShardCoverage, len(groups))
+	for i, g := range groups {
 		n := g.availableCount()
 		shards[i] = ShardCoverage{
 			Group:   g.ID,
@@ -316,14 +416,18 @@ func (p *Pool) Coverage() (string, []ShardCoverage) {
 // can force the drain; this is the advisory check the admin API applies
 // unless forced.
 func (p *Pool) CanDrain(id int) error {
-	if id < 0 || id >= len(p.replicas) {
+	r := p.byID(id)
+	if r == nil {
 		return fmt.Errorf("router: no replica %d", id)
 	}
-	r := p.replicas[id]
 	if !r.available() || r.GroupID < 0 {
 		return nil
 	}
-	g := p.groups[r.GroupID]
+	_, groups := p.snapshot()
+	if r.GroupID >= len(groups) {
+		return nil
+	}
+	g := groups[r.GroupID]
 	if g.availableCount() <= 1 {
 		return fmt.Errorf("router: replica %d is the last available member of shard group %d [%d,%d); draining it makes the shard unserviceable (use force to override)",
 			id, g.ID, g.Range.Low, g.Range.High)
@@ -336,10 +440,10 @@ func (p *Pool) CanDrain(id int) error {
 // never dropped: requests already executing hold their inflight
 // reference until answered. Draining is sticky until Undrain.
 func (p *Pool) Drain(id int, timeout time.Duration) error {
-	if id < 0 || id >= len(p.replicas) {
+	r := p.byID(id)
+	if r == nil {
 		return fmt.Errorf("router: no replica %d", id)
 	}
-	r := p.replicas[id]
 	r.state.Store(int32(StateDraining))
 	deadline := time.Now().Add(timeout)
 	for r.inflight.Load() > 0 {
@@ -353,10 +457,11 @@ func (p *Pool) Drain(id int, timeout time.Duration) error {
 
 // Undrain returns a draining replica to service.
 func (p *Pool) Undrain(id int) error {
-	if id < 0 || id >= len(p.replicas) {
+	r := p.byID(id)
+	if r == nil {
 		return fmt.Errorf("router: no replica %d", id)
 	}
-	p.replicas[id].state.CompareAndSwap(int32(StateDraining), int32(StateHealthy))
+	r.state.CompareAndSwap(int32(StateDraining), int32(StateHealthy))
 	return nil
 }
 
@@ -377,7 +482,7 @@ func (p *Pool) startHealth(interval time.Duration, failAfter int) {
 			case <-p.stop:
 				return
 			case <-tick.C:
-				for _, r := range p.replicas {
+				for _, r := range p.Replicas() {
 					m, err := r.backend.Meta()
 					if err != nil {
 						if n := r.fails.Add(1); int(n) >= failAfter {
@@ -408,7 +513,7 @@ func (p *Pool) noteRequestError(r *Replica, failAfter int) {
 func (p *Pool) Close() {
 	p.stopOnce.Do(func() { close(p.stop) })
 	p.wg.Wait()
-	for _, r := range p.replicas {
+	for _, r := range p.Replicas() {
 		r.backend.Close()
 	}
 }

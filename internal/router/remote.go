@@ -6,8 +6,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync/atomic"
+	"time"
 
+	"newtonadmm/internal/control"
 	"newtonadmm/internal/obs"
 	"newtonadmm/internal/serve"
 )
@@ -78,11 +81,30 @@ func wireError(status int, body []byte) error {
 	}
 }
 
+// rejection429 reconstructs a replica's admission rejection from its
+// 429 body and Retry-After header, preserving the machine-readable
+// reason across the hop. Bare 429s (legacy replicas) stay the plain
+// queue-full sentinel, so failover treats them identically.
+func rejection429(retryAfterHeader string, body []byte) error {
+	var er struct {
+		Reason string `json:"reason"`
+	}
+	if err := json.Unmarshal(body, &er); err != nil || er.Reason == "" {
+		return serve.ErrQueueFull
+	}
+	re := &serve.RejectionError{Reason: control.ParseReason(er.Reason)}
+	if secs, err := strconv.Atoi(retryAfterHeader); err == nil && secs > 0 {
+		re.RetryAfter = time.Duration(secs) * time.Second
+	}
+	return re
+}
+
 // postJSON posts payload and decodes a 200 response into resp. A
 // non-nil trace rides along as the serve.TraceHeader request header
 // (hex trace ID), the JSON plane's equivalent of the binary plane's
-// trace trailer.
-func (h *HTTPBackend) postJSON(path string, payload, resp any, trace *obs.Trace) error {
+// trace trailer; a non-interactive priority rides as the priority
+// header (absent = interactive keeps legacy requests byte-identical).
+func (h *HTTPBackend) postJSON(path string, payload, resp any, trace *obs.Trace, pri control.Priority) error {
 	body, err := json.Marshal(payload)
 	if err != nil {
 		return err
@@ -96,6 +118,9 @@ func (h *HTTPBackend) postJSON(path string, payload, resp any, trace *obs.Trace)
 	if trace != nil {
 		req.Header.Set(serve.TraceHeader, fmt.Sprintf("%016x", trace.ID))
 	}
+	if pri != control.Interactive && pri.Valid() {
+		req.Header.Set(serve.PriorityHeader, pri.String())
+	}
 	r, err := h.client().Do(req)
 	if err != nil {
 		return fmt.Errorf("%w %s: %v", ErrReplicaUnreachable, h.Base, err)
@@ -103,6 +128,9 @@ func (h *HTTPBackend) postJSON(path string, payload, resp any, trace *obs.Trace)
 	defer r.Body.Close()
 	if r.StatusCode != http.StatusOK {
 		b, _ := io.ReadAll(io.LimitReader(r.Body, 512))
+		if r.StatusCode == http.StatusTooManyRequests {
+			return rejection429(r.Header.Get("Retry-After"), b)
+		}
 		return wireError(r.StatusCode, b)
 	}
 	return json.NewDecoder(countingReader{r: r.Body, n: &h.bytesRecv}).Decode(resp)
@@ -140,7 +168,7 @@ type wirePredictResponse struct {
 // Predict posts the batch to /v1/predict.
 func (h *HTTPBackend) Predict(b *Batch, out []int) error {
 	var resp wirePredictResponse
-	if err := h.postJSON("/v1/predict", map[string]any{"instances": b.instances()}, &resp, b.Trace); err != nil {
+	if err := h.postJSON("/v1/predict", map[string]any{"instances": b.instances()}, &resp, b.Trace, b.Priority); err != nil {
 		return err
 	}
 	if len(resp.Predictions) != b.Rows() {
@@ -153,7 +181,7 @@ func (h *HTTPBackend) Predict(b *Batch, out []int) error {
 // Proba posts the batch to /v1/proba; out is rows x classes.
 func (h *HTTPBackend) Proba(b *Batch, out []float64) error {
 	var resp wirePredictResponse
-	if err := h.postJSON("/v1/proba", map[string]any{"instances": b.instances()}, &resp, b.Trace); err != nil {
+	if err := h.postJSON("/v1/proba", map[string]any{"instances": b.instances()}, &resp, b.Trace, b.Priority); err != nil {
 		return err
 	}
 	if len(resp.Probabilities) != b.Rows() {
@@ -185,7 +213,7 @@ func (h *HTTPBackend) PartialScores(b *Batch, cols int, out []float64) (int64, e
 		Cols         int         `json:"cols"`
 		ModelVersion int64       `json:"model_version"`
 	}
-	if err := h.postJSON("/v1/scores", map[string]any{"instances": b.instances()}, &resp, b.Trace); err != nil {
+	if err := h.postJSON("/v1/scores", map[string]any{"instances": b.instances()}, &resp, b.Trace, b.Priority); err != nil {
 		return 0, err
 	}
 	if resp.Cols != cols {

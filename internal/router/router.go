@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"newtonadmm/internal/control"
 	"newtonadmm/internal/loss"
 	"newtonadmm/internal/metrics"
 	"newtonadmm/internal/obs"
@@ -108,6 +109,14 @@ type Router struct {
 	failovers atomic.Int64
 	skewRetry atomic.Int64
 
+	// Admission control (DESIGN.md "Control plane"): the policy is
+	// evaluated once per client request at scatter time, pricing the
+	// whole batch (rows x features) before any replica is touched — the
+	// second evaluation point after the replica-side batcher's. Swap is
+	// atomic so the policy can change under load.
+	admission  atomic.Pointer[policyBox]
+	admitStats control.RejectStats
+
 	scratch sync.Pool // *[]float64 merge buffers
 
 	// Observability (DESIGN.md "Observability"): StageScatter observes
@@ -197,6 +206,49 @@ func New(backends []Backend, opts Options) (*Router, error) {
 	return r, nil
 }
 
+// policyBox wraps an AdmissionPolicy for atomic.Pointer storage (the
+// interface value itself is two words and cannot be swapped atomically).
+type policyBox struct{ p control.AdmissionPolicy }
+
+// SetAdmission installs (or, with nil, removes) the router-side
+// admission policy. Safe under load: in-flight requests finish against
+// the policy they were admitted by.
+func (r *Router) SetAdmission(p control.AdmissionPolicy) {
+	if p == nil {
+		r.admission.Store(nil)
+		return
+	}
+	r.admission.Store(&policyBox{p: p})
+}
+
+// Admission returns the installed policy, or nil.
+func (r *Router) Admission() control.AdmissionPolicy {
+	if box := r.admission.Load(); box != nil {
+		return box.p
+	}
+	return nil
+}
+
+// AdmissionStats exposes the router's per-reason rejection counters.
+func (r *Router) AdmissionStats() *control.RejectStats { return &r.admitStats }
+
+// admit evaluates the installed policy against the batch, pricing it at
+// rows x features. A rejection is returned as a typed RejectionError
+// (429 with reason + retry-after on both serving planes).
+func (r *Router) admit(b *Batch) error {
+	box := r.admission.Load()
+	if box == nil || box.p == nil {
+		return nil
+	}
+	cost := int64(b.Rows()) * int64(r.features)
+	d := box.p.Admit(cost, b.Priority)
+	if d.Admit {
+		return nil
+	}
+	r.admitStats.Note(d.Reason)
+	return &serve.RejectionError{Reason: d.Reason, RetryAfter: d.RetryAfter}
+}
+
 // Mode returns the placement mode.
 func (r *Router) Mode() Mode { return r.mode }
 
@@ -216,7 +268,7 @@ func (r *Router) Plan() []GroupPlan { return r.plan }
 // Version returns the newest model version any replica reports.
 func (r *Router) Version() int64 {
 	var v int64
-	for _, rep := range r.pool.replicas {
+	for _, rep := range r.pool.Replicas() {
 		if mv := rep.Meta().Version; mv > v {
 			v = mv
 		}
@@ -278,6 +330,9 @@ func (r *Router) Predict(b *Batch, out []int) error {
 	if len(out) < b.Rows() {
 		return fmt.Errorf("router: output buffer has %d slots for %d rows", len(out), b.Rows())
 	}
+	if err := r.admit(b); err != nil {
+		return err
+	}
 	r.requests.Add(1)
 	if r.mode == ModeClass {
 		return r.classScore(b, out, nil)
@@ -294,6 +349,9 @@ func (r *Router) Proba(b *Batch, out []float64, classOut []int) error {
 	}
 	if len(out) < b.Rows()*r.classes {
 		return fmt.Errorf("router: proba buffer has %d entries for %d rows x %d classes", len(out), b.Rows(), r.classes)
+	}
+	if err := r.admit(b); err != nil {
+		return err
 	}
 	r.requests.Add(1)
 	if r.mode == ModeClass {
@@ -325,7 +383,7 @@ func (r *Router) replicaCall(b *Batch, fn func(*Replica) error) error {
 	if bufp == nil {
 		bufp = new([]*Replica)
 	}
-	order := r.pool.failoverOrderInto(r.pool.replicas, *bufp)
+	order := r.pool.failoverOrderInto(r.pool.Replicas(), *bufp)
 	*bufp = order[:0]
 	defer r.orderBufs.Put(bufp)
 	if len(order) == 0 {
@@ -495,7 +553,7 @@ func (r *Router) legWorker(seed *scatterJob) {
 func (r *Router) scatterOnce(b *Batch, scores []float64) error {
 	r.swapMu.RLock()
 	defer r.swapMu.RUnlock()
-	groups := r.pool.groups
+	groups := r.pool.Groups()
 	st := r.getScatterState(len(groups))
 	st.wg.Add(len(groups))
 	for gi, g := range groups {
@@ -626,7 +684,7 @@ func (r *Router) Reload() (int64, error) {
 	defer r.swapMu.Unlock()
 	var latest int64
 	var firstErr error
-	for _, rep := range r.pool.replicas {
+	for _, rep := range r.pool.Replicas() {
 		v, err := rep.backend.Reload()
 		if err != nil {
 			// Best-effort: keep rolling the rest of the fleet forward so
@@ -667,10 +725,13 @@ func (r *Router) Coordinate(fn func() error) error {
 
 // refreshMetasLocked re-probes every backend and checks the fleet still
 // matches the router's plan (same shard tiling and class count in class
-// mode, same shape in replica mode). Caller holds swapMu.
+// mode, same shape in replica mode). Caller holds swapMu; the metas
+// slice is positional over the membership snapshot taken here (replica
+// IDs are stable across removals and no longer usable as indices).
 func (r *Router) refreshMetasLocked() error {
-	metas := make([]Meta, len(r.pool.replicas))
-	for i, rep := range r.pool.replicas {
+	reps, groups := r.pool.snapshot()
+	metas := make([]Meta, len(reps))
+	for i, rep := range reps {
 		m, err := rep.backend.Meta()
 		if err != nil {
 			// Unreachable replicas are the health monitor's problem, not
@@ -688,9 +749,9 @@ func (r *Router) refreshMetasLocked() error {
 		}
 		// The grid must be unchanged: every replica still serves exactly
 		// the range its group was planned for.
-		for _, rep := range r.pool.replicas {
-			g := r.pool.groups[rep.GroupID]
-			m := metas[rep.ID]
+		for i, rep := range reps {
+			g := groups[rep.GroupID]
+			m := metas[i]
 			if (ShardRange{Low: m.ShardLow, High: m.ShardHigh}) != g.Range {
 				return fmt.Errorf("router: replica %d now serves shard [%d,%d), planned [%d,%d)",
 					rep.ID, m.ShardLow, m.ShardHigh, g.Range.Low, g.Range.High)
@@ -703,10 +764,63 @@ func (r *Router) refreshMetasLocked() error {
 		for i, m := range metas {
 			if m.Classes != r.classes || m.Features != r.features {
 				return fmt.Errorf("router: replica %d now serves (%d classes, %d features), router planned (%d, %d)",
-					i, m.Classes, m.Features, r.classes, r.features)
+					reps[i].ID, m.Classes, m.Features, r.classes, r.features)
 			}
 		}
 	}
+	return nil
+}
+
+// AddBackend grows the fleet with a freshly built replica (the
+// autoscaler's scale-up actuator). Replica-balanced mode only: class
+// mode's shard tiling is planned at construction and adding a member
+// would need a placement decision this API does not take. The backend
+// is probed and shape-validated before it joins; on success it starts
+// receiving traffic immediately. Returns the new replica's stable ID.
+func (r *Router) AddBackend(b Backend) (int, error) {
+	if r.mode != ModeReplica {
+		return 0, fmt.Errorf("router: AddBackend requires %q mode (got %q)", ModeReplica, r.mode)
+	}
+	m, err := b.Meta()
+	if err != nil {
+		return 0, fmt.Errorf("router: probing new replica: %w", err)
+	}
+	if m.IsShard() {
+		return 0, fmt.Errorf("router: new replica serves class shard [%d,%d), replica-balanced mode needs full models", m.ShardLow, m.ShardHigh)
+	}
+	if m.Classes != r.classes || m.Features != r.features {
+		return 0, fmt.Errorf("router: new replica shape (%d classes, %d features) != fleet (%d, %d)",
+			m.Classes, m.Features, r.classes, r.features)
+	}
+	// Serialize against Reload/Coordinate so a fleet-wide swap never
+	// interleaves with a membership change.
+	r.swapMu.Lock()
+	defer r.swapMu.Unlock()
+	rep := r.pool.addReplica(b, m, 0)
+	return rep.ID, nil
+}
+
+// RemoveBackend retires a replica without dropping accepted work: the
+// coverage guard (Pool.CanDrain) refuses to remove a shard group's last
+// available member, the drain waits out in-flight requests, and only
+// then is the member unlinked and its backend closed — under the swap
+// lock, so a concurrent Reload can never touch a closed backend. On a
+// drain timeout the replica is undrained and the removal abandoned.
+func (r *Router) RemoveBackend(id int, drainTimeout time.Duration) error {
+	if err := r.pool.CanDrain(id); err != nil {
+		return err
+	}
+	if err := r.pool.Drain(id, drainTimeout); err != nil {
+		r.pool.Undrain(id)
+		return err
+	}
+	r.swapMu.Lock()
+	victim := r.pool.removeReplica(id)
+	r.swapMu.Unlock()
+	if victim == nil {
+		return fmt.Errorf("router: no replica %d", id)
+	}
+	victim.backend.Close()
 	return nil
 }
 

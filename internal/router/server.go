@@ -4,12 +4,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
 	"strconv"
 	"time"
 
+	"newtonadmm/internal/control"
 	"newtonadmm/internal/metrics"
 	"newtonadmm/internal/obs"
 	"newtonadmm/internal/serve"
@@ -108,36 +110,23 @@ func registerRouterMetrics(o *obs.Registry, s *Server, rt *Router) {
 	})
 	o.GaugeFunc("nadmm_model_version", "", "model snapshot version the router plans against",
 		func() float64 { return float64(rt.Version()) })
-	for gi, g := range rt.Pool().Groups() {
-		g := g
-		shard := obs.Label("shard", strconv.Itoa(gi))
-		o.GaugeFunc("nadmm_shard_healthy", shard, "healthy members in this shard group", func() float64 {
-			n := 0
-			for _, rep := range g.Members() {
-				if rep.available() {
-					n++
-				}
+	for _, reason := range []control.Reason{control.ReasonQueueFull, control.ReasonRateLimited, control.ReasonCostRejected} {
+		reason := reason
+		o.CounterFunc("nadmm_admission_rejected_total", obs.Label("reason", reason.String()),
+			"client requests rejected at the router's admission seam, by machine-readable reason",
+			func() uint64 { return rt.AdmissionStats().Count(reason) })
+	}
+	o.GaugeFunc("nadmm_admission_active", "", "1 when an admission policy is installed at the router",
+		func() float64 {
+			if rt.Admission() != nil {
+				return 1
 			}
-			return float64(n)
+			return 0
 		})
-		o.GaugeFunc("nadmm_shard_members", shard, "total members in this shard group",
-			func() float64 { return float64(len(g.Members())) })
-	}
-	for _, rep := range rt.Pool().Replicas() {
-		rep := rep
-		label := obs.Label("replica", strconv.Itoa(rep.ID))
-		o.GaugeFunc("nadmm_replica_state", label, "routing state: 1 healthy, 0 draining, -1 down",
-			func() float64 { return stateValue(rep.State()) })
-		o.CounterFunc("nadmm_replica_done_total", label, "scatter legs completed on this replica",
-			func() uint64 { return uint64(rep.done.Load()) })
-		o.CounterFunc("nadmm_replica_errors_total", label, "scatter legs failed on this replica",
-			func() uint64 { return uint64(rep.errs.Load()) })
-		o.CounterFunc("nadmm_replica_rejected_total", label, "scatter legs rejected by this replica's backpressure",
-			func() uint64 { return uint64(rep.rejected.Load()) })
-		o.GaugeFunc("nadmm_replica_inflight", label, "router requests currently executing on this replica",
-			func() float64 { return float64(rep.InFlight()) })
-		o.Duration("nadmm_leg_latency", label, "scatter-leg round-trip to this replica", rep.Latency)
-	}
+	// The pool's membership changes at runtime (autoscaling), so the
+	// per-shard and per-replica families render through a scrape-time
+	// collector over the live snapshot instead of construction-time rows.
+	o.Collect(func(w io.Writer) { collectPoolMetrics(w, rt) })
 	o.Duration("nadmm_request_latency", "", "sampled end-to-end client-request latency at the router", s.latency)
 	o.Duration("nadmm_stage_scatter", "", "per-leg scatter round-trip (all replicas)", rt.StageScatter)
 	o.Duration("nadmm_stage_merge", "", "partial-tile merge time of class-sharded gathers", rt.StageMerge)
@@ -147,14 +136,93 @@ func registerRouterMetrics(o *obs.Registry, s *Server, rt *Router) {
 		func() float64 { return float64(runtime.NumGoroutine()) })
 }
 
+// collectPoolMetrics renders the per-shard and per-replica metric
+// families over the pool's current membership. Registered as a
+// scrape-time collector because AddBackend/RemoveBackend change the
+// label sets while the server runs; each scrape emits exactly the live
+// rows, and a removed replica's rows disappear with it.
+func collectPoolMetrics(w io.Writer, rt *Router) {
+	groups := rt.Pool().Groups()
+	fmt.Fprint(w, "# HELP nadmm_shard_healthy healthy members in this shard group\n# TYPE nadmm_shard_healthy gauge\n")
+	for gi, g := range groups {
+		n := 0
+		for _, rep := range g.Members() {
+			if rep.available() {
+				n++
+			}
+		}
+		fmt.Fprintf(w, "nadmm_shard_healthy{shard=\"%d\"} %d\n", gi, n)
+	}
+	fmt.Fprint(w, "# TYPE nadmm_shard_members gauge\n")
+	for gi, g := range groups {
+		fmt.Fprintf(w, "nadmm_shard_members{shard=\"%d\"} %d\n", gi, len(g.Members()))
+	}
+	reps := rt.Pool().Replicas()
+	fmt.Fprint(w, "# HELP nadmm_replica_state routing state: 1 healthy, 0 draining, -1 down\n# TYPE nadmm_replica_state gauge\n")
+	for _, rep := range reps {
+		fmt.Fprintf(w, "nadmm_replica_state{replica=\"%d\"} %s\n", rep.ID, formatGauge(stateValue(rep.State())))
+	}
+	fmt.Fprint(w, "# TYPE nadmm_replica_done_total counter\n")
+	for _, rep := range reps {
+		fmt.Fprintf(w, "nadmm_replica_done_total{replica=\"%d\"} %d\n", rep.ID, rep.done.Load())
+	}
+	fmt.Fprint(w, "# TYPE nadmm_replica_errors_total counter\n")
+	for _, rep := range reps {
+		fmt.Fprintf(w, "nadmm_replica_errors_total{replica=\"%d\"} %d\n", rep.ID, rep.errs.Load())
+	}
+	fmt.Fprint(w, "# TYPE nadmm_replica_rejected_total counter\n")
+	for _, rep := range reps {
+		fmt.Fprintf(w, "nadmm_replica_rejected_total{replica=\"%d\"} %d\n", rep.ID, rep.rejected.Load())
+	}
+	fmt.Fprint(w, "# TYPE nadmm_replica_inflight gauge\n")
+	for _, rep := range reps {
+		fmt.Fprintf(w, "nadmm_replica_inflight{replica=\"%d\"} %d\n", rep.ID, rep.InFlight())
+	}
+	for _, rep := range reps {
+		hs := rep.Latency.Snapshot()
+		label := fmt.Sprintf("{replica=\"%d\"}", rep.ID)
+		fmt.Fprintf(w, "nadmm_leg_latency_count%s %d\n", label, hs.Count)
+		fmt.Fprintf(w, "nadmm_leg_latency_mean_seconds%s %.9f\n", label, hs.Mean.Seconds())
+		fmt.Fprintf(w, "nadmm_leg_latency_p50_seconds%s %.9f\n", label, hs.P50.Seconds())
+		fmt.Fprintf(w, "nadmm_leg_latency_p95_seconds%s %.9f\n", label, hs.P95.Seconds())
+		fmt.Fprintf(w, "nadmm_leg_latency_p99_seconds%s %.9f\n", label, hs.P99.Seconds())
+		fmt.Fprintf(w, "nadmm_leg_latency_max_seconds%s %.9f\n", label, hs.Max.Seconds())
+	}
+}
+
+// formatGauge matches the registry's integral-gauge rendering so
+// collected rows grep the same as registered ones.
+func formatGauge(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', 9, 64)
+}
+
+// RegisterAutoscaler adds the autoscaler's rows to /metricz. Called by
+// the fleet bootstrap once the control loop exists; a fleet without one
+// simply has no nadmm_autoscale_* family.
+func (s *Server) RegisterAutoscaler(a *control.Autoscaler) {
+	s.obsReg.GaugeFunc("nadmm_autoscale_replicas", "", "replica count as of the last autoscaler evaluation",
+		func() float64 { return float64(a.Replicas()) })
+	s.obsReg.CounterFunc("nadmm_autoscale_ups_total", "", "successful autoscaler scale-ups", a.Ups)
+	s.obsReg.CounterFunc("nadmm_autoscale_downs_total", "", "successful autoscaler scale-downs", a.Downs)
+	s.obsReg.CounterFunc("nadmm_autoscale_failures_total", "", "scaling actions refused or failed (drain guard, spawn error)", a.Failures)
+}
+
 // Handler returns the root http.Handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // Router returns the underlying router (tests, stats).
 func (s *Server) Router() *Router { return s.rt }
 
+// Obs returns the router tier's metrics registry — the autoscaler's
+// snapshot source windows nadmm_request_latency out of it.
+func (s *Server) Obs() *obs.Registry { return s.obsReg }
+
 type errorResponse struct {
-	Error string `json:"error"`
+	Error  string `json:"error"`
+	Reason string `json:"reason,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -165,6 +233,32 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// writeRouteError renders err through statusFor; a 429 additionally
+// carries the machine-readable rejection reason in the body and, when
+// the admission policy computed a refill horizon, a Retry-After header
+// (whole seconds, rounded up, min 1) — the same envelope the replica
+// tier emits, so clients see one shape regardless of which seam
+// rejected them.
+func writeRouteError(w http.ResponseWriter, err error) {
+	status := statusFor(err)
+	if status != http.StatusTooManyRequests {
+		writeError(w, status, "%v", err)
+		return
+	}
+	reason, retryAfter, ok := serve.RejectionOf(err)
+	if !ok {
+		reason = control.ReasonQueueFull
+	}
+	if retryAfter > 0 {
+		secs := int64((retryAfter + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
+	writeJSON(w, status, errorResponse{Error: err.Error(), Reason: reason.String()})
 }
 
 // statusFor extends the single-node error mapping with the router's
@@ -209,7 +303,13 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request, proba boo
 		writeError(w, http.StatusBadRequest, "no instances")
 		return
 	}
+	pri, perr := control.ParsePriority(r.Header.Get(serve.PriorityHeader))
+	if perr != nil {
+		writeError(w, http.StatusBadRequest, "%v", perr)
+		return
+	}
 	var b Batch
+	b.Priority = pri
 	for i, raw := range req.Instances {
 		inst, err := serve.ParseInstance(raw)
 		if err != nil {
@@ -251,7 +351,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request, proba boo
 		err = s.rt.Predict(&b, resp.Predictions)
 	}
 	if err != nil {
-		writeError(w, statusFor(err), "%v", err)
+		writeRouteError(w, err)
 		finish()
 		return
 	}

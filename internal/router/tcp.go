@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"newtonadmm/internal/control"
 	"newtonadmm/internal/serve"
 	"newtonadmm/internal/wire"
 )
@@ -355,10 +356,22 @@ func (t *TCPBackend) roundTrip(encode func(corr uint64, e *wire.Encoder)) (wire.
 
 // errorForCode maps an error frame back to the router's taxonomy — the
 // inverse of the frame server's wireCodeFor, keeping the binary plane's
-// failover semantics identical to the JSON plane's status mapping.
-func (t *TCPBackend) errorForCode(code wire.ErrCode, msg string) error {
+// failover semantics identical to the JSON plane's status mapping. A
+// queue-full frame carrying the admission detail trailer reconstructs
+// the replica's typed rejection (reason + retry-after hint); without
+// one it stays the plain sentinel, so legacy replicas fail over
+// identically.
+func (t *TCPBackend) errorForCode(code wire.ErrCode, msg string, detail wire.ErrDetail, retryAfter time.Duration) error {
 	switch code {
 	case wire.CodeQueueFull:
+		switch detail {
+		case wire.DetailRateLimited:
+			return &serve.RejectionError{Reason: control.ReasonRateLimited, RetryAfter: retryAfter}
+		case wire.DetailCostRejected:
+			return &serve.RejectionError{Reason: control.ReasonCostRejected, RetryAfter: retryAfter}
+		case wire.DetailQueueFull:
+			return &serve.RejectionError{Reason: control.ReasonQueueFull, RetryAfter: retryAfter}
+		}
 		return serve.ErrQueueFull
 	case wire.CodeNoModel:
 		return fmt.Errorf("%w (replica: %s)", serve.ErrNoModel, msg)
@@ -379,11 +392,11 @@ func (t *TCPBackend) expect(op wire.Op, gotOp wire.Op, payload []byte, release f
 	}
 	defer release()
 	if gotOp == wire.OpError {
-		code, msg, err := wire.DecodeError(payload)
+		code, msg, detail, retryAfter, err := wire.DecodeErrorDetail(payload)
 		if err != nil {
 			return fmt.Errorf("%w %s: undecodable error frame: %v", ErrReplicaUnreachable, t.Addr, err)
 		}
-		return t.errorForCode(code, msg)
+		return t.errorForCode(code, msg, detail, retryAfter)
 	}
 	return fmt.Errorf("%w %s: response opcode %#x, want %#x", ErrReplicaUnreachable, t.Addr, gotOp, op)
 }
@@ -413,6 +426,9 @@ func validateBatch(b *Batch) (features int, err error) {
 	for _, idx := range b.idx {
 		payload += 1 + 4 + 12*len(idx)
 	}
+	if b.Priority != control.Interactive {
+		payload += wire.PriorityTrailerSize
+	}
 	if b.Trace != nil {
 		payload += wire.TraceTrailerSize
 	}
@@ -422,8 +438,11 @@ func validateBatch(b *Batch) (features int, err error) {
 	return features, nil
 }
 
-// encodeBatch writes a batch request frame. A sampled request carries
-// its trace ID in the frame's trace trailer (DESIGN.md
+// encodeBatch writes a batch request frame. A non-interactive request
+// carries its service class in the priority trailer (appended before
+// the trace trailer, per the wire layout); an interactive one omits it,
+// keeping the frame byte-identical to pre-priority traffic. A sampled
+// request carries its trace ID in the frame's trace trailer (DESIGN.md
 // "Observability"), so replica-side spans stitch to the router's trace.
 func encodeBatch(e *wire.Encoder, op wire.Op, corr uint64, b *Batch, features, cols int) {
 	e.Begin(op, corr)
@@ -437,6 +456,9 @@ func encodeBatch(e *wire.Encoder, op wire.Op, corr uint64, b *Batch, features, c
 			e.DenseRow(b.dense[d])
 			d++
 		}
+	}
+	if b.Priority != control.Interactive {
+		e.PriorityTrailer(uint8(b.Priority))
 	}
 	if b.Trace != nil {
 		e.TraceTrailer(b.Trace.ID, true)

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"newtonadmm/internal/control"
 	"newtonadmm/internal/metrics"
 	"newtonadmm/internal/obs"
 )
@@ -27,6 +28,43 @@ var (
 	// (the HTTP layer maps this to 503, not 4xx).
 	ErrModelShapeChanged = errors.New("serve: model shape changed by hot swap; retry")
 )
+
+// RejectionError is a typed admission rejection — the 429 class with a
+// machine-readable reason and an optional Retry-After hint (a token
+// bucket's refill time). Its Is method matches ErrQueueFull, so every
+// pre-control-plane backpressure consumer (router failover, HTTP
+// status mapping, load-generator counters) keeps treating policy
+// rejections as the load signal they are.
+type RejectionError struct {
+	Reason     control.Reason
+	RetryAfter time.Duration
+}
+
+func (e *RejectionError) Error() string {
+	if e.RetryAfter > 0 {
+		return fmt.Sprintf("serve: admission rejected (%s, retry after %v)", e.Reason, e.RetryAfter)
+	}
+	return fmt.Sprintf("serve: admission rejected (%s)", e.Reason)
+}
+
+// Is reports rejection errors as ErrQueueFull for errors.Is, keeping
+// the single backpressure sentinel every consumer already switches on.
+func (e *RejectionError) Is(target error) bool { return target == ErrQueueFull }
+
+// RejectionOf extracts the machine-readable rejection reason and retry
+// hint from an error chain. A bare ErrQueueFull (the bounded queue's
+// own backpressure) reports queue_full with no hint; a non-rejection
+// error reports ok = false.
+func RejectionOf(err error) (reason control.Reason, retryAfter time.Duration, ok bool) {
+	var re *RejectionError
+	if errors.As(err, &re) {
+		return re.Reason, re.RetryAfter, true
+	}
+	if errors.Is(err, ErrQueueFull) {
+		return control.ReasonQueueFull, 0, true
+	}
+	return control.ReasonNone, 0, false
+}
 
 // Scorer is the batch-scoring surface the batcher drives; *Predictor is
 // the production implementation. Tests substitute fakes to exercise
@@ -57,7 +95,10 @@ type BatcherConfig struct {
 	// lingering (launch as soon as the queue is drained), 0 selects
 	// 200µs.
 	MaxLinger time.Duration
-	// QueueDepth bounds the admission queue; <= 0 selects 4*MaxBatch.
+	// QueueDepth bounds the admission queue PER PRIORITY CLASS; <= 0
+	// selects 4*MaxBatch. Per-class capacity isolation is deliberate: a
+	// background flood filling its own queue cannot occupy interactive
+	// slots, so interactive 429s stay a function of interactive load.
 	QueueDepth int
 	// SampleEvery is the observation stride shared by the server-side
 	// latency histogram and trace sampling: 1 in SampleEvery requests is
@@ -65,6 +106,14 @@ type BatcherConfig struct {
 	// selects DefaultSampleEvery (the historical 1-in-8); < 0 disables
 	// sampling entirely (the effective value is then 0).
 	SampleEvery int
+	// Admission, when non-nil, is evaluated on every submit before a
+	// queue slot is taken; rejections surface as *RejectionError (the
+	// 429 class). Swappable at runtime with SetPolicy.
+	Admission control.AdmissionPolicy
+	// PriorityWeights is the per-class dequeue weight of the weighted
+	// round-robin scheduler; an all-zero value selects
+	// control.DefaultWeights (16/4/1).
+	PriorityWeights [control.NumPriorities]int
 }
 
 // DefaultSampleEvery is the default latency/trace sampling stride.
@@ -89,6 +138,9 @@ func (c BatcherConfig) withDefaults() BatcherConfig {
 	if c.SampleEvery < 0 {
 		c.SampleEvery = 0
 	}
+	if c.PriorityWeights == ([control.NumPriorities]int{}) {
+		c.PriorityWeights = control.DefaultWeights
+	}
 	return c
 }
 
@@ -105,6 +157,10 @@ type request struct {
 	// probaOut non-nil requests the full probability vector (length
 	// Classes); the batcher copies the row's probabilities into it.
 	probaOut []float64
+
+	// pri is the request's service class; the zero value (Interactive)
+	// is the legacy default for untagged traffic.
+	pri control.Priority
 
 	class int
 	err   error
@@ -142,8 +198,23 @@ type Batcher struct {
 	cfg    BatcherConfig
 	source ScorerSource
 
-	queue chan *request
-	stop  chan struct{}
+	// queues holds one bounded admission queue per priority class; the
+	// loop dequeues across them with deterministic weighted round-robin
+	// (wrr), so a background flood degrades to its weight's share of
+	// batch slots instead of starving interactive requests.
+	queues [control.NumPriorities]chan *request
+	stop   chan struct{}
+
+	// policy is the admission policy evaluated on every submit, held in
+	// an atomic pointer so SetPolicy swaps it race-free under load. A
+	// nil pointer means open admission.
+	policy      atomic.Pointer[policyBox]
+	rejectStats control.RejectStats
+
+	// wrr and lenFn are loop-goroutine state (lenFn is pre-bound so the
+	// hot dequeue path does not allocate a method-value closure).
+	wrr   *control.WRR
+	lenFn func(control.Priority) int
 
 	// closeMu guards the closed flag vs. in-flight submits: Submit holds
 	// the read side while enqueueing, Close takes the write side before
@@ -186,6 +257,10 @@ type Batcher struct {
 	outProba []float64
 }
 
+// policyBox wraps the AdmissionPolicy interface value so it can live
+// in an atomic.Pointer (lock-free policy swap under concurrent load).
+type policyBox struct{ p control.AdmissionPolicy }
+
 // NewBatcher starts the batching loop over the given scorer source.
 func NewBatcher(source ScorerSource, cfg BatcherConfig) *Batcher {
 	b := &Batcher{
@@ -199,11 +274,48 @@ func NewBatcher(source ScorerSource, cfg BatcherConfig) *Batcher {
 		StageExecute: metrics.NewHistogram(),
 		rec:          obs.NewRecorder(0),
 	}
-	b.queue = make(chan *request, b.cfg.QueueDepth)
+	for c := range b.queues {
+		b.queues[c] = make(chan *request, b.cfg.QueueDepth)
+	}
+	b.wrr = control.NewWRR(b.cfg.PriorityWeights)
+	b.lenFn = func(c control.Priority) int { return len(b.queues[c]) }
+	b.SetPolicy(b.cfg.Admission)
 	b.pool.New = func() any { return &request{done: make(chan struct{}, 1)} }
 	b.wg.Add(1)
 	go b.loop()
 	return b
+}
+
+// SetPolicy installs or swaps the admission policy evaluated on every
+// submit; nil opens admission. Safe to call under concurrent load —
+// in-flight submits see either the old or the new policy.
+func (b *Batcher) SetPolicy(p control.AdmissionPolicy) {
+	if p == nil {
+		b.policy.Store(nil)
+		return
+	}
+	b.policy.Store(&policyBox{p: p})
+}
+
+// Policy returns the installed admission policy (nil when open).
+func (b *Batcher) Policy() control.AdmissionPolicy {
+	if box := b.policy.Load(); box != nil {
+		return box.p
+	}
+	return nil
+}
+
+// AdmissionStats returns the per-reason rejection counters (shared
+// with the registry rows; read-only for callers).
+func (b *Batcher) AdmissionStats() *control.RejectStats { return &b.rejectStats }
+
+// QueueLen returns the number of requests waiting in one priority
+// class's queue — the nadmm_priority_queue_depth gauge source.
+func (b *Batcher) QueueLen(pri control.Priority) int {
+	if !pri.Valid() {
+		return 0
+	}
+	return len(b.queues[pri])
 }
 
 // Config returns the effective (defaulted) configuration.
@@ -267,6 +379,7 @@ func (b *Batcher) getReq() *request {
 // ticket).
 func (b *Batcher) putReq(r *request) {
 	r.dense, r.idx, r.val, r.probaOut = nil, nil, nil, nil
+	r.pri = control.Interactive
 	r.class, r.err = 0, nil
 	r.enq, r.deq = time.Time{}, time.Time{}
 	r.trace, r.ownTrace = nil, false
@@ -277,12 +390,35 @@ func (b *Batcher) putReq(r *request) {
 	b.pool.Put(r)
 }
 
-// submit enqueues r with backpressure; it never blocks.
+// cost prices one request for the admission policy: rows x features
+// with rows = 1, where a sparse row's width is its nonzero count.
+func (r *request) cost() int64 {
+	if r.dense != nil {
+		return int64(len(r.dense))
+	}
+	return int64(len(r.idx))
+}
+
+// submit enqueues r with backpressure; it never blocks. Every reject
+// path is strictly no-publish: the rejection counters are bumped only
+// after the request carries no observable state (no trace, no
+// timestamps, no queue slot), so the pooled object the caller recycles
+// is already inert — the old order recycled state a -race stress run
+// could observe mid-reset.
 func (b *Batcher) submit(r *request) error {
 	b.closeMu.RLock()
 	defer b.closeMu.RUnlock()
 	if b.closed {
 		return ErrClosed
+	}
+	if box := b.policy.Load(); box != nil {
+		if d := box.p.Admit(r.cost(), r.pri); !d.Admit {
+			// Policy rejection: evaluated before any stamp or queue
+			// slot, so nothing to unwind.
+			b.rejected.Add(1)
+			b.rejectStats.Note(d.Reason)
+			return &RejectionError{Reason: d.Reason, RetryAfter: d.RetryAfter}
+		}
 	}
 	if r.trace != nil {
 		// A propagated trace (the replica leg of a routed request) is
@@ -294,17 +430,21 @@ func (b *Batcher) submit(r *request) error {
 		r.ownTrace = true
 	}
 	select {
-	case b.queue <- r:
+	case b.queues[r.pri] <- r:
 		b.submitted.Add(1)
 		return nil
 	default:
-		b.rejected.Add(1)
-		if r.ownTrace {
-			b.rec.Discard(r.trace)
-			r.trace, r.ownTrace = nil, false
-		}
-		return ErrQueueFull
 	}
+	// Queue overflow: unwind the stamps and the trace BEFORE counting
+	// the rejection, restoring the no-publish invariant.
+	if r.ownTrace {
+		b.rec.Discard(r.trace)
+	}
+	r.trace, r.ownTrace = nil, false
+	r.enq = time.Time{}
+	b.rejected.Add(1)
+	b.rejectStats.Note(control.ReasonQueueFull)
+	return ErrQueueFull
 }
 
 // Ticket is a handle for one submitted request; Wait blocks for the
@@ -330,29 +470,12 @@ func (t Ticket) Wait() (int, error) {
 // batch partition); an explicit all-zero row is a zero-filled slice of
 // Features entries, or SubmitCSR with empty indices/values.
 func (b *Batcher) SubmitDense(row []float64, probaOut []float64) (Ticket, error) {
-	if row == nil {
-		return Ticket{}, errors.New("serve: nil dense row")
-	}
-	r := b.getReq()
-	r.dense = row
-	r.probaOut = probaOut
-	if err := b.submit(r); err != nil {
-		b.putReq(r)
-		return Ticket{}, err
-	}
-	return Ticket{r: r, b: b}, nil
+	return b.SubmitDensePri(row, probaOut, control.Interactive, nil)
 }
 
 // SubmitCSR enqueues one sparse row (strictly increasing indices).
 func (b *Batcher) SubmitCSR(idx []int, val []float64, probaOut []float64) (Ticket, error) {
-	r := b.getReq()
-	r.idx, r.val = idx, val
-	r.probaOut = probaOut
-	if err := b.submit(r); err != nil {
-		b.putReq(r)
-		return Ticket{}, err
-	}
-	return Ticket{r: r, b: b}, nil
+	return b.SubmitCSRPri(idx, val, probaOut, control.Interactive, nil)
 }
 
 // SubmitDenseTraced is SubmitDense with a caller-owned trace attached:
@@ -362,15 +485,29 @@ func (b *Batcher) SubmitCSR(idx []int, val []float64, probaOut []float64) (Ticke
 // frame with the trace trailer, or a routed in-process request) picks
 // up replica-side stages.
 func (b *Batcher) SubmitDenseTraced(row []float64, probaOut []float64, tr *obs.Trace) (Ticket, error) {
-	if tr == nil {
-		return b.SubmitDense(row, probaOut)
-	}
+	return b.SubmitDensePri(row, probaOut, control.Interactive, tr)
+}
+
+// SubmitCSRTraced is SubmitCSR with a caller-owned trace attached.
+func (b *Batcher) SubmitCSRTraced(idx []int, val []float64, probaOut []float64, tr *obs.Trace) (Ticket, error) {
+	return b.SubmitCSRPri(idx, val, probaOut, control.Interactive, tr)
+}
+
+// SubmitDensePri is the full-control submit: service class plus an
+// optional caller-owned trace (nil tr falls back to the batcher's own
+// sampling). An invalid class is clamped to Interactive — the wire and
+// HTTP layers validate before reaching here.
+func (b *Batcher) SubmitDensePri(row []float64, probaOut []float64, pri control.Priority, tr *obs.Trace) (Ticket, error) {
 	if row == nil {
 		return Ticket{}, errors.New("serve: nil dense row")
+	}
+	if !pri.Valid() {
+		pri = control.Interactive
 	}
 	r := b.getReq()
 	r.dense = row
 	r.probaOut = probaOut
+	r.pri = pri
 	r.trace = tr
 	if err := b.submit(r); err != nil {
 		b.putReq(r)
@@ -379,14 +516,15 @@ func (b *Batcher) SubmitDenseTraced(row []float64, probaOut []float64, tr *obs.T
 	return Ticket{r: r, b: b}, nil
 }
 
-// SubmitCSRTraced is SubmitCSR with a caller-owned trace attached.
-func (b *Batcher) SubmitCSRTraced(idx []int, val []float64, probaOut []float64, tr *obs.Trace) (Ticket, error) {
-	if tr == nil {
-		return b.SubmitCSR(idx, val, probaOut)
+// SubmitCSRPri is SubmitDensePri for one sparse row.
+func (b *Batcher) SubmitCSRPri(idx []int, val []float64, probaOut []float64, pri control.Priority, tr *obs.Trace) (Ticket, error) {
+	if !pri.Valid() {
+		pri = control.Interactive
 	}
 	r := b.getReq()
 	r.idx, r.val = idx, val
 	r.probaOut = probaOut
+	r.pri = pri
 	r.trace = tr
 	if err := b.submit(r); err != nil {
 		b.putReq(r)
@@ -441,13 +579,23 @@ func (b *Batcher) loop() {
 		<-timer.C
 	}
 	for {
-		// Block for the first request of the next batch.
-		var first *request
-		select {
-		case first = <-b.queue:
-		case <-b.stop:
-			b.drainReject()
-			return
+		// First request of the next batch: weighted pick when work is
+		// already pending, else block on all three class queues. The
+		// blocking select takes whichever class arrives (charged via
+		// Spend), so an idle batcher never adds scheduling latency.
+		first, ok := b.takeWeighted()
+		if !ok {
+			select {
+			case first = <-b.queues[control.Interactive]:
+				b.wrr.Spend(control.Interactive)
+			case first = <-b.queues[control.Batch]:
+				b.wrr.Spend(control.Batch)
+			case first = <-b.queues[control.Background]:
+				b.wrr.Spend(control.Background)
+			case <-b.stop:
+				b.drainReject()
+				return
+			}
 		}
 		b.noteDequeue(first)
 		b.batch = append(b.batch[:0], first)
@@ -461,19 +609,36 @@ func (b *Batcher) loop() {
 	}
 }
 
-// fill grows the current batch to MaxBatch: greedy non-blocking drain
+// takeWeighted dequeues one pending request under the credit scheduler,
+// or reports that all three class queues are empty. The loop goroutine
+// is the only receiver, so a queue Pick saw as non-empty still holds
+// the request when we receive from it.
+func (b *Batcher) takeWeighted() (*request, bool) {
+	c, ok := b.wrr.Pick(b.lenFn)
+	if !ok {
+		return nil, false
+	}
+	select {
+	case r := <-b.queues[c]:
+		return r, true
+	default:
+		// Unreachable while loop() is the sole consumer; fail soft
+		// rather than block if that invariant is ever broken.
+		return nil, false
+	}
+}
+
+// fill grows the current batch to MaxBatch: greedy weighted drain
 // first, then a linger window measured from the first request's arrival.
 // Returns true when shutdown was requested mid-fill.
 func (b *Batcher) fill(timer *time.Timer) bool {
 	for len(b.batch) < b.cfg.MaxBatch {
-		select {
-		case r := <-b.queue:
-			b.noteDequeue(r)
-			b.batch = append(b.batch, r)
-			continue
-		default:
+		r, ok := b.takeWeighted()
+		if !ok {
+			break
 		}
-		break
+		b.noteDequeue(r)
+		b.batch = append(b.batch, r)
 	}
 	if len(b.batch) >= b.cfg.MaxBatch || b.cfg.MaxLinger <= 0 {
 		return false
@@ -491,14 +656,31 @@ func (b *Batcher) fill(timer *time.Timer) bool {
 		}
 	}()
 	for len(b.batch) < b.cfg.MaxBatch {
+		var r *request
 		select {
-		case r := <-b.queue:
-			b.noteDequeue(r)
-			b.batch = append(b.batch, r)
+		case r = <-b.queues[control.Interactive]:
+			b.wrr.Spend(control.Interactive)
+		case r = <-b.queues[control.Batch]:
+			b.wrr.Spend(control.Batch)
+		case r = <-b.queues[control.Background]:
+			b.wrr.Spend(control.Background)
 		case <-timer.C:
 			return false
 		case <-b.stop:
 			return true
+		}
+		b.noteDequeue(r)
+		b.batch = append(b.batch, r)
+		// A linger arrival often rides a burst; drain it under the
+		// scheduler so the weights, not select's coin flip, decide who
+		// fills the remaining slots.
+		for len(b.batch) < b.cfg.MaxBatch {
+			r, ok := b.takeWeighted()
+			if !ok {
+				break
+			}
+			b.noteDequeue(r)
+			b.batch = append(b.batch, r)
 		}
 	}
 	return false
@@ -518,13 +700,16 @@ func (b *Batcher) noteDequeue(r *request) {
 
 // drainReject answers every request still queued after shutdown.
 func (b *Batcher) drainReject() {
-	for {
-		select {
-		case r := <-b.queue:
-			r.err = ErrClosed
-			b.finish(r)
-		default:
-			return
+	for c := range b.queues {
+		for {
+			select {
+			case r := <-b.queues[c]:
+				r.err = ErrClosed
+				b.finish(r)
+				continue
+			default:
+			}
+			break
 		}
 	}
 }

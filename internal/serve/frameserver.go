@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"newtonadmm/internal/control"
 	"newtonadmm/internal/obs"
 	"newtonadmm/internal/wire"
 )
@@ -156,6 +157,25 @@ func wireCodeFor(err error) wire.ErrCode {
 	}
 }
 
+// wireDetailFor extracts the admission rejection detail carried by a
+// serving error: the wire-level ErrDetail code plus the policy's
+// retry-after hint. Non-rejection errors map to DetailNone, which
+// ErrorDetail encodes as a legacy error payload.
+func wireDetailFor(err error) (wire.ErrDetail, time.Duration) {
+	reason, retryAfter, ok := RejectionOf(err)
+	if !ok {
+		return wire.DetailNone, 0
+	}
+	switch reason {
+	case control.ReasonRateLimited:
+		return wire.DetailRateLimited, retryAfter
+	case control.ReasonCostRejected:
+		return wire.DetailCostRejected, retryAfter
+	default:
+		return wire.DetailQueueFull, retryAfter
+	}
+}
+
 // remoteTrace adopts a trace propagated over the wire: a nonzero
 // sampled ID starts a span collection on this replica's recorder under
 // the router's trace ID, so the fleet's traces stitch across processes.
@@ -173,13 +193,20 @@ func (s *FrameServer) handleFrame(h wire.Header, payload []byte, st *connState) 
 		st.enc.Begin(wire.OpError, h.Corr)
 		st.enc.Error(code, fmt.Sprintf(format, args...))
 	}
-	// The trace trailer rides at the payload's end on any flagged frame;
-	// strip it before opcode-specific decoding.
+	// The trailers ride at the payload's end on any flagged frame;
+	// strip in reverse append order — trace first, then priority —
+	// before opcode-specific decoding.
 	payload, traceID, sampled, err := wire.SplitTraceTrailer(h, payload)
 	if err != nil {
 		fail(wire.CodeBadRequest, "%v", err)
 		return
 	}
+	payload, priByte, err := wire.SplitPriorityTrailer(h, payload)
+	if err != nil {
+		fail(wire.CodeBadRequest, "%v", err)
+		return
+	}
+	pri := control.Priority(priByte)
 	switch h.Op {
 	case wire.OpMeta:
 		meta, ok := s.reg.Meta()
@@ -207,7 +234,7 @@ func (s *FrameServer) handleFrame(h wire.Header, payload []byte, st *connState) 
 		st.enc.Begin(wire.OpReloadResp, h.Corr)
 		st.enc.ReloadResp(v)
 	case wire.OpPredict, wire.OpProba:
-		s.handleBatch(h, payload, st, h.Op == wire.OpProba, s.remoteTrace(traceID, sampled))
+		s.handleBatch(h, payload, st, h.Op == wire.OpProba, pri, s.remoteTrace(traceID, sampled))
 	case wire.OpScores:
 		s.handleScoresFrame(h, payload, st, s.remoteTrace(traceID, sampled))
 	default:
@@ -218,7 +245,7 @@ func (s *FrameServer) handleFrame(h wire.Header, payload []byte, st *connState) 
 // handleBatch is the full-model data plane: decode, submit every row
 // through the shared batcher (before waiting on any, so one request's
 // rows coalesce), wait all, answer.
-func (s *FrameServer) handleBatch(h wire.Header, payload []byte, st *connState, proba bool, tr *obs.Trace) {
+func (s *FrameServer) handleBatch(h wire.Header, payload []byte, st *connState, proba bool, pri control.Priority, tr *obs.Trace) {
 	finishTrace := func() {
 		if tr != nil {
 			s.bat.Recorder().Finish(tr, time.Now())
@@ -228,6 +255,15 @@ func (s *FrameServer) handleBatch(h wire.Header, payload []byte, st *connState, 
 	fail := func(code wire.ErrCode, format string, args ...any) {
 		st.enc.Begin(wire.OpError, h.Corr)
 		st.enc.Error(code, fmt.Sprintf(format, args...))
+		finishTrace()
+	}
+	// failErr carries the admission detail trailer when the error is a
+	// rejection, so a router (or client) can distinguish queue_full from
+	// rate_limited and honor the retry-after hint.
+	failErr := func(err error, format string, args ...any) {
+		st.enc.Begin(wire.OpError, h.Corr)
+		detail, retryAfter := wireDetailFor(err)
+		st.enc.ErrorDetail(wireCodeFor(err), fmt.Sprintf(format, args...), detail, retryAfter)
 		finishTrace()
 	}
 	if err := st.batch.Decode(payload); err != nil {
@@ -273,10 +309,10 @@ func (s *FrameServer) handleBatch(h wire.Header, payload []byte, st *connState, 
 		var t Ticket
 		var err error
 		if isSparse {
-			t, err = s.bat.SubmitCSRTraced(st.batch.Idx[sp], st.batch.Val[sp], po, rowTrace)
+			t, err = s.bat.SubmitCSRPri(st.batch.Idx[sp], st.batch.Val[sp], po, pri, rowTrace)
 			sp++
 		} else {
-			t, err = s.bat.SubmitDenseTraced(st.batch.Dense[d], po, rowTrace)
+			t, err = s.bat.SubmitDensePri(st.batch.Dense[d], po, pri, rowTrace)
 			d++
 		}
 		rowTrace = nil
@@ -301,7 +337,7 @@ func (s *FrameServer) handleBatch(h wire.Header, payload []byte, st *connState, 
 		submitErr = waitErr
 	}
 	if submitErr != nil {
-		fail(wireCodeFor(submitErr), "%v", submitErr)
+		failErr(submitErr, "%v", submitErr)
 		return
 	}
 	encStart := time.Now()

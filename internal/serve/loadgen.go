@@ -7,10 +7,12 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"newtonadmm/internal/control"
 	"newtonadmm/internal/metrics"
 )
 
@@ -90,17 +92,29 @@ type LoadResult struct {
 	Concurrency int
 	Duration    time.Duration
 	Done        int64 // successful predictions in the measured window
-	Rejected    int64 // ErrQueueFull responses (backpressure)
+	Rejected    int64 // 429-class responses, all reasons (backpressure)
 	Errors      int64 // other errors
 	Shed        int64 // open loop only: arrivals skipped at the outstanding cap
 	Throughput  float64
 	Latency     metrics.Snapshot
+
+	// Rejected broken down by the server's machine-readable reason.
+	// RejectedQueueFull + RejectedRateLimited + RejectedCost == Rejected
+	// (legacy servers that send a bare 429 count as queue_full).
+	RejectedQueueFull   int64
+	RejectedRateLimited int64
+	RejectedCost        int64
 }
 
 func (r LoadResult) String() string {
 	l := r.Latency
-	return fmt.Sprintf("%s c=%d: %.0f req/s (%d ok, %d rejected, %d errors, %d shed) latency p50=%v p95=%v p99=%v max=%v",
+	s := fmt.Sprintf("%s c=%d: %.0f req/s (%d ok, %d rejected, %d errors, %d shed) latency p50=%v p95=%v p99=%v max=%v",
 		r.Mode, r.Concurrency, r.Throughput, r.Done, r.Rejected, r.Errors, r.Shed, l.P50, l.P95, l.P99, l.Max)
+	if r.RejectedRateLimited > 0 || r.RejectedCost > 0 {
+		s += fmt.Sprintf(" rejects[queue_full=%d rate_limited=%d cost_rejected=%d]",
+			r.RejectedQueueFull, r.RejectedRateLimited, r.RejectedCost)
+	}
+	return s
 }
 
 // RunLoad drives target with the given rows and returns the measured
@@ -133,7 +147,17 @@ func RunLoad(target Target, rows [][]float64, cfg LoadConfig) (LoadResult, error
 
 type loadCounters struct {
 	done, rejected, errs atomic.Int64
+	rejects              control.RejectStats // per-reason breakdown of rejected
 	hist                 *metrics.Histogram
+}
+
+func (c *loadCounters) noteReject(err error) {
+	c.rejected.Add(1)
+	reason, _, ok := RejectionOf(err)
+	if !ok {
+		reason = control.ReasonQueueFull
+	}
+	c.rejects.Note(reason)
 }
 
 func (c *loadCounters) record(start time.Time, err error, measuring bool) {
@@ -145,7 +169,7 @@ func (c *loadCounters) record(start time.Time, err error, measuring bool) {
 		c.done.Add(1)
 		c.hist.Observe(time.Since(start))
 	case errors.Is(err, ErrQueueFull):
-		c.rejected.Add(1)
+		c.noteReject(err)
 	default:
 		c.errs.Add(1)
 	}
@@ -172,10 +196,20 @@ func (c *loadCounters) recordFast(err error, measuring bool) {
 	case err == nil:
 		c.done.Add(1)
 	case errors.Is(err, ErrQueueFull):
-		c.rejected.Add(1)
+		c.noteReject(err)
 	default:
 		c.errs.Add(1)
 	}
+}
+
+// fill copies the counter totals into a result.
+func (c *loadCounters) fill(res *LoadResult) {
+	res.Done = c.done.Load()
+	res.Rejected = c.rejected.Load()
+	res.Errors = c.errs.Load()
+	res.RejectedQueueFull = int64(c.rejects.Count(control.ReasonQueueFull))
+	res.RejectedRateLimited = int64(c.rejects.Count(control.ReasonRateLimited))
+	res.RejectedCost = int64(c.rejects.Count(control.ReasonCostRejected))
 }
 
 func runClosedLoop(target Target, rows [][]float64, cfg LoadConfig) LoadResult {
@@ -223,9 +257,9 @@ func runClosedLoop(target Target, rows [][]float64, cfg LoadConfig) LoadResult {
 
 	res := LoadResult{
 		Mode: "closed", Concurrency: cfg.Concurrency,
-		Done: ctr.done.Load(), Rejected: ctr.rejected.Load(), Errors: ctr.errs.Load(),
 		Latency: ctr.hist.Snapshot(),
 	}
+	ctr.fill(&res)
 	if measureStart.IsZero() {
 		measureStart = warmupEnd
 	}
@@ -286,15 +320,41 @@ func runOpenLoop(target Target, rows [][]float64, cfg LoadConfig) LoadResult {
 
 	res := LoadResult{
 		Mode: "open", Concurrency: cfg.Concurrency,
-		Done: ctr.done.Load(), Rejected: ctr.rejected.Load(), Errors: ctr.errs.Load(),
 		Shed:     shed.Load(),
 		Latency:  ctr.hist.Snapshot(),
 		Duration: cfg.Duration,
 	}
+	ctr.fill(&res)
 	if res.Duration > 0 {
 		res.Throughput = float64(res.Done) / res.Duration.Seconds()
 	}
 	return res
+}
+
+// PriorityTarget drives an in-process batcher under a fixed service
+// class, so mixed-priority load runs compose from one generator per
+// class (the starvation-bound tests and nadmm-bench's mixed row).
+type PriorityTarget struct {
+	B        *Batcher
+	Priority control.Priority
+}
+
+// Predict submits the row under the wrapper's class and waits.
+func (t *PriorityTarget) Predict(row []float64) (int, error) {
+	tk, err := t.B.SubmitDensePri(row, nil, t.Priority, nil)
+	if err != nil {
+		return 0, err
+	}
+	return tk.Wait()
+}
+
+// Proba is Predict with class probabilities into out.
+func (t *PriorityTarget) Proba(row []float64, out []float64) (int, error) {
+	tk, err := t.B.SubmitDensePri(row, out, t.Priority, nil)
+	if err != nil {
+		return 0, err
+	}
+	return tk.Wait()
 }
 
 // HTTPTarget drives a live nadmm-serve endpoint: each Predict posts one
@@ -302,6 +362,9 @@ func runOpenLoop(target Target, rows [][]float64, cfg LoadConfig) LoadResult {
 type HTTPTarget struct {
 	Base   string // e.g. "http://127.0.0.1:8080"
 	Client *http.Client
+	// Priority, when non-empty, is sent as the X-Nadmm-Priority header
+	// on every request ("interactive", "batch", "background").
+	Priority string
 }
 
 // Predict posts the row and returns the predicted class.
@@ -341,14 +404,21 @@ func (t *HTTPTarget) post(path string, row []float64) (predictResponse, error) {
 	if client == nil {
 		client = http.DefaultClient
 	}
-	resp, err := client.Post(t.Base+path, "application/json", bytes.NewReader(body))
+	req, err := http.NewRequest(http.MethodPost, t.Base+path, bytes.NewReader(body))
+	if err != nil {
+		return pr, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if t.Priority != "" {
+		req.Header.Set(PriorityHeader, t.Priority)
+	}
+	resp, err := client.Do(req)
 	if err != nil {
 		return pr, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode == http.StatusTooManyRequests {
-		io.Copy(io.Discard, resp.Body)
-		return pr, ErrQueueFull
+		return pr, rejectionFrom429(resp)
 	}
 	if resp.StatusCode != http.StatusOK {
 		b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
@@ -361,4 +431,24 @@ func (t *HTTPTarget) post(path string, row []float64) (predictResponse, error) {
 		return pr, fmt.Errorf("serve: got %d predictions for 1 instance", len(pr.Predictions))
 	}
 	return pr, nil
+}
+
+// rejectionFrom429 reconstructs the server's admission rejection from a
+// 429 response: the machine-readable reason from the JSON body and the
+// retry hint from the Retry-After header. A bare 429 (legacy server)
+// maps to the plain queue-full sentinel.
+func rejectionFrom429(resp *http.Response) error {
+	var er errorResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&er); err != nil || er.Reason == "" {
+		io.Copy(io.Discard, resp.Body)
+		return ErrQueueFull
+	}
+	io.Copy(io.Discard, resp.Body)
+	re := &RejectionError{Reason: control.ParseReason(er.Reason)}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+			re.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return re
 }

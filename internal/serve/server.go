@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"time"
 
+	"newtonadmm/internal/control"
 	"newtonadmm/internal/device"
 	"newtonadmm/internal/obs"
 )
@@ -22,6 +23,14 @@ import (
 // under it, and publishes to its own recorder so the fleet's traces
 // stitch by ID.
 const TraceHeader = "X-Nadmm-Trace"
+
+// PriorityHeader is the HTTP request header carrying the request's
+// service class ("interactive", "batch", "background") — the JSON-plane
+// equivalent of the binary plane's priority trailer. Absent means
+// interactive, so pre-priority clients are unchanged; an unknown value
+// is a 400 (a typo'd class silently served as interactive would defeat
+// the starvation bound the classes exist for).
+const PriorityHeader = "X-Nadmm-Priority"
 
 // Server is the kserve-style HTTP surface over the batcher and registry:
 //
@@ -122,10 +131,37 @@ func registerServeMetrics(o *obs.Registry, reg *Registry, bat *Batcher, start ti
 		deviceStat(func(ds device.Stats) uint64 { return uint64(ds.FLOPs) }))
 	o.CounterFunc("nadmm_device_bytes_total", "", "bytes moved by the serving device",
 		deviceStat(func(ds device.Stats) uint64 { return uint64(ds.Bytes) }))
+	registerControlMetrics(o, bat)
 	o.GaugeFunc("nadmm_uptime_seconds", "", "seconds since server start",
 		func() float64 { return time.Since(start).Seconds() })
 	o.GaugeFunc("nadmm_goroutines", "", "goroutines in this process",
 		func() float64 { return float64(runtime.NumGoroutine()) })
+}
+
+// registerControlMetrics wires the admission/priority rows shared by
+// both serving tiers (the router registers the same shape over its own
+// rejection stats).
+func registerControlMetrics(o *obs.Registry, bat *Batcher) {
+	stats := bat.AdmissionStats()
+	for _, reason := range []control.Reason{control.ReasonQueueFull, control.ReasonRateLimited, control.ReasonCostRejected} {
+		reason := reason
+		o.CounterFunc("nadmm_admission_rejected_total", `reason="`+reason.String()+`"`,
+			"instances rejected by admission control, by machine-readable reason",
+			func() uint64 { return stats.Count(reason) })
+	}
+	for c := control.Priority(0); c < control.NumPriorities; c++ {
+		c := c
+		o.GaugeFunc("nadmm_priority_queue_depth", `class="`+c.String()+`"`,
+			"requests waiting in the admission queue, by service class",
+			func() float64 { return float64(bat.QueueLen(c)) })
+	}
+	o.GaugeFunc("nadmm_admission_active", "", "1 when an admission policy beyond the queue bound is installed",
+		func() float64 {
+			if bat.Policy() != nil {
+				return 1
+			}
+			return 0
+		})
 }
 
 // Handler returns the root http.Handler.
@@ -151,6 +187,9 @@ type predictResponse struct {
 
 type errorResponse struct {
 	Error string `json:"error"`
+	// Reason is the machine-readable admission rejection reason
+	// ("queue_full", "rate_limited", "cost_rejected"), set on 429s only.
+	Reason string `json:"reason,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -161,6 +200,33 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// writeServeError is writeError plus the admission-control envelope: a
+// 429 carries the machine-readable reason in the body and, when the
+// policy computed a refill horizon, a Retry-After header (whole
+// seconds, rounded up, min 1 — HTTP has no sub-second form).
+func writeServeError(w http.ResponseWriter, err error, format string, args ...any) {
+	status := statusFor(err)
+	if status != http.StatusTooManyRequests {
+		writeError(w, status, format, args...)
+		return
+	}
+	reason, retryAfter, ok := RejectionOf(err)
+	if !ok {
+		reason = control.ReasonQueueFull
+	}
+	if retryAfter > 0 {
+		secs := int64((retryAfter + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
+	writeJSON(w, status, errorResponse{
+		Error:  fmt.Sprintf(format, args...),
+		Reason: reason.String(),
+	})
 }
 
 // statusFor maps serving errors to HTTP statuses: backpressure is 429;
@@ -196,6 +262,11 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request, proba boo
 	meta, ok := s.reg.Meta()
 	if !ok {
 		writeError(w, http.StatusServiceUnavailable, "no model loaded")
+		return
+	}
+	pri, err := control.ParsePriority(r.Header.Get(PriorityHeader))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%s: %v", PriorityHeader, err)
 		return
 	}
 
@@ -237,7 +308,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request, proba boo
 		if proba {
 			probaOut = resp.Probabilities[i]
 		}
-		t, err := s.submitInstance(raw, probaOut, rowTrace)
+		t, err := s.submitInstance(raw, probaOut, pri, rowTrace)
 		rowTrace = nil
 		if err != nil {
 			submitErr = fmt.Errorf("instance %d: %w", i, err)
@@ -254,12 +325,12 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request, proba boo
 		resp.Predictions[i] = class
 	}
 	if submitErr != nil {
-		writeError(w, statusFor(submitErr), "%v", submitErr)
+		writeServeError(w, submitErr, "%v", submitErr)
 		finishTrace()
 		return
 	}
 	if waitErr != nil {
-		writeError(w, statusFor(waitErr), "%v", waitErr)
+		writeServeError(w, waitErr, "%v", waitErr)
 		finishTrace()
 		return
 	}
@@ -313,17 +384,17 @@ func ParseInstance(raw json.RawMessage) (Instance, error) {
 	}
 }
 
-// submitInstance parses one instance and enqueues it, attaching the
-// propagated trace when non-nil.
-func (s *Server) submitInstance(raw json.RawMessage, probaOut []float64, trace *obs.Trace) (Ticket, error) {
+// submitInstance parses one instance and enqueues it under the
+// request's service class, attaching the propagated trace when non-nil.
+func (s *Server) submitInstance(raw json.RawMessage, probaOut []float64, pri control.Priority, trace *obs.Trace) (Ticket, error) {
 	inst, err := ParseInstance(raw)
 	if err != nil {
 		return Ticket{}, err
 	}
 	if inst.Sparse {
-		return s.bat.SubmitCSRTraced(inst.Indices, inst.Values, probaOut, trace)
+		return s.bat.SubmitCSRPri(inst.Indices, inst.Values, probaOut, pri, trace)
 	}
-	return s.bat.SubmitDenseTraced(inst.Dense, probaOut, trace)
+	return s.bat.SubmitDensePri(inst.Dense, probaOut, pri, trace)
 }
 
 // scoresResponse is the partial-logit wire format: raw explicit-class

@@ -41,13 +41,25 @@ const (
 	// decode untraced traffic unchanged.
 	FlagTrace uint16 = 1 << 0
 
+	// FlagPriority marks a frame carrying the 1-byte priority trailer
+	// (service class 0..2) immediately before the trace trailer (or at
+	// the payload end when FlagTrace is unset). Decode order is fixed:
+	// strip the trace trailer first, then the priority byte
+	// (SplitPriorityTrailer). Frames without the bit default to the
+	// interactive class and stay byte-identical to pre-priority frames.
+	FlagPriority uint16 = 1 << 1
+
 	// knownFlags is the mask of bits a version-1 decoder understands.
-	knownFlags = FlagTrace
+	knownFlags = FlagTrace | FlagPriority
 )
 
 // TraceTrailerSize is the byte length of the trace trailer a FlagTrace
 // frame carries at the end of its payload.
 const TraceTrailerSize = 9
+
+// PriorityTrailerSize is the byte length of the priority trailer a
+// FlagPriority frame carries before the trace trailer.
+const PriorityTrailerSize = 1
 
 // magic opens every frame: bytes 'N','A','W','P' at offsets 0..3.
 var magic = [4]byte{'N', 'A', 'W', 'P'}
@@ -105,6 +117,26 @@ const (
 	CodeInternal ErrCode = 7
 )
 
+// ErrDetail refines an error frame's code with the admission-control
+// rejection reason, carried in the optional detail trailer of an
+// OpError payload (Encoder.ErrorDetail). The numbering mirrors the
+// JSON plane's machine-readable `reason` field.
+type ErrDetail uint16
+
+const (
+	// DetailNone means the frame carried no detail trailer (or none
+	// applies).
+	DetailNone ErrDetail = 0
+	// DetailQueueFull: the bounded admission queue was at capacity.
+	DetailQueueFull ErrDetail = 1
+	// DetailRateLimited: a token-bucket admission policy refused the
+	// request.
+	DetailRateLimited ErrDetail = 2
+	// DetailCostRejected: a cost-aware admission policy refused the
+	// request's rows x features price.
+	DetailCostRejected ErrDetail = 3
+)
+
 // ErrBadFrame tags every framing-level decode failure (bad magic,
 // version, flags, truncated or oversized payloads). It is a protocol
 // error: the connection that produced it cannot be resynchronized and
@@ -116,8 +148,9 @@ var ErrBadFrame = errors.New("wire: malformed frame")
 //	offset 0  magic   "NAWP"
 //	offset 4  version uint8  (= Version)
 //	offset 5  opcode  uint8
-//	offset 6  flags   uint16 LE (bit 0 = trace trailer present; all
-//	          other bits reserved, must be zero)
+//	offset 6  flags   uint16 LE (bit 0 = trace trailer present, bit 1 =
+//	          priority trailer present; all other bits reserved, must
+//	          be zero)
 //	offset 8  corr    uint64 LE (correlation ID, echoed by responses)
 //	offset 16 length  uint32 LE (payload bytes following the header)
 type Header struct {

@@ -195,8 +195,8 @@ func TestResponseRoundTrips(t *testing.T) {
 
 // TestMalformedHeaders checks every header-level rejection the spec
 // requires: short reads, bad magic, wrong version, unknown flag bits,
-// and an oversized length prefix. Flag bit 0 (FlagTrace) is legal and
-// must NOT be rejected.
+// and an oversized length prefix. Flag bits 0 (FlagTrace) and 1
+// (FlagPriority) are legal and must NOT be rejected.
 func TestMalformedHeaders(t *testing.T) {
 	var e Encoder
 	good := append([]byte(nil), buildBatchFrame(&e)...)
@@ -210,7 +210,7 @@ func TestMalformedHeaders(t *testing.T) {
 	}
 	mutate("bad magic", func(b []byte) { b[0] = 'X' })
 	mutate("bad version", func(b []byte) { b[4] = 99 })
-	mutate("unknown flag bit 1", func(b []byte) { b[6] = 2 })
+	mutate("unknown flag bit 2", func(b []byte) { b[6] = 4 })
 	mutate("unknown flag high byte", func(b []byte) { b[7] = 1 })
 	mutate("oversized length", func(b []byte) {
 		binary.LittleEndian.PutUint32(b[16:20], MaxPayload+1)
@@ -219,15 +219,18 @@ func TestMalformedHeaders(t *testing.T) {
 		t.Errorf("short header: got %v, want ErrBadFrame", err)
 	}
 
-	// FlagTrace alone is a version-1 frame, not a protocol error.
-	traced := append([]byte(nil), good...)
-	traced[6] = 1
-	h, err := ParseHeader(traced)
-	if err != nil {
-		t.Fatalf("FlagTrace frame rejected: %v", err)
-	}
-	if h.Flags != FlagTrace {
-		t.Fatalf("parsed flags = %#x, want %#x", h.Flags, FlagTrace)
+	// FlagTrace and FlagPriority (alone or together) are version-1
+	// frames, not protocol errors.
+	for _, flags := range []uint16{FlagTrace, FlagPriority, FlagTrace | FlagPriority} {
+		flagged := append([]byte(nil), good...)
+		binary.LittleEndian.PutUint16(flagged[6:8], flags)
+		h, err := ParseHeader(flagged)
+		if err != nil {
+			t.Fatalf("flags %#x frame rejected: %v", flags, err)
+		}
+		if h.Flags != flags {
+			t.Fatalf("parsed flags = %#x, want %#x", h.Flags, flags)
+		}
 	}
 }
 

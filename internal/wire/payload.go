@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"time"
 )
 
 // Meta is the wire form of a replica's model snapshot metadata
@@ -153,6 +154,30 @@ func (e *Encoder) Error(code ErrCode, msg string) {
 	e.buf = binary.LittleEndian.AppendUint16(e.buf, uint16(code))
 	e.buf = binary.LittleEndian.AppendUint16(e.buf, uint16(len(msg)))
 	e.buf = append(e.buf, msg...)
+}
+
+// ErrorDetail writes an OpError payload with the optional detail
+// trailer after the message: detail u16 (an ErrDetail rejection
+// reason) plus retry-after u32 in milliseconds (0 = no hint). Decoders
+// accept both layouts (DecodeErrorDetail); detail DetailNone emits the
+// legacy payload.
+func (e *Encoder) ErrorDetail(code ErrCode, msg string, detail ErrDetail, retryAfter time.Duration) {
+	e.Error(code, msg)
+	if detail == DetailNone {
+		return
+	}
+	millis := retryAfter.Milliseconds()
+	if retryAfter > 0 && millis == 0 {
+		millis = 1 // a sub-millisecond hint still means "retry later"
+	}
+	if millis < 0 {
+		millis = 0
+	}
+	if millis > math.MaxUint32 {
+		millis = math.MaxUint32
+	}
+	e.buf = binary.LittleEndian.AppendUint16(e.buf, uint16(detail))
+	e.u32(uint32(millis))
 }
 
 // reader walks a payload with bounds checking; every decode failure
@@ -478,28 +503,48 @@ func DecodeReloadResp(p []byte) (int64, error) {
 	return int64(v), nil
 }
 
-// DecodeError parses an OpError payload. The message allocates — error
-// frames are off the steady-state path by definition.
+// DecodeError parses an OpError payload, ignoring the optional detail
+// trailer. The message allocates — error frames are off the
+// steady-state path by definition.
 func DecodeError(p []byte) (ErrCode, string, error) {
+	code, msg, _, _, err := DecodeErrorDetail(p)
+	return code, msg, err
+}
+
+// DecodeErrorDetail parses an OpError payload including the optional
+// detail trailer (detail u16 + retry-after-millis u32 after the
+// message); a legacy payload that ends at the message yields
+// DetailNone and zero retry-after.
+func DecodeErrorDetail(p []byte) (ErrCode, string, ErrDetail, time.Duration, error) {
 	r := reader{p: p}
 	if err := r.need(4); err != nil {
-		return 0, "", err
+		return 0, "", 0, 0, err
 	}
 	code := ErrCode(binary.LittleEndian.Uint16(p[0:2]))
 	n := int(binary.LittleEndian.Uint16(p[2:4]))
 	if n > 512 {
 		// The spec bounds msgLen at 512 (Encoder.Error truncates to
 		// match); enforce it on the read side too.
-		return 0, "", fmt.Errorf("%w: error message length %d exceeds 512", ErrBadFrame, n)
+		return 0, "", 0, 0, fmt.Errorf("%w: error message length %d exceeds 512", ErrBadFrame, n)
 	}
 	r.off = 4
 	if err := r.need(n); err != nil {
-		return 0, "", err
+		return 0, "", 0, 0, err
 	}
 	msg := string(p[4 : 4+n])
 	r.off += n
-	if err := r.done(); err != nil {
-		return 0, "", err
+	detail := DetailNone
+	var retryAfter time.Duration
+	if r.off < len(r.p) {
+		if err := r.need(6); err != nil {
+			return 0, "", 0, 0, err
+		}
+		detail = ErrDetail(binary.LittleEndian.Uint16(r.p[r.off : r.off+2]))
+		retryAfter = time.Duration(binary.LittleEndian.Uint32(r.p[r.off+2:r.off+6])) * time.Millisecond
+		r.off += 6
 	}
-	return code, msg, nil
+	if err := r.done(); err != nil {
+		return 0, "", 0, 0, err
+	}
+	return code, msg, detail, retryAfter, nil
 }

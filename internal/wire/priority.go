@@ -1,0 +1,50 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// The priority trailer: when a frame's header carries FlagPriority, one
+// payload byte holds the request's service class (0 interactive,
+// 1 batch, 2 background). Its position is immediately BEFORE the trace
+// trailer when FlagTrace is also set, else at the very end of the
+// payload:
+//
+//	payload ... | priority u8 (FlagPriority) | trace trailer 9B (FlagTrace)
+//
+// Decoders therefore strip in reverse append order: SplitTraceTrailer
+// first, then SplitPriorityTrailer, then the opcode's payload decoder
+// (which rejects trailing bytes). A frame without the flag is
+// byte-identical to a pre-priority frame and defaults to the
+// interactive class, so legacy traffic is unchanged.
+
+// PriorityTrailer appends the 1-byte priority trailer to the frame
+// being built and sets FlagPriority in its header. Call it after the
+// payload builders and BEFORE TraceTrailer, mirroring the decode-side
+// stripping order.
+func (e *Encoder) PriorityTrailer(pri uint8) {
+	e.u8(pri)
+	flags := binary.LittleEndian.Uint16(e.buf[6:8])
+	binary.LittleEndian.PutUint16(e.buf[6:8], flags|FlagPriority)
+}
+
+// SplitPriorityTrailer strips the priority trailer from a payload whose
+// trace trailer (if any) has already been stripped. For a frame without
+// FlagPriority it returns the payload unchanged and class 0
+// (interactive). A flagged frame too short to hold the byte, or a class
+// byte outside the defined range, is a protocol error.
+func SplitPriorityTrailer(h Header, payload []byte) (rest []byte, pri uint8, err error) {
+	if h.Flags&FlagPriority == 0 {
+		return payload, 0, nil
+	}
+	if len(payload) < PriorityTrailerSize {
+		return nil, 0, fmt.Errorf("%w: %d payload bytes cannot hold the priority trailer", ErrBadFrame, len(payload))
+	}
+	n := len(payload) - PriorityTrailerSize
+	pri = payload[n]
+	if pri > 2 {
+		return nil, 0, fmt.Errorf("%w: priority class %d outside [0,2]", ErrBadFrame, pri)
+	}
+	return payload[:n], pri, nil
+}

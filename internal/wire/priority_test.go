@@ -1,0 +1,145 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestPriorityTrailerLayout pins the priority trailer's exact bytes as
+// documented in DESIGN.md "Control plane": one u8 immediately before
+// the trace trailer (when present) or at the very end of the payload,
+// with FlagPriority set in the header flags at offset 6. If this test
+// fails, either the code or the spec drifted — fix whichever is wrong.
+func TestPriorityTrailerLayout(t *testing.T) {
+	// Priority alone: trailer byte is the frame's last byte.
+	var e Encoder
+	e.Begin(OpScores, 7)
+	e.BatchHeader(1, 3, 4)
+	e.DenseRow([]float64{1, 2, 3})
+	e.PriorityTrailer(2)
+	f := e.Bytes()
+	if flags := binary.LittleEndian.Uint16(f[6:8]); flags != FlagPriority {
+		t.Fatalf("flags = %#x, want FlagPriority (%#x)", flags, FlagPriority)
+	}
+	if f[len(f)-1] != 2 {
+		t.Fatalf("priority byte at frame end = %d, want 2", f[len(f)-1])
+	}
+	if n := binary.LittleEndian.Uint32(f[16:20]); int(n) != len(f)-HeaderSize {
+		t.Fatalf("payload length %d does not cover the trailer (frame has %d payload bytes)", n, len(f)-HeaderSize)
+	}
+
+	// Priority + trace: priority u8 sits TraceTrailerSize+1 bytes from
+	// the end, immediately before the 9-byte trace trailer.
+	var e2 Encoder
+	e2.Begin(OpScores, 7)
+	e2.BatchHeader(1, 3, 4)
+	e2.DenseRow([]float64{1, 2, 3})
+	e2.PriorityTrailer(1)
+	e2.TraceTrailer(0xDEAD, true)
+	f2 := e2.Bytes()
+	if flags := binary.LittleEndian.Uint16(f2[6:8]); flags != FlagPriority|FlagTrace {
+		t.Fatalf("flags = %#x, want FlagPriority|FlagTrace", flags)
+	}
+	if got := f2[len(f2)-TraceTrailerSize-PriorityTrailerSize]; got != 1 {
+		t.Fatalf("priority byte before trace trailer = %d, want 1", got)
+	}
+
+	// Decode side strips in reverse order and recovers both trailers.
+	h, err := ParseHeader(f2[:HeaderSize])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rest, id, sampled, err := SplitTraceTrailer(h, f2[HeaderSize:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 0xDEAD || !sampled {
+		t.Fatalf("trace trailer = (%#x, %v), want (0xDEAD, true)", id, sampled)
+	}
+	rest, pri, err := SplitPriorityTrailer(h, rest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pri != 1 {
+		t.Fatalf("priority = %d, want 1", pri)
+	}
+	var batch Batch
+	if err := batch.Decode(rest); err != nil {
+		t.Fatalf("payload after stripping both trailers does not decode: %v", err)
+	}
+}
+
+// TestPriorityTrailerAbsent: a frame without FlagPriority decodes to
+// class 0 with the payload untouched — the legacy compatibility
+// contract (interactive traffic is byte-identical to pre-priority
+// frames).
+func TestPriorityTrailerAbsent(t *testing.T) {
+	var e Encoder
+	e.Begin(OpScores, 1)
+	e.BatchHeader(1, 3, 4)
+	e.DenseRow([]float64{1, 2, 3})
+	f := e.Bytes()
+	h, err := ParseHeader(f[:HeaderSize])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rest, pri, err := SplitPriorityTrailer(h, f[HeaderSize:])
+	if err != nil || pri != 0 {
+		t.Fatalf("unflagged frame: pri=%d err=%v, want 0/nil", pri, err)
+	}
+	if len(rest) != len(f)-HeaderSize {
+		t.Fatalf("payload shrank from %d to %d bytes without a trailer", len(f)-HeaderSize, len(rest))
+	}
+}
+
+// TestPriorityTrailerRejectsBadClass: class bytes outside [0,2] are a
+// protocol error, not a silent clamp.
+func TestPriorityTrailerRejectsBadClass(t *testing.T) {
+	var e Encoder
+	e.Begin(OpScores, 1)
+	e.BatchHeader(1, 3, 4)
+	e.DenseRow([]float64{1, 2, 3})
+	e.PriorityTrailer(3)
+	f := e.Bytes()
+	h, err := ParseHeader(f[:HeaderSize])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := SplitPriorityTrailer(h, f[HeaderSize:]); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("class 3 decoded with err=%v, want ErrBadFrame", err)
+	}
+}
+
+// TestErrorDetailRoundTrip covers the error frame's detail trailer:
+// reason code and retry-after survive the round trip, and a legacy
+// payload without the trailer decodes to DetailNone.
+func TestErrorDetailRoundTrip(t *testing.T) {
+	var e Encoder
+	e.Begin(OpError, 9)
+	e.ErrorDetail(CodeQueueFull, "rate limited", DetailRateLimited, 1500*time.Millisecond)
+	p := e.Bytes()[HeaderSize:]
+	code, msg, detail, retry, err := DecodeErrorDetail(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != CodeQueueFull || msg != "rate limited" || detail != DetailRateLimited || retry != 1500*time.Millisecond {
+		t.Fatalf("round trip = (%v, %q, %v, %v)", code, msg, detail, retry)
+	}
+
+	// DetailNone emits the legacy layout: no trailer bytes at all.
+	var e2 Encoder
+	e2.Begin(OpError, 9)
+	e2.ErrorDetail(CodeQueueFull, "full", DetailNone, time.Second)
+	var e3 Encoder
+	e3.Begin(OpError, 9)
+	e3.Error(CodeQueueFull, "full")
+	if got, want := len(e2.Bytes()), len(e3.Bytes()); got != want {
+		t.Fatalf("DetailNone payload is %d bytes, legacy Error is %d — must be identical", got, want)
+	}
+	code, msg, detail, retry, err = DecodeErrorDetail(e3.Bytes()[HeaderSize:])
+	if err != nil || code != CodeQueueFull || msg != "full" || detail != DetailNone || retry != 0 {
+		t.Fatalf("legacy decode = (%v, %q, %v, %v, %v)", code, msg, detail, retry, err)
+	}
+}

@@ -13,8 +13,10 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"sync"
 	"time"
 
+	"newtonadmm/internal/control"
 	"newtonadmm/internal/router"
 	"newtonadmm/internal/serve"
 )
@@ -196,9 +198,34 @@ type ServeOptions struct {
 	// "Observability"). 0 selects the default (8); negative disables
 	// sampling entirely.
 	SampleEvery int
+	// Admission selects the admission policy evaluated on every submit,
+	// before a queue slot is taken (DESIGN.md "Control plane"): "" or
+	// "none" keeps admission open (the queue bound still applies),
+	// "token-bucket" admits AdmissionRate requests/s with bursts up to
+	// AdmissionBurst, "cost" prices each request at rows x features
+	// against a bucket refilled at AdmissionRate cost-units/s with
+	// capacity AdmissionBurst.
+	Admission      string
+	AdmissionRate  float64
+	AdmissionBurst int
 	// Debug mounts net/http/pprof under /debug/pprof/ (opt-in: the
 	// profiling endpoints expose stack traces).
 	Debug bool
+}
+
+// buildAdmission constructs the policy named by kind (the ServeOptions
+// and RouterOptions Admission field).
+func buildAdmission(kind string, rate float64, burst int) (control.AdmissionPolicy, error) {
+	switch kind {
+	case "", "none":
+		return nil, nil
+	case "token-bucket":
+		return control.NewTokenBucket(rate, burst), nil
+	case "cost":
+		return control.NewCostPolicy(rate, int64(burst)), nil
+	default:
+		return nil, fmt.Errorf("newtonadmm: unknown admission policy %q (want none, token-bucket, or cost)", kind)
+	}
 }
 
 // ModelServer is a running (or embeddable) inference server.
@@ -230,9 +257,13 @@ func Serve(m *Model, opts ServeOptions) (*ModelServer, error) {
 			return nil, err
 		}
 	}
+	pol, err := buildAdmission(opts.Admission, opts.AdmissionRate, opts.AdmissionBurst)
+	if err != nil {
+		return nil, err
+	}
 	ms.bat = serve.NewBatcher(ms.reg, serve.BatcherConfig{
 		MaxBatch: opts.MaxBatch, MaxLinger: opts.Linger, QueueDepth: opts.QueueDepth,
-		SampleEvery: opts.SampleEvery,
+		SampleEvery: opts.SampleEvery, Admission: pol,
 	})
 	var reload func() (int64, error)
 	if opts.ModelPath != "" {
@@ -476,26 +507,61 @@ type RouterOptions struct {
 	// latency-stamped and trace-captured (DESIGN.md "Observability").
 	// 0 selects the default (8); negative disables sampling entirely.
 	SampleEvery int
+	// Admission, AdmissionRate, AdmissionBurst install an admission
+	// policy at the router's scatter seam, evaluated per client batch at
+	// a cost of rows x features — exactly like the ServeOptions fields
+	// of the same names. Swappable at runtime via
+	// Router().SetAdmission.
+	Admission      string
+	AdmissionRate  float64
+	AdmissionBurst int
+	// AutoscaleMax > 0 enables the in-process autoscaler (DESIGN.md
+	// "Control plane"): a target-tracking loop that grows the fleet one
+	// replica at a time toward AutoscaleMax under sustained overload and
+	// drains it back toward AutoscaleMin when idle. Replica mode with
+	// in-process backends only — class mode's shard tiling and remote
+	// fleets are not autoscaled. AutoscaleMin <= 0 selects the initial
+	// replica count.
+	AutoscaleMin, AutoscaleMax int
+	// AutoscaleTargetP99 is the latency target driving scale-up; zero
+	// tracks utilization only.
+	AutoscaleTargetP99 time.Duration
+	// AutoscaleTick is the control loop's evaluation period (<= 0
+	// selects 1s); AutoscaleCooldown, when > 0, overrides both the
+	// scale-up and scale-down cooldowns (defaults 3s/10s).
+	AutoscaleTick     time.Duration
+	AutoscaleCooldown time.Duration
 	// Debug mounts net/http/pprof on the router's surface (opt-in).
 	Debug bool
 }
 
 // RouterServer is a running scatter-gather serving tier.
 type RouterServer struct {
-	rt     *router.Router
-	srv    *router.Server
+	rt   *router.Router
+	srv  *router.Server
+	opts RouterOptions
+
+	// lmu guards the in-process membership below (locals and its
+	// parallel slices, model) against concurrent mutation by the
+	// autoscaler's actuator and fleet-wide Swap. Lock order: lmu before
+	// the router's internal swap lock (scale actions and Coordinate both
+	// take it next).
+	lmu    sync.Mutex
 	locals []*router.LocalBackend // nil entries for remote replicas
-	opts   RouterOptions
 	model  *Model
 
 	// Per-local grid placement, parallel to locals: which class shard
-	// each member serves (shards is S; 0 when unsharded) and its zone
-	// label. Swap re-slices by these, so an R x S grid hot-swaps every
-	// member onto its own shard rather than assuming one member per
-	// shard.
+	// each member serves (shards is S; 0 when unsharded), its zone
+	// label, and its stable pool replica ID (IDs are not indices once
+	// the autoscaler removes members). Swap re-slices by these, so an
+	// R x S grid hot-swaps every member onto its own shard rather than
+	// assuming one member per shard.
 	shards     int
 	localShard []int
 	localZones []string
+	localIDs   []int
+
+	scaler *control.Autoscaler
 
 	ln   net.Listener
 	hsrv *http.Server
@@ -574,6 +640,7 @@ func ServeSharded(m *Model, opts RouterOptions) (*RouterServer, error) {
 				rs.locals = append(rs.locals, lb)
 				rs.localShard = append(rs.localShard, shardIdx)
 				rs.localZones = append(rs.localZones, zone)
+				rs.localIDs = append(rs.localIDs, len(backends))
 				backends = append(backends, lb)
 			}
 		}
@@ -590,6 +657,18 @@ func ServeSharded(m *Model, opts RouterOptions) (*RouterServer, error) {
 	rs.srv = router.NewServer(rt)
 	if opts.Debug {
 		rs.srv.EnableDebug()
+	}
+	pol, err := buildAdmission(opts.Admission, opts.AdmissionRate, opts.AdmissionBurst)
+	if err != nil {
+		rs.Close()
+		return nil, err
+	}
+	rt.SetAdmission(pol)
+	if opts.AutoscaleMax > 0 {
+		if err := rs.startAutoscaler(); err != nil {
+			rs.Close()
+			return nil, err
+		}
 	}
 
 	if opts.Addr != "" {
@@ -635,6 +714,116 @@ func (rs *RouterServer) buildLocalReplica(m *Model, shardIdx, shardCount int, zo
 	return router.NewLocalBackend(reg, bat, reload), nil
 }
 
+// startAutoscaler wires the control loop over the router tier's own
+// signals: windowed p99 from the nadmm_request_latency histogram,
+// utilization from aggregate in-flight over replicas x max-batch.
+// Replica mode with in-process backends only — class mode's shard
+// tiling is planned at construction, and remote fleets scale
+// out-of-process.
+func (rs *RouterServer) startAutoscaler() error {
+	if rs.rt.Mode() != router.ModeReplica {
+		return fmt.Errorf("newtonadmm: autoscaling requires replica mode")
+	}
+	if len(rs.locals) == 0 {
+		return fmt.Errorf("newtonadmm: autoscaling requires in-process replicas")
+	}
+	maxBatch := rs.opts.MaxBatch
+	if maxBatch <= 0 {
+		maxBatch = 64 // the batcher's own default
+	}
+	src, err := control.NewRegistrySource(rs.srv.Obs(), "nadmm_request_latency",
+		func() int64 {
+			var n int64
+			for _, rep := range rs.rt.Pool().Replicas() {
+				n += rep.InFlight()
+			}
+			return n
+		},
+		func() int64 { return int64(len(rs.rt.Pool().Replicas()) * maxBatch) },
+		func() int { return len(rs.rt.Pool().Replicas()) },
+	)
+	if err != nil {
+		return fmt.Errorf("newtonadmm: %w", err)
+	}
+	min := rs.opts.AutoscaleMin
+	if min <= 0 {
+		min = len(rs.locals)
+	}
+	rs.scaler = control.NewAutoscaler(src, fleetActuator{rs: rs}, control.AutoscalerConfig{
+		Min: min, Max: rs.opts.AutoscaleMax,
+		TargetP99:  rs.opts.AutoscaleTargetP99,
+		Tick:       rs.opts.AutoscaleTick,
+		UpCooldown: rs.opts.AutoscaleCooldown, DownCooldown: rs.opts.AutoscaleCooldown,
+	})
+	rs.srv.RegisterAutoscaler(rs.scaler)
+	rs.scaler.Start()
+	return nil
+}
+
+// fleetActuator adapts the RouterServer's in-process membership to the
+// autoscaler's Actuator interface.
+type fleetActuator struct{ rs *RouterServer }
+
+func (f fleetActuator) Replicas() int    { return len(f.rs.rt.Pool().Replicas()) }
+func (f fleetActuator) ScaleUp() error   { return f.rs.scaleUp() }
+func (f fleetActuator) ScaleDown() error { return f.rs.scaleDown() }
+
+// scaleUp spawns one whole-model in-process replica and joins it to
+// the pool; it starts receiving traffic as soon as the new membership
+// publishes. The replica is built from the fleet's current model
+// (Swap keeps it current), in the next zone of the configured cycle.
+func (rs *RouterServer) scaleUp() error {
+	rs.lmu.Lock()
+	defer rs.lmu.Unlock()
+	if rs.model == nil {
+		return fmt.Errorf("newtonadmm: no model to build a replica from")
+	}
+	zone := ""
+	if len(rs.opts.Zones) > 0 {
+		zone = rs.opts.Zones[len(rs.locals)%len(rs.opts.Zones)]
+	}
+	lb, err := rs.buildLocalReplica(rs.model, 0, 0, zone)
+	if err != nil {
+		return err
+	}
+	id, err := rs.rt.AddBackend(lb)
+	if err != nil {
+		lb.Close()
+		return err
+	}
+	rs.locals = append(rs.locals, lb)
+	rs.localShard = append(rs.localShard, 0)
+	rs.localZones = append(rs.localZones, zone)
+	rs.localIDs = append(rs.localIDs, id)
+	return nil
+}
+
+// scaleDown drains and retires the newest in-process replica. The
+// removal routes through Router.RemoveBackend, so the coverage guard
+// and the drain protect accepted work; a refused or timed-out drain
+// leaves the membership unchanged (the autoscaler retries after its
+// next idle run).
+func (rs *RouterServer) scaleDown() error {
+	rs.lmu.Lock()
+	defer rs.lmu.Unlock()
+	if len(rs.localIDs) <= 1 {
+		return fmt.Errorf("newtonadmm: no removable in-process replica")
+	}
+	i := len(rs.localIDs) - 1
+	if err := rs.rt.RemoveBackend(rs.localIDs[i], 30*time.Second); err != nil {
+		return err
+	}
+	rs.locals = rs.locals[:i]
+	rs.localShard = rs.localShard[:i]
+	rs.localZones = rs.localZones[:i]
+	rs.localIDs = rs.localIDs[:i]
+	return nil
+}
+
+// Autoscaler returns the running control loop (nil when autoscaling is
+// disabled); tests and the CLI read its Ups/Downs/Replicas counters.
+func (rs *RouterServer) Autoscaler() *control.Autoscaler { return rs.scaler }
+
 // Router returns the underlying router (stats, drain/undrain).
 func (rs *RouterServer) Router() *router.Router { return rs.rt }
 
@@ -660,6 +849,11 @@ func (rs *RouterServer) Swap(m *Model) (int64, error) {
 	if m == nil {
 		return 0, fmt.Errorf("newtonadmm: nil model")
 	}
+	// lmu freezes the in-process membership for the whole rollout, so an
+	// autoscaler scale-down cannot retire (and close) a replica between
+	// the iteration and the swap into its registry.
+	rs.lmu.Lock()
+	defer rs.lmu.Unlock()
 	if len(rs.locals) == 0 {
 		return 0, fmt.Errorf("newtonadmm: Swap needs in-process replicas (remote fleets reload via /v1/reload)")
 	}
@@ -679,6 +873,7 @@ func (rs *RouterServer) Swap(m *Model) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
+	rs.model = m // future scale-ups spawn replicas of the deployed model
 	return latest, nil
 }
 
@@ -689,11 +884,22 @@ func (rs *RouterServer) SwapReplica(id int, m *Model) (int64, error) {
 	if rs.rt.Mode() != router.ModeReplica {
 		return 0, fmt.Errorf("newtonadmm: SwapReplica needs replica mode (use Swap in class mode)")
 	}
-	if id < 0 || id >= len(rs.locals) {
-		return 0, fmt.Errorf("newtonadmm: no in-process replica %d", id)
-	}
 	if m == nil {
 		return 0, fmt.Errorf("newtonadmm: nil model")
+	}
+	rs.lmu.Lock()
+	defer rs.lmu.Unlock()
+	// id is the pool's stable replica ID; resolve it to the local index
+	// (they diverge once the autoscaler has removed a member).
+	idx := -1
+	for i, lid := range rs.localIDs {
+		if lid == id {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return 0, fmt.Errorf("newtonadmm: no in-process replica %d", id)
 	}
 	// The router's buffers and merge plan are sized at construction; a
 	// replica with a different shape would corrupt routing, so a
@@ -703,7 +909,7 @@ func (rs *RouterServer) SwapReplica(id int, m *Model) (int64, error) {
 		return 0, fmt.Errorf("newtonadmm: replacement model shape (%d classes, %d features) != serving tier (%d, %d)",
 			m.Classes, m.Features, rs.rt.Classes(), rs.rt.Features())
 	}
-	return swapShardInto(rs.locals[id].Registry(), m, "", 0, 0, rs.opts.Workers, rs.localZones[id])
+	return swapShardInto(rs.locals[idx].Registry(), m, "", 0, 0, rs.opts.Workers, rs.localZones[idx])
 }
 
 // routerTarget adapts the router to the load generator's Target and
@@ -746,6 +952,11 @@ func (rs *RouterServer) Target() serve.ProbaTarget { return routerTarget{rt: rs.
 // Close stops the listener, the router's health monitor, and every
 // in-process replica (batchers drain, devices release).
 func (rs *RouterServer) Close() {
+	// The control loop goes first so no scale action races teardown.
+	if rs.scaler != nil {
+		rs.scaler.Stop()
+		rs.scaler = nil
+	}
 	if rs.hsrv != nil {
 		rs.hsrv.Close()
 		rs.hsrv = nil
