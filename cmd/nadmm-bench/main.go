@@ -1,7 +1,8 @@
 // Command nadmm-bench regenerates the paper's evaluation artifacts: every
 // table and figure (plus the ablations) as text tables and series. The
 // `serve` subcommand instead load-tests the online inference subsystem
-// (see serve.go).
+// (see serve.go), and the `sim` subcommand replays the deterministic
+// fleet simulator's named scenarios (see sim.go).
 //
 // Examples:
 //
@@ -11,6 +12,9 @@
 //	nadmm-bench -run fig1 -network 1g
 //	nadmm-bench serve -preset mnist -mode closed -concurrency 64 -compare
 //	nadmm-bench serve -model model.gob -addr http://localhost:8080 -mode open -rate 5000
+//	nadmm-bench sim -list
+//	nadmm-bench sim -scenario zone-outage
+//	nadmm-bench sim -all -seed 7
 package main
 
 import (
@@ -30,6 +34,10 @@ func main() {
 
 	if len(os.Args) > 1 && os.Args[1] == "serve" {
 		runServeBench(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "sim" {
+		runSimBench(os.Args[2:])
 		return
 	}
 

@@ -1,0 +1,66 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFitServiceTimeRecoversAffineModel(t *testing.T) {
+	// Points generated from an exact affine model must be recovered
+	// exactly (least squares on noiseless data).
+	truth := ServiceTimeModel{Base: 3 * time.Microsecond, PerRow: 2700 * time.Nanosecond}
+	var pts []ServicePoint
+	for _, n := range []int{1, 8, 32, 64, 128} {
+		pts = append(pts, ServicePoint{Rows: n, Elapsed: truth.BatchTime(n)})
+	}
+	m, err := FitServiceTime("fit", pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tol := time.Nanosecond * 2
+	if d := m.Base - truth.Base; d < -tol || d > tol {
+		t.Errorf("Base = %v, want %v", m.Base, truth.Base)
+	}
+	if d := m.PerRow - truth.PerRow; d < -tol || d > tol {
+		t.Errorf("PerRow = %v, want %v", m.PerRow, truth.PerRow)
+	}
+}
+
+func TestFitServiceTimeRejectsDegenerateInput(t *testing.T) {
+	if _, err := FitServiceTime("x", []ServicePoint{{Rows: 1, Elapsed: time.Microsecond}}); err == nil {
+		t.Error("single point: want error")
+	}
+	same := []ServicePoint{{Rows: 4, Elapsed: time.Microsecond}, {Rows: 4, Elapsed: 2 * time.Microsecond}}
+	if _, err := FitServiceTime("x", same); err == nil {
+		t.Error("identical row counts: want error")
+	}
+}
+
+func TestFitServiceTimeClampsNegativeIntercept(t *testing.T) {
+	// A noisy fit whose intercept would go negative is clamped to zero.
+	pts := []ServicePoint{
+		{Rows: 1, Elapsed: 0},
+		{Rows: 2, Elapsed: 4 * time.Microsecond},
+	}
+	m, err := FitServiceTime("x", pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Base < 0 || m.PerRow < 0 {
+		t.Errorf("clamped fit went negative: %+v", m)
+	}
+}
+
+func TestServiceTimeModelBatchTime(t *testing.T) {
+	m := ServiceTimeModel{Base: 10 * time.Microsecond, PerRow: time.Microsecond}
+	if got := m.BatchTime(0); got != 0 {
+		t.Errorf("BatchTime(0) = %v, want 0", got)
+	}
+	if got, want := m.BatchTime(64), 74*time.Microsecond; got != want {
+		t.Errorf("BatchTime(64) = %v, want %v", got, want)
+	}
+	// Amortization: a 64-row batch is cheaper than 64 singletons.
+	if batched, singles := m.BatchTime(64), 64*m.BatchTime(1); batched >= singles {
+		t.Errorf("batch amortization lost: %v >= %v", batched, singles)
+	}
+}

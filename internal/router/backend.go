@@ -148,6 +148,12 @@ func (b *Batch) AddCSR(idx []int, val []float64) {
 // Rows returns the number of rows in the batch.
 func (b *Batch) Rows() int { return len(b.sparse) }
 
+// DenseRows returns the dense sub-batch in dense arrival order. The
+// slice is shared, not copied — callers must treat it as read-only.
+// In-process backends (the fleet simulator's virtual replicas) use it
+// to feed rows to real scoring paths without the wire format.
+func (b *Batch) DenseRows() [][]float64 { return b.dense }
+
 // instances rebuilds the wire-format instance list in arrival order
 // (dense rows as arrays, sparse rows as indices/values objects).
 func (b *Batch) instances() []any {

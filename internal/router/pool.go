@@ -75,6 +75,15 @@ func (r *Replica) InFlight() int64 { return r.inflight.Load() }
 // Backend returns the replica's backend (tests hot-swap through it).
 func (r *Replica) Backend() Backend { return r.backend }
 
+// AdjustLoad shifts the replica's in-flight gauge by d. This is the
+// fleet simulator's seam: virtual work that completes at a later
+// virtual time still has to be visible to the power-of-two-choices
+// pick, so the simulator adds the backlog here when a simulated
+// replica accepts a job and subtracts it at the job's virtual
+// completion event. Production code never calls it — the router
+// maintains the gauge itself around each backend call.
+func (r *Replica) AdjustLoad(d int64) { r.inflight.Add(d) }
+
 // available reports whether new traffic may be routed here.
 func (r *Replica) available() bool { return r.State() == StateHealthy }
 
@@ -482,21 +491,32 @@ func (p *Pool) startHealth(interval time.Duration, failAfter int) {
 			case <-p.stop:
 				return
 			case <-tick.C:
-				for _, r := range p.Replicas() {
-					m, err := r.backend.Meta()
-					if err != nil {
-						if n := r.fails.Add(1); int(n) >= failAfter {
-							r.state.CompareAndSwap(int32(StateHealthy), int32(StateDown))
-						}
-						continue
-					}
-					r.fails.Store(0)
-					r.meta.Store(&m)
-					r.state.CompareAndSwap(int32(StateDown), int32(StateHealthy))
-				}
+				p.ProbeHealth(failAfter)
 			}
 		}
 	}()
+}
+
+// ProbeHealth runs one health-monitor sweep: every replica is probed
+// via Meta; failAfter consecutive failures mark a healthy replica
+// Down, one success restores a Down replica and refreshes its
+// metadata. This is one tick of the monitor startHealth runs on a
+// wall ticker — exported so a synthetic clock (the fleet simulator,
+// tests) can step the same probe logic at virtual times with the wall
+// monitor disabled (Options.HealthEvery < 0).
+func (p *Pool) ProbeHealth(failAfter int) {
+	for _, r := range p.Replicas() {
+		m, err := r.backend.Meta()
+		if err != nil {
+			if n := r.fails.Add(1); int(n) >= failAfter {
+				r.state.CompareAndSwap(int32(StateHealthy), int32(StateDown))
+			}
+			continue
+		}
+		r.fails.Store(0)
+		r.meta.Store(&m)
+		r.state.CompareAndSwap(int32(StateDown), int32(StateHealthy))
+	}
 }
 
 // noteRequestError feeds data-plane failures into the health signal: a

@@ -51,6 +51,14 @@ type Options struct {
 	// returns a live trace for one request in every SampleEvery. 0
 	// selects serve.DefaultSampleEvery (8); negative disables sampling.
 	SampleEvery int
+	// SerialScatter runs class-mode scatter legs sequentially in group
+	// order on the caller's goroutine instead of fanning out to the leg
+	// workers. The legs then consume the pool's pick RNG in a fixed
+	// order, which is what makes a simulated fleet replay byte-identically
+	// — concurrent legs draw from the shared RNG in scheduler order.
+	// Production keeps this off: serial legs turn scatter latency from
+	// max(legs) into sum(legs).
+	SerialScatter bool
 }
 
 func (o Options) withDefaults() Options {
@@ -559,7 +567,11 @@ func (r *Router) scatterOnce(b *Batch, scores []float64) error {
 	for gi, g := range groups {
 		j := st.jobs[gi]
 		j.r, j.g, j.b, j.scores, j.wg = r, g, b, scores, &st.wg
-		r.dispatch(j)
+		if r.opts.SerialScatter {
+			j.run()
+		} else {
+			r.dispatch(j)
+		}
 	}
 	st.wg.Wait()
 	var err error

@@ -58,6 +58,16 @@ type TCPBackend struct {
 	RedialBase time.Duration
 	// RedialMax caps the redial backoff; <= 0 selects 5s.
 	RedialMax time.Duration
+	// Now is the clock the redial backoff window is measured on; nil
+	// selects time.Now. Injectable so a synthetic clock (the fleet
+	// simulator, tests) can open and step past backoff windows in
+	// virtual time instead of sleeping real wall time.
+	Now func() time.Time
+	// Jitter draws the backoff jitter in [0, n]; nil selects the global
+	// math/rand source (±25% around 7/8 of the nominal backoff).
+	// Injectable so a seeded source makes the backoff schedule
+	// replayable bit-for-bit.
+	Jitter func(n int64) int64
 
 	mu        sync.Mutex
 	pool      []*wireConn
@@ -101,6 +111,20 @@ func (t *TCPBackend) redialMax() time.Duration {
 	return 5 * time.Second
 }
 
+func (t *TCPBackend) now() time.Time {
+	if t.Now != nil {
+		return t.Now()
+	}
+	return time.Now()
+}
+
+func (t *TCPBackend) jitter(n int64) int64 {
+	if t.Jitter != nil {
+		return t.Jitter(n)
+	}
+	return rand.Int63n(n)
+}
+
 // noteDialFailed opens (or widens) the backoff window after a failed
 // dial: exponential in the consecutive-failure count, capped at
 // RedialMax, jittered ±25%. Caller must not hold t.mu.
@@ -115,8 +139,8 @@ func (t *TCPBackend) noteDialFailed() {
 	if d > t.redialMax() {
 		d = t.redialMax()
 	}
-	d = d*3/4 + time.Duration(rand.Int63n(int64(d)/2+1)) // ±25% jitter
-	t.nextDial = time.Now().Add(d)
+	d = d*3/4 + time.Duration(t.jitter(int64(d)/2+1)) // ±25% jitter
+	t.nextDial = t.now().Add(d)
 }
 
 // noteDialOK closes the backoff window. Caller must not hold t.mu.
@@ -174,7 +198,7 @@ func (t *TCPBackend) get() (*wireConn, error) {
 	slot := t.rr % n
 	t.rr++
 	wc := t.pool[slot]
-	wait := time.Until(t.nextDial)
+	wait := t.nextDial.Sub(t.now())
 	t.mu.Unlock()
 	if wc != nil && !wc.isDead() {
 		return wc, nil

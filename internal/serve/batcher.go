@@ -114,6 +114,45 @@ type BatcherConfig struct {
 	// round-robin scheduler; an all-zero value selects
 	// control.DefaultWeights (16/4/1).
 	PriorityWeights [control.NumPriorities]int
+	// LingerTimer, when non-nil, replaces the wall-clock linger timer:
+	// the batching loop arms it with Reset(MaxLinger) when a partial
+	// batch starts lingering and flushes when C delivers. This is the
+	// synthetic-clock seam for the fleet simulator and deterministic
+	// tests; production leaves it nil (a time.Timer).
+	LingerTimer LingerTimer
+}
+
+// LingerTimer is the batcher's flush-timer seam. Reset arms the timer
+// for one linger window, C delivers the expiry, and Stop disarms it
+// leaving C drained (no stale expiry may leak into the next window).
+// Implementations are used from the single batching goroutine only.
+type LingerTimer interface {
+	C() <-chan time.Time
+	Reset(d time.Duration)
+	Stop()
+}
+
+// wallLingerTimer is the production LingerTimer over a time.Timer,
+// carrying the stop-and-drain discipline a reused timer needs.
+type wallLingerTimer struct{ t *time.Timer }
+
+func newWallLingerTimer() *wallLingerTimer {
+	t := time.NewTimer(time.Hour)
+	if !t.Stop() {
+		<-t.C
+	}
+	return &wallLingerTimer{t: t}
+}
+
+func (w *wallLingerTimer) C() <-chan time.Time  { return w.t.C }
+func (w *wallLingerTimer) Reset(d time.Duration) { w.t.Reset(d) }
+func (w *wallLingerTimer) Stop() {
+	if !w.t.Stop() {
+		select {
+		case <-w.t.C:
+		default:
+		}
+	}
 }
 
 // DefaultSampleEvery is the default latency/trace sampling stride.
@@ -574,9 +613,9 @@ func (b *Batcher) ProbaCSR(idx []int, val []float64, out []float64) (int, error)
 // linger), score it, answer every request, repeat.
 func (b *Batcher) loop() {
 	defer b.wg.Done()
-	timer := time.NewTimer(time.Hour)
-	if !timer.Stop() {
-		<-timer.C
+	timer := b.cfg.LingerTimer
+	if timer == nil {
+		timer = newWallLingerTimer()
 	}
 	for {
 		// First request of the next batch: weighted pick when work is
@@ -631,7 +670,7 @@ func (b *Batcher) takeWeighted() (*request, bool) {
 // fill grows the current batch to MaxBatch: greedy weighted drain
 // first, then a linger window measured from the first request's arrival.
 // Returns true when shutdown was requested mid-fill.
-func (b *Batcher) fill(timer *time.Timer) bool {
+func (b *Batcher) fill(timer LingerTimer) bool {
 	for len(b.batch) < b.cfg.MaxBatch {
 		r, ok := b.takeWeighted()
 		if !ok {
@@ -647,14 +686,7 @@ func (b *Batcher) fill(timer *time.Timer) bool {
 	// waits in the batcher more than ~MaxLinger before its launch
 	// starts.
 	timer.Reset(b.cfg.MaxLinger)
-	defer func() {
-		if !timer.Stop() {
-			select {
-			case <-timer.C:
-			default:
-			}
-		}
-	}()
+	defer timer.Stop()
 	for len(b.batch) < b.cfg.MaxBatch {
 		var r *request
 		select {
@@ -664,7 +696,7 @@ func (b *Batcher) fill(timer *time.Timer) bool {
 			b.wrr.Spend(control.Batch)
 		case r = <-b.queues[control.Background]:
 			b.wrr.Spend(control.Background)
-		case <-timer.C:
+		case <-timer.C():
 			return false
 		case <-b.stop:
 			return true

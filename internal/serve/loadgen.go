@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strconv"
 	"sync"
@@ -65,6 +66,12 @@ type LoadConfig struct {
 	// count (sizes the per-worker probability buffer).
 	Proba   bool
 	Classes int
+	// Seed seeds the open-loop row picker explicitly, so a run can be
+	// replayed bit-for-bit: same rows + same Seed = same request
+	// sequence. <= 0 selects 1 — the generator never falls back to an
+	// unseeded (time-derived) source. Closed loop needs no RNG: each
+	// worker walks the row set in a fixed stride.
+	Seed int64
 }
 
 func (c LoadConfig) withDefaults() LoadConfig {
@@ -82,6 +89,9 @@ func (c LoadConfig) withDefaults() LoadConfig {
 	}
 	if c.SampleEvery < 1 {
 		c.SampleEvery = 1
+	}
+	if c.Seed <= 0 {
+		c.Seed = 1
 	}
 	return c
 }
@@ -272,6 +282,10 @@ func runClosedLoop(target Target, rows [][]float64, cfg LoadConfig) LoadResult {
 
 func runOpenLoop(target Target, rows [][]float64, cfg LoadConfig) LoadResult {
 	ctr := &loadCounters{hist: metrics.NewHistogram()}
+	// Explicitly seeded row picker (cfg.Seed): the arrival schedule is
+	// already deterministic, so the seed makes the whole request
+	// sequence replayable.
+	rng := rand.New(rand.NewSource(cfg.Seed))
 	var shed atomic.Int64
 	interval := time.Duration(float64(time.Second) / cfg.Rate)
 	if interval <= 0 {
@@ -285,7 +299,6 @@ func runOpenLoop(target Target, rows [][]float64, cfg LoadConfig) LoadResult {
 	sem := make(chan struct{}, cfg.Concurrency)
 	var wg sync.WaitGroup
 	next := time.Now()
-	i := 0
 	for {
 		now := time.Now()
 		if now.After(deadline) {
@@ -295,8 +308,7 @@ func runOpenLoop(target Target, rows [][]float64, cfg LoadConfig) LoadResult {
 			time.Sleep(wait)
 		}
 		measuring := time.Now().After(warmupEnd)
-		row := rows[i%len(rows)]
-		i++
+		row := rows[rng.Intn(len(rows))]
 		next = next.Add(interval)
 		select {
 		case sem <- struct{}{}:

@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// ArrivalProcess generates inter-arrival gaps. Next returns the delay
+// from now until the next arrival; implementations must be
+// deterministic given the rng and the current virtual time (diurnal
+// processes read now, stationary ones ignore it).
+type ArrivalProcess interface {
+	Next(rng *rand.Rand, now time.Duration) time.Duration
+}
+
+// Constant fires exactly every Every — the fixed-schedule open-loop
+// generator.
+type Constant struct {
+	Every time.Duration
+}
+
+// Next implements ArrivalProcess.
+func (c Constant) Next(*rand.Rand, time.Duration) time.Duration { return c.Every }
+
+// Poisson fires with exponential gaps at Rate arrivals per second —
+// the memoryless open-loop user population.
+type Poisson struct {
+	Rate float64 // arrivals per second
+}
+
+// Next implements ArrivalProcess.
+func (p Poisson) Next(rng *rand.Rand, _ time.Duration) time.Duration {
+	if p.Rate <= 0 {
+		return time.Hour
+	}
+	return time.Duration(rng.ExpFloat64() / p.Rate * float64(time.Second))
+}
+
+// Diurnal is a sinusoidal-rate Poisson process: the rate swings from
+// Base at the trough to Peak at the crest over Period, starting at the
+// trough. The nonhomogeneous process is approximated by drawing each
+// exponential gap at the instantaneous rate — accurate when the rate
+// varies slowly relative to the gaps, which a diurnal cycle does.
+type Diurnal struct {
+	Base, Peak float64 // arrivals per second
+	Period     time.Duration
+}
+
+// Rate returns the instantaneous arrival rate at virtual time t.
+func (d Diurnal) Rate(t time.Duration) float64 {
+	if d.Period <= 0 {
+		return d.Base
+	}
+	phase := 2 * math.Pi * float64(t%d.Period) / float64(d.Period)
+	return d.Base + (d.Peak-d.Base)*(1-math.Cos(phase))/2
+}
+
+// Next implements ArrivalProcess.
+func (d Diurnal) Next(rng *rand.Rand, now time.Duration) time.Duration {
+	r := d.Rate(now)
+	if r <= 0 {
+		return time.Hour
+	}
+	return time.Duration(rng.ExpFloat64() / r * float64(time.Second))
+}
+
+// Burst alternates between a quiet base schedule and periodic
+// open-loop bursts: every Interval, a window of Length fires at
+// BurstRate; outside windows arrivals follow BaseRate. Both phases are
+// Poisson so bursts land with realistic jitter.
+type Burst struct {
+	BaseRate  float64 // arrivals per second between bursts
+	BurstRate float64 // arrivals per second inside a burst window
+	Interval  time.Duration
+	Length    time.Duration
+}
+
+// inBurst reports whether t falls inside a burst window.
+func (b Burst) inBurst(t time.Duration) bool {
+	if b.Interval <= 0 {
+		return false
+	}
+	return t%b.Interval < b.Length
+}
+
+// Next implements ArrivalProcess.
+func (b Burst) Next(rng *rand.Rand, now time.Duration) time.Duration {
+	r := b.BaseRate
+	if b.inBurst(now) {
+		r = b.BurstRate
+	}
+	if r <= 0 {
+		return time.Hour
+	}
+	return time.Duration(rng.ExpFloat64() / r * float64(time.Second))
+}

@@ -1,0 +1,191 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"newtonadmm/internal/control"
+)
+
+// runScenario caches one run per named scenario so the assertion tests
+// and the determinism suite don't re-execute the million-request mix.
+var scenarioRuns = map[string]*ScenarioResult{}
+
+func runScenario(t *testing.T, name string) *ScenarioResult {
+	t.Helper()
+	if res, ok := scenarioRuns[name]; ok {
+		return res
+	}
+	sc, ok := ByName(name)
+	if !ok {
+		t.Fatalf("no scenario %q", name)
+	}
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scenarioRuns[name] = res
+	return res
+}
+
+// TestSteadyReplica: moderate constant load on a healthy fleet serves
+// everything with zero rejects, zero errors, and latency at
+// linger + service + wire.
+func TestSteadyReplica(t *testing.T) {
+	res := runScenario(t, "steady-replica")
+	if res.Requests != 40000 {
+		t.Errorf("requests = %d, want 40000 (constant 20k/s over 2s)", res.Requests)
+	}
+	if res.Completed != res.Requests || res.Rejected != 0 || res.Errors != 0 || res.Failovers != 0 {
+		t.Errorf("healthy fleet dropped work: %+v", res)
+	}
+	p99 := res.Class(control.Interactive).Latency.P99
+	if p99 <= 0 || p99 > time.Millisecond {
+		t.Errorf("p99 = %v, want (0, 1ms] (linger 200µs + batch service + wire)", p99)
+	}
+	if len(res.Coverage) != 1 || res.Coverage[0].Status != "ok" {
+		t.Errorf("coverage = %+v, want a single ok", res.Coverage)
+	}
+}
+
+// TestBurstBackpressure: open-loop bursts overrun the slow fleet; the
+// bounded queues reject with queue_full (and only queue_full), nothing
+// is silently dropped, and latency stays bounded by the queue depth.
+func TestBurstBackpressure(t *testing.T) {
+	res := runScenario(t, "burst-backpressure")
+	cs := res.Class(control.Interactive)
+	if cs.Rejected[control.ReasonQueueFull] < 10000 {
+		t.Errorf("queue_full rejects = %d, want >= 10000 (bursts must overrun)", cs.Rejected[control.ReasonQueueFull])
+	}
+	if res.Errors != 0 {
+		t.Errorf("errors = %d, want 0 (backpressure is not failure)", res.Errors)
+	}
+	if res.Completed+res.Rejected != res.Requests {
+		t.Errorf("accounting leak: completed %d + rejected %d != requests %d", res.Completed, res.Rejected, res.Requests)
+	}
+	if res.Completed < res.Requests/10 {
+		t.Errorf("completed = %d of %d, want the base load served", res.Completed, res.Requests)
+	}
+	if max := cs.Latency.Max; max > 5*time.Millisecond {
+		t.Errorf("max latency = %v, want <= 5ms (bounded queues bound latency)", max)
+	}
+	if res.Failovers == 0 {
+		t.Error("failovers = 0, want > 0 (full replica fails over to its peer before rejecting)")
+	}
+}
+
+// TestDiurnalAutoscale: the real autoscaler must grow the fleet
+// through the diurnal peak and drain it through the trough.
+func TestDiurnalAutoscale(t *testing.T) {
+	res := runScenario(t, "diurnal-autoscale")
+	if !res.AutoEnabled {
+		t.Fatal("autoscaler not enabled")
+	}
+	if res.AutoUps == 0 {
+		t.Error("ups = 0, want scale-ups at the peak")
+	}
+	if res.AutoDowns == 0 {
+		t.Error("downs = 0, want scale-downs in the trough")
+	}
+	if len(res.Scale) < 3 {
+		t.Errorf("trajectory %+v, want >= 3 points (initial + up + down)", res.Scale)
+	}
+	if res.FinalReplicas < 2 || res.FinalReplicas > 8 {
+		t.Errorf("final replicas = %d, want within [2, 8]", res.FinalReplicas)
+	}
+	if res.Errors != 0 {
+		t.Errorf("errors = %d, want 0", res.Errors)
+	}
+}
+
+// TestZoneOutage: a whole zone dies mid-run on the R=2 x S=2 grid. The
+// sibling retry keeps every client request whole (zero errors),
+// coverage degrades without ever going unserviceable, and the virtual
+// health probes restore the zone after revival.
+func TestZoneOutage(t *testing.T) {
+	res := runScenario(t, "zone-outage")
+	if res.Errors != 0 {
+		t.Errorf("errors = %d, want 0 (sibling retry must absorb the outage)", res.Errors)
+	}
+	if res.Completed != res.Requests {
+		t.Errorf("completed %d of %d requests", res.Completed, res.Requests)
+	}
+	if res.Failovers == 0 {
+		t.Error("failovers = 0, want > 0 (legs must have retried onto siblings)")
+	}
+	sawDegraded := false
+	for _, tr := range res.Coverage {
+		if tr.Status == "unserviceable" {
+			t.Errorf("coverage went unserviceable at %v", tr.At)
+		}
+		if tr.Status == "degraded" {
+			sawDegraded = true
+		}
+	}
+	if !sawDegraded {
+		t.Errorf("coverage %+v never degraded during the outage", res.Coverage)
+	}
+	if last := res.Coverage[len(res.Coverage)-1]; last.Status != "ok" {
+		t.Errorf("final coverage = %q, want ok after revival", last.Status)
+	}
+}
+
+// TestAdversarialMix is the million-request run: a 200k req/s
+// background flood against an interactive trickle, priced out by the
+// cost-aware admission policy. Interactive is never refused (the
+// starvation bound), the flood eats every rejection, and the fleet
+// serves all admitted work without error — in well under the CI
+// budget.
+func TestAdversarialMix(t *testing.T) {
+	start := time.Now()
+	res := runScenario(t, "adversarial-mix")
+	if wall := time.Since(start); wall > 2*time.Minute {
+		t.Errorf("run took %v, want < 2m (CI budget)", wall)
+	}
+	if res.Requests < 1_000_000 {
+		t.Errorf("requests = %d, want >= 1e6", res.Requests)
+	}
+	inter := res.Class(control.Interactive)
+	if inter.RejectedTotal() != 0 {
+		t.Errorf("interactive rejections = %d, want 0 (starvation bound)", inter.RejectedTotal())
+	}
+	if inter.Completed != inter.Arrived {
+		t.Errorf("interactive completed %d of %d", inter.Completed, inter.Arrived)
+	}
+	bg := res.Class(control.Background)
+	if bg.Rejected[control.ReasonCostRejected] < 500_000 {
+		t.Errorf("background cost_rejected = %d, want >= 5e5 (the flood must be priced out)", bg.Rejected[control.ReasonCostRejected])
+	}
+	if bg.Completed == 0 {
+		t.Error("background completed = 0, want > 0 (the flood degrades, it is not starved)")
+	}
+	if res.Errors != 0 {
+		t.Errorf("errors = %d, want 0", res.Errors)
+	}
+	if p99 := inter.Latency.P99; p99 <= 0 || p99 > time.Millisecond {
+		t.Errorf("interactive p99 = %v, want (0, 1ms]", p99)
+	}
+}
+
+// TestScenarioCatalog pins the regression catalog: at least the five
+// named scenarios, resolvable by name, valid after defaulting.
+func TestScenarioCatalog(t *testing.T) {
+	want := []string{"steady-replica", "burst-backpressure", "diurnal-autoscale", "zone-outage", "adversarial-mix"}
+	all := Scenarios()
+	if len(all) < len(want) {
+		t.Fatalf("catalog has %d scenarios, want >= %d", len(all), len(want))
+	}
+	for _, name := range want {
+		sc, ok := ByName(name)
+		if !ok {
+			t.Errorf("scenario %q missing from catalog", name)
+			continue
+		}
+		if err := sc.withDefaults().validate(); err != nil {
+			t.Errorf("scenario %q invalid: %v", name, err)
+		}
+	}
+	if _, ok := ByName("no-such-scenario"); ok {
+		t.Error("ByName resolved a nonexistent scenario")
+	}
+}
