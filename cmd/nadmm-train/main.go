@@ -18,6 +18,18 @@ import (
 	"newtonadmm"
 )
 
+// printTrace writes the per-epoch convergence table.
+func printTrace(trace []newtonadmm.TracePoint) {
+	fmt.Println("epoch      time(s)      objective    test-acc")
+	for _, p := range trace {
+		acc := "      -"
+		if !math.IsNaN(p.TestAccuracy) {
+			acc = fmt.Sprintf("%7.4f", p.TestAccuracy)
+		}
+		fmt.Printf("%5d  %11.4f  %13.6g  %s\n", p.Epoch, p.Seconds, p.Objective, acc)
+	}
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("nadmm-train: ")
@@ -43,6 +55,12 @@ func main() {
 		seed     = flag.Int64("seed", 0, "random seed for stochastic solvers")
 		save     = flag.String("save", "", "write the trained model (gob) to this path")
 		quiet    = flag.Bool("quiet", false, "suppress the per-epoch trace")
+
+		ckptDir     = flag.String("checkpoint-dir", "", "write crash-safe checkpoints to this directory (newton-admm, giant)")
+		ckptEvery   = flag.Int("checkpoint-every", 1, "snapshot period in epochs when -checkpoint-dir is set")
+		resume      = flag.Bool("resume", false, "resume from the latest good checkpoint in -checkpoint-dir")
+		maxRestarts = flag.Int("max-restarts", 0, "automatic restarts from the latest checkpoint on comm failure")
+		collTimeout = flag.Duration("collective-timeout", 0, "deadline for every blocking collective wait (0 = none)")
 	)
 	flag.Parse()
 
@@ -71,23 +89,30 @@ func main() {
 		CGIters: *cgIters, CGTol: *cgTol, PenaltyPolicy: *penalty,
 		BatchSize: *batch, StepSize: *step, Momentum: *momentum, Tau: *tau, Seed: *seed,
 		EvalTestAccuracy: true,
+		CheckpointDir:    *ckptDir, CheckpointEvery: *ckptEvery, Resume: *resume,
+		MaxRestarts: *maxRestarts, CollectiveTimeout: *collTimeout,
 	})
 	if err != nil {
-		log.Fatal(err)
+		// Flush whatever converged before the failure instead of discarding
+		// it; the exit code still reports the run as failed.
+		if model != nil && len(model.Trace) > 0 && !*quiet {
+			printTrace(model.Trace)
+		}
+		if model != nil && model.FailedEpoch > 0 {
+			fmt.Fprintf(os.Stderr, "nadmm-train: training failed at iteration %d\n", model.FailedEpoch)
+		}
+		log.Print(err)
+		os.Exit(1)
 	}
 
 	if !*quiet {
-		fmt.Println("epoch      time(s)      objective    test-acc")
-		for _, p := range model.Trace {
-			acc := "      -"
-			if !math.IsNaN(p.TestAccuracy) {
-				acc = fmt.Sprintf("%7.4f", p.TestAccuracy)
-			}
-			fmt.Printf("%5d  %11.4f  %13.6g  %s\n", p.Epoch, p.Seconds, p.Objective, acc)
-		}
+		printTrace(model.Trace)
 	}
 	fmt.Printf("solver=%s ranks=%d total=%v avg-epoch=%v\n",
 		model.Solver, *ranks, model.TotalTime, model.AvgEpochTime)
+	if n := len(model.Trace); n > 0 {
+		fmt.Printf("final objective: %.17g\n", model.Trace[n-1].Objective)
+	}
 	if !math.IsNaN(model.TestAccuracy) {
 		fmt.Printf("final test accuracy: %.4f\n", model.TestAccuracy)
 	}

@@ -31,6 +31,14 @@ type PenaltyPolicy interface {
 	Rho() float64
 	// Update observes iteration k's results and returns the new penalty.
 	Update(k int, st IterState) float64
+	// State serializes the policy's full mutable state as float64s, so a
+	// checkpointed run resumes with bitwise-identical adaptation. The
+	// layout is policy-specific; SetState of the same policy type inverts
+	// it exactly.
+	State() []float64
+	// SetState restores state produced by State. It reports false when
+	// the encoding does not match this policy type.
+	SetState(s []float64) bool
 }
 
 // FixedPenalty keeps rho constant (vanilla consensus ADMM).
@@ -44,6 +52,18 @@ func (f *FixedPenalty) Rho() float64 { return f.Value }
 
 // Update implements PenaltyPolicy (no adaptation).
 func (f *FixedPenalty) Update(int, IterState) float64 { return f.Value }
+
+// State implements PenaltyPolicy: [rho].
+func (f *FixedPenalty) State() []float64 { return []float64{f.Value} }
+
+// SetState implements PenaltyPolicy.
+func (f *FixedPenalty) SetState(s []float64) bool {
+	if len(s) != 1 {
+		return false
+	}
+	f.Value = s[0]
+	return true
+}
 
 // ResidualBalancing is the classic adaptive rule of He, Yang & Wang (2000):
 // grow rho when the primal residual dominates, shrink when the dual
@@ -67,6 +87,19 @@ func (rb *ResidualBalancing) Name() string { return "residual-balancing" }
 
 // Rho implements PenaltyPolicy.
 func (rb *ResidualBalancing) Rho() float64 { return rb.rho }
+
+// State implements PenaltyPolicy: [rho] (Mu and Tau are configuration,
+// not evolving state).
+func (rb *ResidualBalancing) State() []float64 { return []float64{rb.rho} }
+
+// SetState implements PenaltyPolicy.
+func (rb *ResidualBalancing) SetState(s []float64) bool {
+	if len(s) != 1 {
+		return false
+	}
+	rb.rho = s[0]
+	return true
+}
 
 // Update implements PenaltyPolicy from the residual norms.
 func (rb *ResidualBalancing) Update(_ int, st IterState) float64 {
@@ -209,6 +242,48 @@ func (sp *SpectralPenalty) Update(k int, st IterState) float64 {
 
 	sp.snapshot(st.X1, st.Z1, lamHat, lam)
 	return sp.rho
+}
+
+// State implements PenaltyPolicy: [rho, havePrev] when no BB snapshot
+// exists yet, else [rho, 1, x0..., z0..., lamHat0..., lam0...] with the
+// four vectors equal-length (the iterate dimension is recovered from the
+// slice length on restore).
+func (sp *SpectralPenalty) State() []float64 {
+	if !sp.havePrev {
+		return []float64{sp.rho, 0}
+	}
+	out := make([]float64, 0, 2+4*len(sp.x0))
+	out = append(out, sp.rho, 1)
+	out = append(out, sp.x0...)
+	out = append(out, sp.z0...)
+	out = append(out, sp.lamHat0...)
+	out = append(out, sp.lam0...)
+	return out
+}
+
+// SetState implements PenaltyPolicy.
+func (sp *SpectralPenalty) SetState(s []float64) bool {
+	if len(s) < 2 {
+		return false
+	}
+	rho, havePrev := s[0], s[1] != 0
+	rest := s[2:]
+	if !havePrev {
+		if len(rest) != 0 {
+			return false
+		}
+		sp.rho = rho
+		sp.havePrev = false
+		sp.x0, sp.z0, sp.lamHat0, sp.lam0 = nil, nil, nil, nil
+		return true
+	}
+	if len(rest)%4 != 0 || len(rest) == 0 {
+		return false
+	}
+	dim := len(rest) / 4
+	sp.rho = rho
+	sp.snapshot(rest[:dim], rest[dim:2*dim], rest[2*dim:3*dim], rest[3*dim:])
+	return true
 }
 
 func (sp *SpectralPenalty) snapshot(x, z, lamHat, lam []float64) {

@@ -1,0 +1,92 @@
+package admm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randIterState fabricates a plausible iteration result so policies
+// evolve real internal state before the round trip.
+func randIterState(rng *rand.Rand, dim int) IterState {
+	vec := func() []float64 {
+		v := make([]float64, dim)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		return v
+	}
+	return IterState{
+		X1: vec(), Z0: vec(), Z1: vec(), Y0: vec(), Y1: vec(),
+		Primal: rng.Float64(), Dual: rng.Float64(),
+	}
+}
+
+// TestPolicyStateRoundTrip drives each policy for a few iterations,
+// snapshots it, restores into a fresh instance, and checks both evolve
+// identically afterwards — the property checkpoint/resume relies on.
+func TestPolicyStateRoundTrip(t *testing.T) {
+	const dim = 6
+	for _, name := range []string{"fixed", "residual-balancing", "spectral"} {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			orig := NewPolicy(name, 1.0)
+			for k := 1; k <= 5; k++ {
+				orig.Update(k, randIterState(rng, dim))
+			}
+			restored := NewPolicy(name, 999.0) // wrong rho0: must be overwritten
+			if !restored.SetState(orig.State()) {
+				t.Fatal("SetState rejected its own State encoding")
+			}
+			if restored.Rho() != orig.Rho() {
+				t.Fatalf("rho after restore %v, want %v", restored.Rho(), orig.Rho())
+			}
+			// Both copies must now produce identical future updates.
+			rngA := rand.New(rand.NewSource(8))
+			rngB := rand.New(rand.NewSource(8))
+			for k := 6; k <= 10; k++ {
+				a := orig.Update(k, randIterState(rngA, dim))
+				b := restored.Update(k, randIterState(rngB, dim))
+				if a != b {
+					t.Fatalf("k=%d: divergence after restore: %v vs %v", k, a, b)
+				}
+			}
+		})
+	}
+}
+
+// TestSpectralStatePreSnapshot covers the no-BB-history encoding.
+func TestSpectralStatePreSnapshot(t *testing.T) {
+	sp := NewSpectralPenalty(2.5)
+	st := sp.State()
+	if len(st) != 2 || st[0] != 2.5 || st[1] != 0 {
+		t.Fatalf("pre-snapshot state %v", st)
+	}
+	fresh := NewSpectralPenalty(1)
+	if !fresh.SetState(st) {
+		t.Fatal("SetState rejected pre-snapshot encoding")
+	}
+	if fresh.Rho() != 2.5 || fresh.havePrev {
+		t.Fatalf("restore corrupted: rho=%v havePrev=%v", fresh.Rho(), fresh.havePrev)
+	}
+}
+
+// TestSetStateRejectsWrongShape ensures mismatched encodings fail loudly
+// instead of silently corrupting a resumed run.
+func TestSetStateRejectsWrongShape(t *testing.T) {
+	if (&FixedPenalty{}).SetState([]float64{1, 2}) {
+		t.Fatal("fixed accepted a 2-element state")
+	}
+	if NewResidualBalancing(1).SetState(nil) {
+		t.Fatal("residual-balancing accepted nil state")
+	}
+	sp := NewSpectralPenalty(1)
+	if sp.SetState([]float64{1}) {
+		t.Fatal("spectral accepted a 1-element state")
+	}
+	if sp.SetState([]float64{1, 1, 2, 3}) {
+		t.Fatal("spectral accepted a state with len%4 != 0 vectors")
+	}
+	if sp.SetState([]float64{1, 0, 9}) {
+		t.Fatal("spectral accepted trailing bytes on a pre-snapshot state")
+	}
+}

@@ -24,6 +24,9 @@ type Result struct {
 	Stats []cluster.NodeStats
 	// TestAccuracy is the final test accuracy (NaN when not measured).
 	TestAccuracy float64
+	// FailedEpoch is the outer iteration in flight when a failed run went
+	// down (0 when the run succeeded or failed before the first epoch).
+	FailedEpoch int
 }
 
 func finishResult(res *Result) {

@@ -1,7 +1,12 @@
 package baselines
 
 import (
+	"errors"
+	"fmt"
+	"time"
+
 	"newtonadmm/internal/cg"
+	"newtonadmm/internal/ckpt"
 	"newtonadmm/internal/cluster"
 	"newtonadmm/internal/datasets"
 	"newtonadmm/internal/dist"
@@ -30,6 +35,15 @@ type GiantOptions struct {
 	// TargetObjective stops the run at the first evaluation whose global
 	// objective reaches this value; zero disables early stopping.
 	TargetObjective float64
+	// CheckpointDir, CheckpointEvery, Resume, MaxRestarts and
+	// RestartBackoff mirror core.Options: crash-safe snapshots every
+	// CheckpointEvery epochs, bitwise resume from the latest good one,
+	// and bounded in-place restart on typed communication failures.
+	CheckpointDir   string
+	CheckpointEvery int
+	Resume          bool
+	MaxRestarts     int
+	RestartBackoff  time.Duration
 }
 
 func (o GiantOptions) withDefaults() GiantOptions {
@@ -48,7 +62,34 @@ func (o GiantOptions) withDefaults() GiantOptions {
 	if o.EvalEvery <= 0 {
 		o.EvalEvery = 1
 	}
+	if o.CheckpointDir != "" && o.CheckpointEvery <= 0 {
+		o.CheckpointEvery = 1
+	}
 	return o
+}
+
+// giantFingerprint binds checkpoints to the run's identity; like the
+// Newton-ADMM fingerprint it excludes Epochs (resume toward a larger
+// budget) and the transport (the math is transport-independent).
+func giantFingerprint(ranks int, ds *datasets.Dataset, opts GiantOptions) uint64 {
+	f := ckpt.NewFingerprinter()
+	f.String("giant")
+	f.Int(ranks)
+	f.String(ds.Name)
+	f.Int(ds.Dim())
+	f.Int(ds.Classes)
+	f.Int(ds.TrainSize())
+	f.Float(opts.Lambda)
+	f.Int(opts.CG.MaxIters)
+	f.Float(opts.CG.RelTol)
+	f.Float(opts.LineSearch.Beta)
+	f.Float(opts.LineSearch.Shrink)
+	f.Int(opts.LineSearch.MaxIters)
+	f.Float(opts.LineSearch.Initial)
+	f.Int(opts.EvalEvery)
+	f.Bool(opts.EvalTestAccuracy)
+	f.Float(opts.TargetObjective)
+	return f.Sum()
 }
 
 // SolveGIANT runs the Globally Improved Approximate Newton method: each
@@ -60,10 +101,24 @@ func (o GiantOptions) withDefaults() GiantOptions {
 // versus Newton-ADMM's one (paper §3).
 func SolveGIANT(clusterCfg cluster.Config, ds *datasets.Dataset, opts GiantOptions) (*Result, error) {
 	opts = opts.withDefaults()
+	ranks := clusterCfg.Ranks
+	if ranks < 1 {
+		ranks = 1
+	}
+	fp := giantFingerprint(ranks, ds, opts)
+	if opts.CheckpointDir != "" && !opts.Resume {
+		// A restart within this run must never load a snapshot left over
+		// from an older run in the same directory.
+		if err := ckpt.Clear(opts.CheckpointDir); err != nil {
+			return nil, err
+		}
+	}
 	res := &Result{X: make([]float64, ds.Dim())}
+	failedEpochs := make([]int, ranks)
 	var trace *metrics.Trace
 
-	stats, err := cluster.Run(clusterCfg, func(node *cluster.Node) error {
+	pol := cluster.RestartPolicy{MaxRestarts: opts.MaxRestarts, Backoff: opts.RestartBackoff}
+	stats, err := cluster.RunRestart(clusterCfg, pol, func(attempt int, node *cluster.Node) error {
 		local, err := dist.BuildLocal(node, ds, opts.Lambda, true)
 		if err != nil {
 			return err
@@ -79,8 +134,46 @@ func SolveGIANT(clusterCfg cluster.Config, ds *datasets.Dataset, opts GiantOptio
 		scale := float64(local.N) / float64(local.Problem.N())
 		scaled := &loss.Scaled{Base: local.Problem, Factor: scale}
 
-		rec.Observe(node, 0, x)
-		for k := 1; k <= opts.Epochs; k++ {
+		// Flush the partial trace even when this rank dies mid-run, with
+		// the epoch in flight recorded alongside it.
+		epochInFlight := 0
+		defer func() {
+			failedEpochs[node.Rank()] = epochInFlight
+			if node.Rank() == 0 {
+				tr := rec.Trace
+				trace = &tr
+			}
+		}()
+
+		// Resume: GIANT's full recoverable state is the iterate x, which
+		// is identical on all ranks (the per-rank checkpoint sections stay
+		// empty — CG and line-search state is pure scratch).
+		startK := 0
+		resume := opts.CheckpointDir != "" && (opts.Resume || attempt > 0)
+		if resume {
+			snap, err := ckpt.LoadLatest(opts.CheckpointDir, fp)
+			switch {
+			case errors.Is(err, ckpt.ErrNoCheckpoint):
+				// Nothing saved yet: fresh start.
+			case err != nil:
+				return err
+			default:
+				if len(snap.Shared) != dim {
+					return fmt.Errorf("baselines: checkpoint shape mismatch (shared %d, want %d)", len(snap.Shared), dim)
+				}
+				copy(x, snap.Shared)
+				startK = int(snap.Iter)
+				if node.Rank() == 0 {
+					rec.RestoreTrace(snap.Trace)
+				}
+			}
+		}
+
+		if startK == 0 {
+			rec.Observe(node, 0, x)
+		}
+		for k := startK + 1; k <= opts.Epochs; k++ {
+			epochInFlight = k
 			// Round 1: exact global gradient and objective value.
 			f0 := local.GlobalGradient(node, x, g)
 
@@ -109,20 +202,47 @@ func SolveGIANT(clusterCfg cluster.Config, ds *datasets.Dataset, opts GiantOptio
 					break // all ranks see the same allreduced objective
 				}
 			}
+
+			// Snapshot after the epoch's trace point; rank 0 writes after a
+			// barrier so no rank can observe a file ahead of its peers.
+			if opts.CheckpointDir != "" && (k%opts.CheckpointEvery == 0 || k == opts.Epochs) {
+				var saveErr error
+				node.Frozen(func() {
+					node.Barrier()
+					if node.Rank() != 0 {
+						return
+					}
+					saveErr = ckpt.Save(opts.CheckpointDir, &ckpt.Snapshot{
+						Fingerprint: fp,
+						Iter:        uint64(k),
+						Solver:      "giant",
+						Shared:      append([]float64(nil), x...),
+						Ranks:       make([][]float64, node.Size()),
+						Trace:       rec.CheckpointTrace(),
+					})
+				})
+				if saveErr != nil {
+					return saveErr
+				}
+			}
 		}
+		epochInFlight = 0 // clean finish
 		if node.Rank() == 0 {
 			copy(res.X, x)
-			tr := rec.Trace
-			trace = &tr
 		}
 		return nil
 	})
 	res.Stats = stats
-	if err != nil {
-		return nil, err
-	}
 	if trace != nil {
 		res.Trace = *trace
+	}
+	if err != nil {
+		for _, k := range failedEpochs {
+			if k > res.FailedEpoch {
+				res.FailedEpoch = k
+			}
+		}
+		return res, err
 	}
 	finishResult(res)
 	return res, nil

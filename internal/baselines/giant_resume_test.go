@@ -1,0 +1,135 @@
+package baselines
+
+import (
+	"math"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"newtonadmm/internal/cluster"
+	"newtonadmm/internal/cluster/faultinject"
+	"newtonadmm/internal/datasets"
+)
+
+// GIANT covers the other L2 convention (sharded regularization): the
+// same kill-and-resume pin as Newton-ADMM, bitwise on trace and iterate.
+
+const (
+	giantResumeEpochs = 6
+	giantResumeRanks  = 2
+)
+
+func giantResumeDataset(t *testing.T) *datasets.Dataset {
+	t.Helper()
+	ds, err := datasets.Generate(datasets.MNISTLike(0.03))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func giantResumeOpts(dir string) GiantOptions {
+	return GiantOptions{
+		Epochs:        giantResumeEpochs,
+		Lambda:        1e-4,
+		CheckpointDir: dir,
+	}
+}
+
+func giantResumeCluster() cluster.Config {
+	return cluster.Config{
+		Ranks:             giantResumeRanks,
+		Network:           cluster.ZeroCost,
+		DeviceWorkers:     1,
+		CollectiveTimeout: 10 * time.Second,
+	}
+}
+
+func giantAssertBitwise(t *testing.T, label string, base, got *Result) {
+	t.Helper()
+	if len(got.Trace.Points) != len(base.Trace.Points) {
+		t.Fatalf("%s: trace length %d, want %d", label, len(got.Trace.Points), len(base.Trace.Points))
+	}
+	for i, bp := range base.Trace.Points {
+		gp := got.Trace.Points[i]
+		if gp.Epoch != bp.Epoch || math.Float64bits(gp.Objective) != math.Float64bits(bp.Objective) {
+			t.Fatalf("%s: trace[%d] = (%d, %.17g), want (%d, %.17g)",
+				label, i, gp.Epoch, gp.Objective, bp.Epoch, bp.Objective)
+		}
+	}
+	for j := range base.X {
+		if math.Float64bits(got.X[j]) != math.Float64bits(base.X[j]) {
+			t.Fatalf("%s: X[%d] = %.17g, want %.17g (not bitwise)", label, j, got.X[j], base.X[j])
+		}
+	}
+}
+
+func giantCrashRank(victim, sends int, onlyFirstAttempt bool) func(int, cluster.Transport) cluster.Transport {
+	var wraps atomic.Int64
+	return func(rank int, tr cluster.Transport) cluster.Transport {
+		attempt := int(wraps.Add(1)-1) / giantResumeRanks
+		if rank != victim || (onlyFirstAttempt && attempt > 0) {
+			return tr
+		}
+		f := faultinject.Wrap(tr)
+		f.CrashAfterSend(sends)
+		return f
+	}
+}
+
+func TestGIANTBitwiseResume(t *testing.T) {
+	ds := giantResumeDataset(t)
+
+	base, err := SolveGIANT(giantResumeCluster(), ds, giantResumeOpts(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Trace.Points) != giantResumeEpochs+1 {
+		t.Fatalf("reference trace has %d points", len(base.Trace.Points))
+	}
+
+	// Kill rank 1 mid-epoch 2 (after the first checkpoint landed).
+	dir := t.TempDir()
+	ccfg := giantResumeCluster()
+	ccfg.WrapTransport = giantCrashRank(1, 15, false)
+	partial, err := SolveGIANT(ccfg, ds, giantResumeOpts(dir))
+	if err == nil {
+		t.Fatal("crashed run reported success")
+	}
+	if !cluster.IsCommError(err) {
+		t.Fatalf("crash not surfaced as a typed comm error: %v", err)
+	}
+	if partial == nil || partial.FailedEpoch == 0 || len(partial.Trace.Points) == 0 {
+		t.Fatalf("partial result incomplete: %+v", partial)
+	}
+	if files, _ := filepath.Glob(filepath.Join(dir, "ckpt-*.nack")); len(files) == 0 {
+		t.Fatal("no checkpoint was written before the crash")
+	}
+
+	opts := giantResumeOpts(dir)
+	opts.Resume = true
+	resumed, err := SolveGIANT(giantResumeCluster(), ds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	giantAssertBitwise(t, "kill+resume", base, resumed)
+}
+
+func TestGIANTInPlaceRestart(t *testing.T) {
+	ds := giantResumeDataset(t)
+	base, err := SolveGIANT(giantResumeCluster(), ds, giantResumeOpts(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccfg := giantResumeCluster()
+	ccfg.WrapTransport = giantCrashRank(1, 15, true)
+	opts := giantResumeOpts(t.TempDir())
+	opts.MaxRestarts = 2
+	opts.RestartBackoff = time.Millisecond
+	restarted, err := SolveGIANT(ccfg, ds, opts)
+	if err != nil {
+		t.Fatalf("restart did not recover: %v", err)
+	}
+	giantAssertBitwise(t, "in-place restart", base, restarted)
+}

@@ -1,10 +1,14 @@
 package cluster
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math"
 	"math/rand"
+	"net"
+	"runtime"
+	"sync"
 	"testing"
 	"time"
 )
@@ -212,14 +216,251 @@ func TestRankDeathUnblocksPeers(t *testing.T) {
 	}
 }
 
-func TestInjectedSendFailureSurfaces(t *testing.T) {
-	transports := NewInprocGroup(2)
-	InjectSendFailure(transports[1], 0)
-	if err := transports[1].Send(0, []float64{1}); err == nil {
-		t.Fatal("injected failure did not fire")
+func TestRecvDeadlineFiresTyped(t *testing.T) {
+	// No rank ever sends to us: a Recv with a deadline must fail with
+	// ErrCollectiveTimeout, promptly, on both transports.
+	const timeout = 100 * time.Millisecond
+	inproc := NewInprocGroupTimeout(2, timeout)
+	tcp, err := NewTCPGroupTimeout(2, 0, timeout)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if err := transports[0].Send(1, []float64{1}); err != nil {
-		t.Fatalf("unrelated direction failed: %v", err)
+	for name, group := range map[string][]Transport{"inproc": inproc, "tcp": tcp} {
+		start := time.Now()
+		_, err := group[0].Recv(1)
+		elapsed := time.Since(start)
+		if !errors.Is(err, ErrCollectiveTimeout) {
+			t.Fatalf("%s: got %v, want ErrCollectiveTimeout", name, err)
+		}
+		if elapsed > 10*timeout {
+			t.Fatalf("%s: deadline took %v, budget %v", name, elapsed, timeout)
+		}
+		for _, tr := range group {
+			tr.Close()
+		}
+	}
+}
+
+func TestAbortUnblocksPendingRecv(t *testing.T) {
+	// A blocked Recv with no deadline must still exit promptly when any
+	// rank broadcasts an abort — the coordinated-abort liveness guarantee.
+	inproc := NewInprocGroup(2)
+	tcp, err := NewTCPGroup(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, group := range map[string][]Transport{"inproc": inproc, "tcp": tcp} {
+		done := make(chan error, 1)
+		go func() {
+			_, err := group[0].Recv(1)
+			done <- err
+		}()
+		time.Sleep(20 * time.Millisecond) // let the Recv block
+		group[1].Abort()
+		select {
+		case err := <-done:
+			if !errors.Is(err, ErrAborted) {
+				t.Fatalf("%s: got %v, want ErrAborted", name, err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("%s: abort did not unblock pending Recv", name)
+		}
+		for _, tr := range group {
+			tr.Close()
+		}
+	}
+}
+
+func TestRunAggregatesAllRankErrors(t *testing.T) {
+	// Two ranks fail independently; errors.Join must surface both, so the
+	// root cause is never hidden by a casualty with a lower rank number.
+	_, err := Run(Config{Ranks: 4, Network: ZeroCost, DeviceWorkers: 1}, func(n *Node) error {
+		switch n.Rank() {
+		case 0:
+			return errors.New("casualty-zero")
+		case 3:
+			return errors.New("root-cause-three")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if !errorsContains(err, "casualty-zero") || !errorsContains(err, "root-cause-three") {
+		t.Fatalf("aggregated error lost a rank's failure: %v", err)
+	}
+}
+
+func TestDialDeadAddressFailsFast(t *testing.T) {
+	// A dial to a port nothing listens on must fail promptly with a typed
+	// error, not wait out the kernel connect timeout.
+	ep := &tcpEndpoint{
+		rank: 0, size: 2,
+		addrs:   []string{"", "127.0.0.1:1"}, // port 1: nothing listens
+		timeout: 200 * time.Millisecond,
+		conns:   make(map[int]net.Conn),
+	}
+	start := time.Now()
+	_, err := ep.dial(1)
+	if err == nil {
+		t.Fatal("dial to dead address succeeded")
+	}
+	if !errors.Is(err, ErrPeerLost) {
+		t.Fatalf("dial error not typed: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("dial took %v, deadline not applied", elapsed)
+	}
+}
+
+func TestTCPCloseDrainsGoroutinesAndUnblocksRecv(t *testing.T) {
+	// Teardown invariants: Close during an in-flight collective unblocks
+	// every pending Recv with ErrPeerLost, and after all endpoints close,
+	// the goroutine count settles back (wg-drained accept/read loops).
+	before := runtime.NumGoroutine()
+	group, err := NewTCPGroup(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recvErrs [3]error
+	var wg sync.WaitGroup
+	for i, tr := range group {
+		wg.Add(1)
+		go func(i int, tr Transport) {
+			defer wg.Done()
+			_, recvErrs[i] = tr.Recv((i + 1) % 3) // blocks: nobody sends
+		}(i, tr)
+	}
+	time.Sleep(20 * time.Millisecond) // let all Recvs block
+	for _, tr := range group {
+		if err := tr.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	}
+	waitDone := make(chan struct{})
+	go func() { wg.Wait(); close(waitDone) }()
+	select {
+	case <-waitDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close did not unblock pending Recvs")
+	}
+	for i, err := range recvErrs {
+		if !errors.Is(err, ErrPeerLost) {
+			t.Fatalf("rank %d recv after close: got %v, want ErrPeerLost", i, err)
+		}
+	}
+	// Double Close must be a no-op, not a panic.
+	for _, tr := range group {
+		if err := tr.Close(); err != nil {
+			t.Fatalf("second close: %v", err)
+		}
+	}
+	// All accept/read goroutines must have drained.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+1 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: before=%d after=%d", before, runtime.NumGoroutine())
+}
+
+func TestReadLoopRejectsSenderSwitch(t *testing.T) {
+	// Protocol regression: one connection, two claimed sender ranks. The
+	// read loop must drop the connection and poison the bound sender's
+	// queue so a Recv from it fails with ErrPeerLost instead of trusting
+	// forged frames.
+	group, err := NewTCPGroup(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, tr := range group {
+			tr.Close()
+		}
+	}()
+	ep := group[0].(*tcpEndpoint)
+	conn, err := net.Dial("tcp", ep.addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	frame := func(from uint32, vals []float64) []byte {
+		buf := make([]byte, 8+8*len(vals))
+		binary.LittleEndian.PutUint32(buf[0:4], from)
+		binary.LittleEndian.PutUint32(buf[4:8], uint32(len(vals)))
+		for i, v := range vals {
+			binary.LittleEndian.PutUint64(buf[8+8*i:], math.Float64bits(v))
+		}
+		return buf
+	}
+	// Bind the connection to rank 1, deliver one legitimate frame, then
+	// violate the protocol by claiming rank 2 on the same connection.
+	if _, err := conn.Write(frame(1, []float64{42})); err != nil {
+		t.Fatal(err)
+	}
+	got, err := group[0].Recv(1)
+	if err != nil || len(got) != 1 || got[0] != 42 {
+		t.Fatalf("legitimate frame lost: %v %v", got, err)
+	}
+	if _, err := conn.Write(frame(2, []float64{13})); err != nil {
+		t.Fatal(err)
+	}
+	// The violating connection is dropped and rank 1's queue closed: the
+	// next Recv(1) on this spoofed path must fail typed, and the forged
+	// frame must never surface as data from rank 2.
+	done := make(chan error, 1)
+	go func() {
+		_, err := group[0].Recv(1)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrPeerLost) {
+			t.Fatalf("recv after protocol violation: got %v, want ErrPeerLost", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("protocol violation did not poison the sender queue")
+	}
+}
+
+func TestOversizedFrameDropsConnection(t *testing.T) {
+	// A frame header claiming an absurd element count must drop the
+	// connection instead of attempting a giant allocation.
+	group, err := NewTCPGroup(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, tr := range group {
+			tr.Close()
+		}
+	}()
+	ep := group[0].(*tcpEndpoint)
+	conn, err := net.Dial("tcp", ep.addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], 1)
+	binary.LittleEndian.PutUint32(hdr[4:8], maxFrameVecs+1)
+	if _, err := conn.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := group[0].Recv(1)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrPeerLost) {
+			t.Fatalf("recv after oversized frame: got %v, want ErrPeerLost", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("oversized frame did not drop the connection")
 	}
 }
 

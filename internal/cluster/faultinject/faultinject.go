@@ -1,0 +1,172 @@
+// Package faultinject wraps the training cluster's Transport seam with
+// scriptable, deterministic faults — crash-after-exact-send-count,
+// black-holed sends (a hung-but-connected rank), delayed receives — so
+// the chaos suite can kill or wedge any rank at any collective phase and
+// assert the group's liveness invariants. It mirrors router/faultinject:
+// faults arm from explicit test calls and trip on exact call counts,
+// never on timers or randomness, so a failing chaos run replays
+// identically. It replaces the ad-hoc inproc-only InjectSendFailure hook
+// the transport used to carry.
+package faultinject
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"newtonadmm/internal/cluster"
+)
+
+// FaultTransport wraps a cluster.Transport and injects faults at the
+// call boundary. Two fault families model the two real failure modes:
+//
+//   - Crash (CrashAfterSend): the rank dies. The trip closes the inner
+//     transport — exactly what process death does to its sockets — so
+//     peers blocked on Recv(from=this rank) fail promptly with
+//     ErrPeerLost, and every local call fails with an injected
+//     ErrPeerLost error.
+//   - Wedge (DropSendsTo, HangRecvFor): the rank stays connected but
+//     stops making progress. Nothing closes, so peers can only recover
+//     through the collective deadline (ErrCollectiveTimeout) — the case
+//     a closed connection can never surface.
+//
+// Safe for concurrent use. Install via cluster.Config.WrapTransport.
+type FaultTransport struct {
+	inner cluster.Transport
+
+	mu             sync.Mutex
+	crashed        bool
+	crashAfterSend int64 // sends still allowed before the armed crash; -1 disarmed
+	sends          int64
+	dropTo         map[int]bool
+	hangRecvUntil  time.Time
+}
+
+// Wrap builds a FaultTransport over inner with no faults armed.
+func Wrap(inner cluster.Transport) *FaultTransport {
+	return &FaultTransport{inner: inner, crashAfterSend: -1}
+}
+
+// Inner returns the wrapped transport.
+func (f *FaultTransport) Inner() cluster.Transport { return f.inner }
+
+// Rank implements cluster.Transport.
+func (f *FaultTransport) Rank() int { return f.inner.Rank() }
+
+// Size implements cluster.Transport.
+func (f *FaultTransport) Size() int { return f.inner.Size() }
+
+// Sends reports how many Send calls have entered the fault gate
+// (including dropped ones).
+func (f *FaultTransport) Sends() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.sends
+}
+
+// CrashAfterSend arms a deterministic crash: the next n Send calls pass
+// the gate, and the one after trips the crash. CrashAfterSend(0)
+// crashes on the very next send. Tripping closes the inner transport
+// (poisoning peers like a dead process); see Crash.
+func (f *FaultTransport) CrashAfterSend(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashAfterSend = int64(n)
+}
+
+// Crash kills the rank now: the inner transport is closed and every
+// subsequent local call fails with an ErrPeerLost-wrapped injected
+// error.
+func (f *FaultTransport) Crash() {
+	f.mu.Lock()
+	already := f.crashed
+	f.crashed = true
+	f.crashAfterSend = -1
+	f.mu.Unlock()
+	if !already {
+		f.inner.Close()
+	}
+}
+
+// DropSendsTo black-holes every subsequent send to rank `to`: the send
+// reports success but nothing is delivered — the wedged-peer scenario
+// where the receiver's only recourse is its deadline.
+func (f *FaultTransport) DropSendsTo(to int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.dropTo == nil {
+		f.dropTo = make(map[int]bool)
+	}
+	f.dropTo[to] = true
+}
+
+// HangRecvFor makes Recv calls entering within the next d first wait
+// out the window before proceeding — a rank stalled on a slow disk or a
+// GC pause, visible to its peers as delayed sends.
+func (f *FaultTransport) HangRecvFor(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.hangRecvUntil = time.Now().Add(d)
+}
+
+// Revive clears all armed-but-untripped faults (an armed crash, drops,
+// hangs). A tripped crash has already closed the inner transport and
+// stays dead — ranks rejoin through a fresh Run, not resurrection.
+func (f *FaultTransport) Revive() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashAfterSend = -1
+	f.dropTo = nil
+	f.hangRecvUntil = time.Time{}
+}
+
+func (f *FaultTransport) crashErr(op string) error {
+	return fmt.Errorf("faultinject: injected crash (%s on rank %d): %w", op, f.inner.Rank(), cluster.ErrPeerLost)
+}
+
+// Send implements cluster.Transport through the fault gate.
+func (f *FaultTransport) Send(to int, data []float64) error {
+	f.mu.Lock()
+	if f.crashed {
+		f.mu.Unlock()
+		return f.crashErr("send")
+	}
+	if f.crashAfterSend >= 0 && f.sends >= f.crashAfterSend {
+		f.crashed = true
+		f.crashAfterSend = -1
+		f.mu.Unlock()
+		f.inner.Close()
+		return f.crashErr("send")
+	}
+	f.sends++
+	if f.dropTo[to] {
+		f.mu.Unlock()
+		return nil // black hole: reported delivered, never arrives
+	}
+	f.mu.Unlock()
+	return f.inner.Send(to, data)
+}
+
+// Recv implements cluster.Transport through the fault gate.
+func (f *FaultTransport) Recv(from int) ([]float64, error) {
+	f.mu.Lock()
+	if f.crashed {
+		f.mu.Unlock()
+		return nil, f.crashErr("recv")
+	}
+	until := f.hangRecvUntil
+	f.mu.Unlock()
+	if now := time.Now(); now.Before(until) {
+		time.Sleep(until.Sub(now))
+	}
+	return f.inner.Recv(from)
+}
+
+// Abort always reaches the inner transport: the coordinated-abort
+// broadcast is the runtime's recovery path, not a fault surface.
+func (f *FaultTransport) Abort() { f.inner.Abort() }
+
+// Close always reaches the inner transport: resource cleanup is not a
+// fault surface (a tripped crash has already closed it; Close is
+// idempotent).
+func (f *FaultTransport) Close() error { return f.inner.Close() }

@@ -1,0 +1,128 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"newtonadmm/internal/cluster"
+)
+
+func TestCrashAfterSendExactCount(t *testing.T) {
+	ts := cluster.NewInprocGroup(2)
+	f := Wrap(ts[0])
+	f.CrashAfterSend(2)
+
+	for i := 0; i < 2; i++ {
+		if err := f.Send(1, []float64{float64(i)}); err != nil {
+			t.Fatalf("send %d should pass the gate: %v", i, err)
+		}
+	}
+	if err := f.Send(1, []float64{2}); !errors.Is(err, cluster.ErrPeerLost) {
+		t.Fatalf("third send should trip the crash with ErrPeerLost, got %v", err)
+	}
+	if got := f.Sends(); got != 2 {
+		t.Fatalf("Sends()=%d, want exactly 2 (the tripping call does not count)", got)
+	}
+
+	// The trip closed the inner transport: the peer drains the two
+	// delivered payloads, then sees the rank as dead.
+	for i := 0; i < 2; i++ {
+		if _, err := ts[1].Recv(0); err != nil {
+			t.Fatalf("queued payload %d lost: %v", i, err)
+		}
+	}
+	if _, err := ts[1].Recv(0); !errors.Is(err, cluster.ErrPeerLost) {
+		t.Fatalf("peer should see ErrPeerLost after the crash, got %v", err)
+	}
+	// And every local call fails too.
+	if _, err := f.Recv(1); !errors.Is(err, cluster.ErrPeerLost) {
+		t.Fatalf("local recv after crash: got %v, want ErrPeerLost", err)
+	}
+}
+
+func TestCrashAfterZeroKillsFirstSend(t *testing.T) {
+	ts := cluster.NewInprocGroup(2)
+	f := Wrap(ts[1])
+	f.CrashAfterSend(0)
+	if err := f.Send(0, []float64{1}); !errors.Is(err, cluster.ErrPeerLost) {
+		t.Fatalf("first send should crash, got %v", err)
+	}
+	if got := f.Sends(); got != 0 {
+		t.Fatalf("Sends()=%d, want 0", got)
+	}
+}
+
+func TestReviveDisarmsUntrippedFaults(t *testing.T) {
+	ts := cluster.NewInprocGroup(2)
+	f := Wrap(ts[0])
+	f.CrashAfterSend(0)
+	f.DropSendsTo(1)
+	f.Revive()
+	if err := f.Send(1, []float64{7}); err != nil {
+		t.Fatalf("revived transport should send cleanly: %v", err)
+	}
+	if got, err := ts[1].Recv(0); err != nil || got[0] != 7 {
+		t.Fatalf("revived send not delivered: %v %v", got, err)
+	}
+}
+
+func TestReviveDoesNotResurrectTrippedCrash(t *testing.T) {
+	ts := cluster.NewInprocGroup(2)
+	f := Wrap(ts[0])
+	f.Crash()
+	f.Revive()
+	if err := f.Send(1, []float64{1}); !errors.Is(err, cluster.ErrPeerLost) {
+		t.Fatalf("a tripped crash must stay dead, got %v", err)
+	}
+}
+
+func TestDropSendsToBlackHoles(t *testing.T) {
+	const timeout = 100 * time.Millisecond
+	ts := cluster.NewInprocGroupTimeout(2, timeout)
+	f := Wrap(ts[0])
+	f.DropSendsTo(1)
+	if err := f.Send(1, []float64{1}); err != nil {
+		t.Fatalf("dropped send must report success (black hole), got %v", err)
+	}
+	if got := f.Sends(); got != 1 {
+		t.Fatalf("Sends()=%d, want 1 (dropped sends count)", got)
+	}
+	// The receiver's only recourse is its deadline — the wedged-peer path
+	// a closed connection can never exercise.
+	if _, err := ts[1].Recv(0); !errors.Is(err, cluster.ErrCollectiveTimeout) {
+		t.Fatalf("receiver of a dropped send: got %v, want ErrCollectiveTimeout", err)
+	}
+}
+
+func TestHangRecvForDelaysDelivery(t *testing.T) {
+	ts := cluster.NewInprocGroup(2)
+	if err := ts[1].Send(0, []float64{9}); err != nil {
+		t.Fatal(err)
+	}
+	const hang = 150 * time.Millisecond
+	f := Wrap(ts[0])
+	f.HangRecvFor(hang)
+	start := time.Now()
+	got, err := f.Recv(1)
+	if err != nil || got[0] != 9 {
+		t.Fatalf("hung recv should still deliver: %v %v", got, err)
+	}
+	if elapsed := time.Since(start); elapsed < hang-10*time.Millisecond {
+		t.Fatalf("recv returned after %v, want >= %v", elapsed, hang)
+	}
+}
+
+func TestDelegation(t *testing.T) {
+	ts := cluster.NewInprocGroup(3)
+	f := Wrap(ts[2])
+	if f.Rank() != 2 || f.Size() != 3 {
+		t.Fatalf("Rank/Size not delegated: %d/%d", f.Rank(), f.Size())
+	}
+	if f.Inner() != ts[2] {
+		t.Fatal("Inner() does not return the wrapped transport")
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"time"
@@ -24,6 +25,17 @@ type Config struct {
 	// DeviceWorkers is the accelerator worker-pool size per rank;
 	// <= 0 divides the machine's cores evenly among ranks.
 	DeviceWorkers int
+	// CollectiveTimeout bounds every blocking transport wait: a Recv (or
+	// stalled Send) that exceeds it fails with ErrCollectiveTimeout, so a
+	// hung-but-connected rank cannot wedge its peers' collectives. Zero
+	// disables deadlines (legacy behavior). It must comfortably exceed
+	// the largest per-epoch compute imbalance between ranks, since a
+	// fast rank waits in Recv while a slow one still computes.
+	CollectiveTimeout time.Duration
+	// WrapTransport, when non-nil, wraps each rank's transport after
+	// construction — the deterministic fault-injection seam used by
+	// internal/cluster/faultinject. It must return a usable Transport.
+	WrapTransport func(rank int, t Transport) Transport
 }
 
 func (c Config) withDefaults() Config {
@@ -313,19 +325,26 @@ func (n *Node) Stats() NodeStats {
 
 // Run executes body as an SPMD program: one goroutine per rank, each with
 // its own Node and accelerator. It returns per-rank stats. A panic or
-// error in any rank's body aborts the run and is reported; communication
-// failures inside collectives surface the same way.
+// error in any rank's body aborts the run — the failing rank broadcasts
+// an abort so every survivor exits its blocking collective promptly with
+// a typed error instead of hanging — and all rank errors are aggregated
+// with errors.Join, so the root cause is never hidden behind a casualty.
 func Run(cfg Config, body func(n *Node) error) ([]NodeStats, error) {
 	cfg = cfg.withDefaults()
 	var transports []Transport
 	if cfg.UseTCP {
 		var err error
-		transports, err = NewTCPGroup(cfg.Ranks, cfg.BasePort)
+		transports, err = NewTCPGroupTimeout(cfg.Ranks, cfg.BasePort, cfg.CollectiveTimeout)
 		if err != nil {
 			return nil, err
 		}
 	} else {
-		transports = NewInprocGroup(cfg.Ranks)
+		transports = NewInprocGroupTimeout(cfg.Ranks, cfg.CollectiveTimeout)
+	}
+	if cfg.WrapTransport != nil {
+		for r := range transports {
+			transports[r] = cfg.WrapTransport(r, transports[r])
+		}
 	}
 
 	stats := make([]NodeStats, cfg.Ranks)
@@ -343,8 +362,6 @@ func Run(cfg Config, body func(n *Node) error) ([]NodeStats, error) {
 		}
 		go func(r int, node *Node) {
 			defer func() {
-				node.Dev.Close()
-				node.tr.Close()
 				if p := recover(); p != nil {
 					if ce, ok := p.(commError); ok {
 						errs[r] = fmt.Errorf("rank %d communication: %w", ce.rank, ce.err)
@@ -352,6 +369,14 @@ func Run(cfg Config, body func(n *Node) error) ([]NodeStats, error) {
 						errs[r] = fmt.Errorf("rank %d panic: %v", r, p)
 					}
 				}
+				if errs[r] != nil {
+					// Coordinated abort: poison every rank's pending
+					// collectives so no survivor waits out its deadline
+					// (or hangs forever when deadlines are off).
+					node.tr.Abort()
+				}
+				node.Dev.Close()
+				node.tr.Close()
 				stats[r] = node.Stats()
 				done <- r
 			}()
@@ -363,12 +388,56 @@ func Run(cfg Config, body func(n *Node) error) ([]NodeStats, error) {
 	for i := 0; i < cfg.Ranks; i++ {
 		<-done
 	}
+	var all []error
 	for _, err := range errs {
 		if err != nil {
-			return stats, err
+			all = append(all, err)
 		}
 	}
+	if len(all) > 0 {
+		return stats, errors.Join(all...)
+	}
 	return stats, nil
+}
+
+// RestartPolicy bounds RunRestart's recovery loop.
+type RestartPolicy struct {
+	// MaxRestarts is the number of additional attempts after the first
+	// run fails with a communication error; <= 0 disables restarting.
+	MaxRestarts int
+	// Backoff is the sleep before the first restart, doubling per
+	// attempt; <= 0 selects 100ms.
+	Backoff time.Duration
+}
+
+// RunRestart is Run with bounded restart-on-communication-failure: when
+// the body fails with a typed transport error (a crashed or hung rank —
+// see IsCommError), the whole SPMD program is rebuilt on fresh
+// transports and re-run after an exponential backoff, up to
+// pol.MaxRestarts times. The body receives the attempt index (0 for the
+// first run) so it can resume from its latest checkpoint on retries.
+// Algorithmic errors never restart.
+func RunRestart(cfg Config, pol RestartPolicy, body func(attempt int, n *Node) error) ([]NodeStats, error) {
+	backoff := pol.Backoff
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
+	}
+	var stats []NodeStats
+	var err error
+	for attempt := 0; ; attempt++ {
+		a := attempt
+		stats, err = Run(cfg, func(n *Node) error { return body(a, n) })
+		if err == nil {
+			return stats, nil
+		}
+		if attempt >= pol.MaxRestarts || !IsCommError(err) {
+			if attempt > 0 {
+				err = fmt.Errorf("after %d restart(s): %w", attempt, err)
+			}
+			return stats, err
+		}
+		time.Sleep(backoff << attempt)
+	}
 }
 
 // MaxClock returns the largest virtual clock across ranks — the simulated

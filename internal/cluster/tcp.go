@@ -7,11 +7,27 @@ import (
 	"math"
 	"net"
 	"sync"
+	"time"
 )
 
-// helloCount is the frame-count sentinel for the connection handshake that
-// binds a connection to its sending rank before any payload flows.
-const helloCount = 0xFFFFFFFF
+// Frame-count sentinels. Regular data frames carry count <= maxFrameVecs;
+// the two top values are reserved control frames.
+const (
+	// helloCount binds a connection to its sending rank before any
+	// payload flows.
+	helloCount = 0xFFFFFFFF
+	// abortCount is the coordinated-abort broadcast: the sender's
+	// collective failed, so the receiver must poison its own queues and
+	// fail pending Recvs promptly instead of waiting for a deadline.
+	abortCount = 0xFFFFFFFE
+	// maxFrameVecs bounds a data frame's element count (1 GiB of
+	// float64s) so a corrupt header cannot drive a giant allocation.
+	maxFrameVecs = 1 << 27
+	// defaultDialTimeout bounds connection establishment when no
+	// collective timeout is configured, so a dead address fails fast
+	// instead of waiting out the kernel's connect timeout.
+	defaultDialTimeout = 10 * time.Second
+)
 
 // tcpEndpoint is a Transport over real TCP sockets: each rank listens on
 // its own port, outbound connections are dialed eagerly (full mesh) with a
@@ -20,26 +36,43 @@ const helloCount = 0xFFFFFFFF
 // Incoming frames are demultiplexed into per-sender queues so Recv(from)
 // preserves pairwise ordering. When a peer disconnects, its queue is
 // closed so blocked receivers fail instead of hanging — giving the SPMD
-// runtime liveness when a rank dies mid-protocol.
+// runtime liveness when a rank dies mid-protocol. A hung-but-connected
+// peer is covered by the receive deadline instead, and a coordinated
+// abort frame poisons the whole endpoint at once.
 type tcpEndpoint struct {
 	rank, size int
 	addrs      []string
 	listener   net.Listener
+	timeout    time.Duration // recv deadline, write deadline, dial timeout
 
-	mu    sync.Mutex
-	conns map[int]net.Conn // cached outbound connections
+	mu      sync.Mutex
+	conns   map[int]net.Conn // cached outbound connections
+	inbound []net.Conn       // accepted connections (closed on teardown)
 
 	queues    []chan []float64
 	queueOnce []sync.Once
 	closed    chan struct{}
+	closeOnce sync.Once
+	closeErr  error
+	aborted   chan struct{}
+	abortOnce sync.Once
 	wg        sync.WaitGroup
 }
 
 // NewTCPGroup creates n ranks listening on consecutive loopback ports
-// starting at basePort. With basePort <= 0 the kernel picks free ports.
-// All ranks live in the calling process (each typically driven by its own
-// goroutine), but every payload crosses a real TCP socket.
+// starting at basePort, with no receive deadline. With basePort <= 0 the
+// kernel picks free ports. All ranks live in the calling process (each
+// typically driven by its own goroutine), but every payload crosses a
+// real TCP socket.
 func NewTCPGroup(n, basePort int) ([]Transport, error) {
+	return NewTCPGroupTimeout(n, basePort, 0)
+}
+
+// NewTCPGroupTimeout is NewTCPGroup with a deadline: with timeout > 0,
+// Recv fails with ErrCollectiveTimeout after waiting that long, frame
+// writes carry a write deadline (a stalled peer cannot wedge Send), and
+// dials are bounded by the same timeout.
+func NewTCPGroupTimeout(n, basePort int, timeout time.Duration) ([]Transport, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("cluster: group size must be positive")
 	}
@@ -61,21 +94,22 @@ func NewTCPGroup(n, basePort int) ([]Transport, error) {
 		ep := &tcpEndpoint{
 			rank: i, size: n,
 			listener:  l,
+			timeout:   timeout,
 			conns:     make(map[int]net.Conn),
 			queues:    make([]chan []float64, n),
 			queueOnce: make([]sync.Once, n),
 			closed:    make(chan struct{}),
+			aborted:   make(chan struct{}),
 		}
 		for j := 0; j < n; j++ {
 			ep.queues[j] = make(chan []float64, 8)
 		}
 		eps[i] = ep
 	}
-	for i, ep := range eps {
+	for _, ep := range eps {
 		ep.addrs = addrs
 		ep.wg.Add(1)
 		go ep.acceptLoop()
-		_ = i
 	}
 	// Eagerly build the full mesh so a rank that dies before sending still
 	// has live connections whose teardown unblocks its peers.
@@ -109,6 +143,9 @@ func (e *tcpEndpoint) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		e.mu.Lock()
+		e.inbound = append(e.inbound, conn)
+		e.mu.Unlock()
 		e.wg.Add(1)
 		go e.readLoop(conn)
 	}
@@ -117,6 +154,12 @@ func (e *tcpEndpoint) acceptLoop() {
 // closeQueue marks the sender as disconnected exactly once.
 func (e *tcpEndpoint) closeQueue(sender int) {
 	e.queueOnce[sender].Do(func() { close(e.queues[sender]) })
+}
+
+// abortLocal poisons this endpoint: pending and future Recvs fail with
+// ErrAborted.
+func (e *tcpEndpoint) abortLocal() {
+	e.abortOnce.Do(func() { close(e.aborted) })
 }
 
 func (e *tcpEndpoint) readLoop(conn net.Conn) {
@@ -143,8 +186,15 @@ func (e *tcpEndpoint) readLoop(conn net.Conn) {
 		} else if from != sender {
 			return // protocol violation: one sender per connection
 		}
-		if count == helloCount {
+		switch count {
+		case helloCount:
 			continue
+		case abortCount:
+			e.abortLocal()
+			continue
+		}
+		if count > maxFrameVecs {
+			return // protocol violation: absurd frame size
 		}
 		buf := make([]byte, 8*int(count))
 		if _, err := io.ReadFull(conn, buf); err != nil {
@@ -162,18 +212,47 @@ func (e *tcpEndpoint) readLoop(conn net.Conn) {
 	}
 }
 
+func (e *tcpEndpoint) dialTimeout() time.Duration {
+	if e.timeout > 0 {
+		return e.timeout
+	}
+	return defaultDialTimeout
+}
+
 func (e *tcpEndpoint) dial(to int) (net.Conn, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if c, ok := e.conns[to]; ok {
 		return c, nil
 	}
-	c, err := net.Dial("tcp", e.addrs[to])
+	c, err := net.DialTimeout("tcp", e.addrs[to], e.dialTimeout())
 	if err != nil {
-		return nil, fmt.Errorf("cluster: rank %d dial %d: %w", e.rank, to, err)
+		return nil, fmt.Errorf("cluster: rank %d dial %d: %w (%v)", e.rank, to, ErrPeerLost, err)
 	}
 	e.conns[to] = c
 	return c, nil
+}
+
+// write sends buf on the shared conn under e.mu with a write deadline,
+// so a stalled peer whose TCP window is full cannot wedge the caller
+// while it holds the lock.
+func (e *tcpEndpoint) write(conn net.Conn, buf []byte) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.timeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(e.timeout))
+		defer conn.SetWriteDeadline(time.Time{})
+	}
+	_, err := conn.Write(buf)
+	return err
+}
+
+// control builds the 8-byte frame for a sentinel count.
+func (e *tcpEndpoint) control(count uint32) []byte {
+	var buf [8]byte
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(e.rank))
+	binary.LittleEndian.PutUint32(buf[4:8], count)
+	return buf[:]
 }
 
 func (e *tcpEndpoint) hello(to int) error {
@@ -181,15 +260,30 @@ func (e *tcpEndpoint) hello(to int) error {
 	if err != nil {
 		return err
 	}
-	var buf [8]byte
-	binary.LittleEndian.PutUint32(buf[0:4], uint32(e.rank))
-	binary.LittleEndian.PutUint32(buf[4:8], helloCount)
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if _, err := conn.Write(buf[:]); err != nil {
-		return fmt.Errorf("cluster: rank %d hello to %d: %w", e.rank, to, err)
+	if err := e.write(conn, e.control(helloCount)); err != nil {
+		return fmt.Errorf("cluster: rank %d hello to %d: %w (%v)", e.rank, to, ErrPeerLost, err)
 	}
 	return nil
+}
+
+// Abort broadcasts an abort frame to every peer (best effort, bounded by
+// the write deadline) and poisons the local endpoint, so every rank's
+// blocked Recv — here and remote — exits promptly with ErrAborted.
+func (e *tcpEndpoint) Abort() {
+	frame := e.control(abortCount)
+	for to := 0; to < e.size; to++ {
+		if to == e.rank {
+			continue
+		}
+		e.mu.Lock()
+		conn, ok := e.conns[to]
+		e.mu.Unlock()
+		if !ok {
+			continue
+		}
+		_ = e.write(conn, frame)
+	}
+	e.abortLocal()
 }
 
 func (e *tcpEndpoint) Send(to int, data []float64) error {
@@ -198,7 +292,7 @@ func (e *tcpEndpoint) Send(to int, data []float64) error {
 	}
 	select {
 	case <-e.closed:
-		return fmt.Errorf("cluster: rank %d transport closed", e.rank)
+		return fmt.Errorf("cluster: rank %d transport closed: %w", e.rank, ErrPeerLost)
 	default:
 	}
 	conn, err := e.dial(to)
@@ -211,10 +305,11 @@ func (e *tcpEndpoint) Send(to int, data []float64) error {
 	for i, v := range data {
 		binary.LittleEndian.PutUint64(buf[8+8*i:], math.Float64bits(v))
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock() // serialize writes on the shared conn
-	if _, err := conn.Write(buf); err != nil {
-		return fmt.Errorf("cluster: rank %d send to %d: %w", e.rank, to, err)
+	if err := e.write(conn, buf); err != nil {
+		if ne, ok := err.(net.Error); ok && ne.Timeout() {
+			return fmt.Errorf("cluster: rank %d send to %d stalled after %v: %w", e.rank, to, e.timeout, ErrCollectiveTimeout)
+		}
+		return fmt.Errorf("cluster: rank %d send to %d: %w (%v)", e.rank, to, ErrPeerLost, err)
 	}
 	return nil
 }
@@ -223,25 +318,51 @@ func (e *tcpEndpoint) Recv(from int) ([]float64, error) {
 	if from < 0 || from >= e.size {
 		return nil, fmt.Errorf("cluster: recv from invalid rank %d (size %d)", from, e.size)
 	}
-	data, ok := <-e.queues[from]
-	if !ok {
-		return nil, fmt.Errorf("cluster: rank %d lost connection from rank %d", e.rank, from)
-	}
-	return data, nil
-}
-
-func (e *tcpEndpoint) Close() error {
-	select {
-	case <-e.closed:
-		return nil
+	select { // fast path: data already queued wins over abort/deadline
+	case data, ok := <-e.queues[from]:
+		if !ok {
+			return nil, fmt.Errorf("cluster: rank %d lost connection from rank %d: %w", e.rank, from, ErrPeerLost)
+		}
+		return data, nil
 	default:
 	}
-	close(e.closed)
-	err := e.listener.Close()
-	e.mu.Lock()
-	for _, c := range e.conns {
-		c.Close()
+	tc, timer := timerC(e.timeout)
+	if timer != nil {
+		defer timer.Stop()
 	}
-	e.mu.Unlock()
-	return err
+	select {
+	case data, ok := <-e.queues[from]:
+		if !ok {
+			return nil, fmt.Errorf("cluster: rank %d lost connection from rank %d: %w", e.rank, from, ErrPeerLost)
+		}
+		return data, nil
+	case <-e.aborted:
+		return nil, fmt.Errorf("cluster: rank %d recv from %d: %w", e.rank, from, ErrAborted)
+	case <-e.closed:
+		return nil, fmt.Errorf("cluster: rank %d transport closed: %w", e.rank, ErrPeerLost)
+	case <-tc:
+		return nil, fmt.Errorf("cluster: rank %d recv from %d exceeded %v: %w", e.rank, from, e.timeout, ErrCollectiveTimeout)
+	}
+}
+
+// Close tears the endpoint down and drains every goroutine it started:
+// the listener and all connections (outbound and inbound) are closed,
+// pending Recvs unblock with ErrPeerLost, and Close returns only after
+// the accept and read loops have exited — no leaks, asserted by the
+// teardown tests.
+func (e *tcpEndpoint) Close() error {
+	e.closeOnce.Do(func() {
+		close(e.closed)
+		e.closeErr = e.listener.Close()
+		e.mu.Lock()
+		for _, c := range e.conns {
+			c.Close()
+		}
+		for _, c := range e.inbound {
+			c.Close()
+		}
+		e.mu.Unlock()
+		e.wg.Wait()
+	})
+	return e.closeErr
 }

@@ -1,9 +1,39 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
+
+// Typed communication failures. Every transport error surfaced by a
+// collective wraps exactly one of these, so callers (and the restart
+// policy) can distinguish a dead peer from a deadline from a coordinated
+// abort with errors.Is instead of string matching.
+var (
+	// ErrPeerLost means a peer's connection or pipe closed: the rank on
+	// the other end died (or closed its transport) mid-protocol.
+	ErrPeerLost = errors.New("cluster: peer lost")
+	// ErrCollectiveTimeout means a blocking Recv (or a stalled Send)
+	// exceeded the configured CollectiveTimeout: the peer is still
+	// connected but not making progress — the hung-rank case a closed
+	// connection can never surface.
+	ErrCollectiveTimeout = errors.New("cluster: collective timeout")
+	// ErrAborted means another rank's collective failed and broadcast an
+	// abort: this rank's pending operation was poisoned so it could exit
+	// promptly instead of waiting for its own deadline.
+	ErrAborted = errors.New("cluster: collective aborted")
+)
+
+// IsCommError reports whether err (or any error in its tree) is one of
+// the typed transport failures. Restart policies use it to distinguish
+// infrastructure failures (retryable) from algorithmic errors (not).
+func IsCommError(err error) bool {
+	return errors.Is(err, ErrPeerLost) ||
+		errors.Is(err, ErrCollectiveTimeout) ||
+		errors.Is(err, ErrAborted)
+}
 
 // Transport delivers float64 payloads between ranks. Messages between a
 // fixed (from, to) pair are delivered in order; the collectives built on
@@ -16,25 +46,42 @@ type Transport interface {
 	Size() int
 	// Send delivers a copy of data to rank `to`.
 	Send(to int, data []float64) error
-	// Recv blocks until the next payload from rank `from` arrives.
+	// Recv blocks until the next payload from rank `from` arrives, the
+	// configured receive deadline expires (ErrCollectiveTimeout), or an
+	// abort is broadcast (ErrAborted).
 	Recv(from int) ([]float64, error)
-	// Close releases transport resources.
+	// Abort broadcasts a poison signal: every rank's pending and future
+	// Recv fails promptly with ErrAborted instead of blocking until its
+	// deadline. It is called by the runtime when any rank's collective
+	// fails, so survivors never hang on a rank that already gave up.
+	Abort()
+	// Close releases transport resources and unblocks pending Recvs.
 	Close() error
 }
 
 // inprocHub connects n in-process endpoints with buffered channels, one
-// per directed pair.
+// per directed pair, plus a hub-wide abort channel shared by the group.
 type inprocHub struct {
-	n     int
-	pipes [][]chan []float64 // pipes[from][to]
+	n         int
+	pipes     [][]chan []float64 // pipes[from][to]
+	abort     chan struct{}
+	abortOnce sync.Once
 }
 
-// NewInprocGroup returns n connected in-process transports, one per rank.
+// NewInprocGroup returns n connected in-process transports, one per
+// rank, with no receive deadline (Recv blocks until data or abort).
 func NewInprocGroup(n int) []Transport {
+	return NewInprocGroupTimeout(n, 0)
+}
+
+// NewInprocGroupTimeout is NewInprocGroup with a receive deadline:
+// with timeout > 0 a Recv (or a Send into a full pipe) that waits longer
+// fails with ErrCollectiveTimeout.
+func NewInprocGroupTimeout(n int, timeout time.Duration) []Transport {
 	if n <= 0 {
 		panic("cluster: group size must be positive")
 	}
-	hub := &inprocHub{n: n, pipes: make([][]chan []float64, n)}
+	hub := &inprocHub{n: n, pipes: make([][]chan []float64, n), abort: make(chan struct{})}
 	for i := 0; i < n; i++ {
 		hub.pipes[i] = make([]chan []float64, n)
 		for j := 0; j < n; j++ {
@@ -43,26 +90,39 @@ func NewInprocGroup(n int) []Transport {
 	}
 	ts := make([]Transport, n)
 	for i := 0; i < n; i++ {
-		ts[i] = &inprocEndpoint{hub: hub, rank: i, failAfterSend: -1}
+		ts[i] = &inprocEndpoint{hub: hub, rank: i, timeout: timeout}
 	}
 	return ts
 }
 
 type inprocEndpoint struct {
-	hub  *inprocHub
-	rank int
+	hub     *inprocHub
+	rank    int
+	timeout time.Duration
 
 	mu     sync.Mutex
 	closed bool
-
-	// fault injection (tests): fail the k-th send, or all sends to a rank
-	failSendsTo   map[int]bool
-	failAfterSend int // fail every send once the counter exceeds this; <0 disables
-	sends         int
 }
 
 func (e *inprocEndpoint) Rank() int { return e.rank }
 func (e *inprocEndpoint) Size() int { return e.hub.n }
+
+// Abort poisons the whole group: the hub's abort channel is shared
+// memory, so closing it is the in-process analogue of the TCP abort
+// broadcast frame.
+func (e *inprocEndpoint) Abort() {
+	e.hub.abortOnce.Do(func() { close(e.hub.abort) })
+}
+
+// timerC returns a timeout channel (nil when deadlines are disabled; a
+// nil channel never fires in a select).
+func timerC(d time.Duration) (<-chan time.Time, *time.Timer) {
+	if d <= 0 {
+		return nil, nil
+	}
+	t := time.NewTimer(d)
+	return t.C, t
+}
 
 func (e *inprocEndpoint) Send(to int, data []float64) error {
 	if to < 0 || to >= e.hub.n {
@@ -71,29 +131,58 @@ func (e *inprocEndpoint) Send(to int, data []float64) error {
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
-		return fmt.Errorf("cluster: rank %d transport closed", e.rank)
-	}
-	e.sends++
-	if e.failSendsTo[to] || (e.failAfterSend >= 0 && e.sends > e.failAfterSend) {
-		e.mu.Unlock()
-		return fmt.Errorf("cluster: injected send failure %d->%d", e.rank, to)
+		return fmt.Errorf("cluster: rank %d transport closed: %w", e.rank, ErrPeerLost)
 	}
 	e.mu.Unlock()
 	cp := make([]float64, len(data))
 	copy(cp, data)
-	e.hub.pipes[e.rank][to] <- cp
-	return nil
+	select { // fast path: pipe has room
+	case e.hub.pipes[e.rank][to] <- cp:
+		return nil
+	default:
+	}
+	tc, timer := timerC(e.timeout)
+	if timer != nil {
+		defer timer.Stop()
+	}
+	select {
+	case e.hub.pipes[e.rank][to] <- cp:
+		return nil
+	case <-e.hub.abort:
+		return fmt.Errorf("cluster: rank %d send to %d: %w", e.rank, to, ErrAborted)
+	case <-tc:
+		return fmt.Errorf("cluster: rank %d send to %d stalled after %v: %w", e.rank, to, e.timeout, ErrCollectiveTimeout)
+	}
 }
 
 func (e *inprocEndpoint) Recv(from int) ([]float64, error) {
 	if from < 0 || from >= e.hub.n {
 		return nil, fmt.Errorf("cluster: recv from invalid rank %d (size %d)", from, e.hub.n)
 	}
-	data, ok := <-e.hub.pipes[from][e.rank]
-	if !ok {
-		return nil, fmt.Errorf("cluster: channel from %d to %d closed", from, e.rank)
+	pipe := e.hub.pipes[from][e.rank]
+	select { // fast path: data already queued wins over abort/deadline
+	case data, ok := <-pipe:
+		if !ok {
+			return nil, fmt.Errorf("cluster: rank %d lost rank %d: %w", e.rank, from, ErrPeerLost)
+		}
+		return data, nil
+	default:
 	}
-	return data, nil
+	tc, timer := timerC(e.timeout)
+	if timer != nil {
+		defer timer.Stop()
+	}
+	select {
+	case data, ok := <-pipe:
+		if !ok {
+			return nil, fmt.Errorf("cluster: rank %d lost rank %d: %w", e.rank, from, ErrPeerLost)
+		}
+		return data, nil
+	case <-e.hub.abort:
+		return nil, fmt.Errorf("cluster: rank %d recv from %d: %w", e.rank, from, ErrAborted)
+	case <-tc:
+		return nil, fmt.Errorf("cluster: rank %d recv from %d exceeded %v: %w", e.rank, from, e.timeout, ErrCollectiveTimeout)
+	}
 }
 
 func (e *inprocEndpoint) Close() error {
@@ -109,17 +198,4 @@ func (e *inprocEndpoint) Close() error {
 		close(e.hub.pipes[e.rank][to])
 	}
 	return nil
-}
-
-// InjectSendFailure makes every subsequent send from this endpoint to rank
-// `to` fail. Test hook; no-op on non-inproc transports.
-func InjectSendFailure(t Transport, to int) {
-	if e, ok := t.(*inprocEndpoint); ok {
-		e.mu.Lock()
-		if e.failSendsTo == nil {
-			e.failSendsTo = make(map[int]bool)
-		}
-		e.failSendsTo[to] = true
-		e.mu.Unlock()
-	}
 }

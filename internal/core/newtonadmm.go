@@ -7,11 +7,14 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"newtonadmm/internal/admm"
 	"newtonadmm/internal/cg"
+	"newtonadmm/internal/ckpt"
 	"newtonadmm/internal/cluster"
 	"newtonadmm/internal/datasets"
 	"newtonadmm/internal/dist"
@@ -58,6 +61,28 @@ type Options struct {
 	// objective reaches this value (the paper's time-to-theta protocol);
 	// zero disables early stopping.
 	TargetObjective float64
+	// CheckpointDir, when set, enables crash-safe checkpointing: a
+	// versioned, CRC-checked snapshot of the full solver state is written
+	// atomically every CheckpointEvery epochs (see internal/ckpt). A
+	// fresh (non-Resume) run clears stale checkpoints from the directory
+	// first.
+	CheckpointDir string
+	// CheckpointEvery is the snapshot period in epochs; <=0 selects 1
+	// when CheckpointDir is set.
+	CheckpointEvery int
+	// Resume loads the latest good checkpoint from CheckpointDir and
+	// continues from it; the resumed trajectory is bitwise-identical to
+	// an uninterrupted run. A checkpoint from a different
+	// solver/dataset/config is rejected (fingerprint mismatch); an empty
+	// directory falls back to a fresh start.
+	Resume bool
+	// MaxRestarts bounds in-place restart-from-latest-checkpoint when a
+	// run fails with a typed communication error (crashed or hung rank);
+	// 0 disables restarting.
+	MaxRestarts int
+	// RestartBackoff is the sleep before the first restart, doubling per
+	// attempt; <=0 selects the cluster default (100ms).
+	RestartBackoff time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -85,7 +110,40 @@ func (o Options) withDefaults() Options {
 	if o.EvalEvery <= 0 {
 		o.EvalEvery = 1
 	}
+	if o.CheckpointDir != "" && o.CheckpointEvery <= 0 {
+		o.CheckpointEvery = 1
+	}
 	return o
+}
+
+// fingerprint binds checkpoints to the run's identity: everything that
+// shapes the optimization trajectory (solver, data, cluster width, and
+// the mathematically relevant options). Epochs is deliberately excluded
+// so a run can resume toward a larger epoch budget, and the transport
+// choice is excluded because the math is transport-independent.
+func fingerprint(ranks int, ds *datasets.Dataset, opts Options) uint64 {
+	f := ckpt.NewFingerprinter()
+	f.String("newton-admm")
+	f.Int(ranks)
+	f.String(ds.Name)
+	f.Int(ds.Dim())
+	f.Int(ds.Classes)
+	f.Int(ds.TrainSize())
+	f.Float(opts.Lambda)
+	f.String(opts.Penalty)
+	f.Float(opts.Rho0)
+	f.Int(opts.LocalNewtonIters)
+	f.Int(opts.CG.MaxIters)
+	f.Float(opts.CG.RelTol)
+	f.Bool(opts.Jacobi)
+	f.Float(opts.LineSearch.Beta)
+	f.Float(opts.LineSearch.Shrink)
+	f.Int(opts.LineSearch.MaxIters)
+	f.Float(opts.LineSearch.Initial)
+	f.Int(opts.EvalEvery)
+	f.Bool(opts.EvalTestAccuracy)
+	f.Float(opts.TargetObjective)
+	return f.Sum()
 }
 
 // Result reports a Newton-ADMM run.
@@ -103,36 +161,61 @@ type Result struct {
 	// TestAccuracy is the final test accuracy (NaN without a test set or
 	// when EvalTestAccuracy is off).
 	TestAccuracy float64
+	// FailedEpoch is the outer iteration in flight when a failed run went
+	// down (0 when the run succeeded or failed before the first epoch).
+	FailedEpoch int
 }
 
-// Solve trains the softmax classifier of ds on a simulated cluster.
+// Solve trains the softmax classifier of ds on a simulated cluster. On
+// failure it returns the partial result accumulated so far (trace,
+// failed-at epoch) together with the error, so callers can flush the
+// convergence history instead of discarding the run.
 func Solve(clusterCfg cluster.Config, ds *datasets.Dataset, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
+	ranks := maxInt(clusterCfg.Ranks, 1)
+	fp := fingerprint(ranks, ds, opts)
+	if opts.CheckpointDir != "" && !opts.Resume {
+		// A restart within this run must never load a snapshot left over
+		// from an older run in the same directory.
+		if err := ckpt.Clear(opts.CheckpointDir); err != nil {
+			return nil, err
+		}
+	}
 	res := &Result{Z: make([]float64, ds.Dim())}
-	finalRhos := make([]float64, maxInt(clusterCfg.Ranks, 1))
+	finalRhos := make([]float64, ranks)
+	failedEpochs := make([]int, ranks)
 	var trace *metrics.Trace
 	var finalPrimal, finalDual float64
 
-	stats, err := cluster.Run(clusterCfg, func(node *cluster.Node) error {
+	pol := cluster.RestartPolicy{MaxRestarts: opts.MaxRestarts, Backoff: opts.RestartBackoff}
+	stats, err := cluster.RunRestart(clusterCfg, pol, func(attempt int, node *cluster.Node) error {
 		local, err := dist.BuildLocal(node, ds, opts.Lambda, false)
 		if err != nil {
 			return err
 		}
-		out := runRank(node, local, ds, opts, &rankSinks{
+		// A restart attempt always resumes from the latest checkpoint this
+		// run has written; otherwise resume only when asked to.
+		resume := opts.CheckpointDir != "" && (opts.Resume || attempt > 0)
+		return runRank(node, local, ds, opts, fp, resume, &rankSinks{
 			z:      res.Z,
 			rhos:   finalRhos,
 			trace:  &trace,
 			primal: &finalPrimal,
 			dual:   &finalDual,
+			failed: failedEpochs,
 		})
-		return out
 	})
 	res.Stats = stats
-	if err != nil {
-		return nil, err
-	}
 	if trace != nil {
 		res.Trace = *trace
+	}
+	if err != nil {
+		for _, k := range failedEpochs {
+			if k > res.FailedEpoch {
+				res.FailedEpoch = k
+			}
+		}
+		return res, err
 	}
 	res.PrimalResidual = finalPrimal
 	res.DualResidual = finalDual
@@ -143,6 +226,7 @@ func Solve(clusterCfg cluster.Config, ds *datasets.Dataset, opts Options) (*Resu
 	return res, nil
 }
 
+
 // rankSinks collects outputs written by individual ranks (each rank
 // writes only its own slots; rank 0 writes the shared ones after the last
 // collective, so there are no races).
@@ -152,9 +236,10 @@ type rankSinks struct {
 	trace  **metrics.Trace
 	primal *float64
 	dual   *float64
+	failed []int
 }
 
-func runRank(node *cluster.Node, local *dist.Local, ds *datasets.Dataset, opts Options, sinks *rankSinks) error {
+func runRank(node *cluster.Node, local *dist.Local, ds *datasets.Dataset, opts Options, fp uint64, resume bool, sinks *rankSinks) error {
 	dim := ds.Dim()
 	z := make([]float64, dim)     // consensus iterate, step 1 of Algorithm 2
 	zPrev := make([]float64, dim) // consensus before the current update
@@ -163,6 +248,19 @@ func runRank(node *cluster.Node, local *dist.Local, ds *datasets.Dataset, opts O
 	v := make([]float64, dim)     // subproblem anchor z + y/rho
 	policy := admm.NewPolicy(opts.Penalty, opts.Rho0)
 	rec := dist.NewRecorder("newton-admm", ds, local, opts.EvalTestAccuracy)
+
+	// Flush whatever trace exists even when this rank dies mid-run (the
+	// deferred write happens before Run returns), so a failed run still
+	// surfaces its partial convergence history; the epoch in flight is
+	// recorded alongside it.
+	epochInFlight := 0
+	defer func() {
+		sinks.failed[node.Rank()] = epochInFlight
+		if node.Rank() == 0 {
+			tr := rec.Trace
+			*sinks.trace = &tr
+		}
+	}()
 
 	yPrev := make([]float64, dim)
 	payload := make([]float64, dim+1) // [rho*x - y ; rho]
@@ -178,8 +276,45 @@ func runRank(node *cluster.Node, local *dist.Local, ds *datasets.Dataset, opts O
 	// allocation in the inner solves).
 	newtonOpts.CG.Work = &cg.Workspace{}
 
-	rec.Observe(node, 0, z)
-	for k := 1; k <= opts.Epochs; k++ {
+	// Resume: every rank loads the same latest good snapshot (rank 0 only
+	// writes new ones after a full collective round, so no rank can read a
+	// newer file than its peers). Shared state is [z ; zPrev]; each rank's
+	// private state is [x ; y ; penalty-policy state].
+	startK := 0
+	if resume {
+		snap, err := ckpt.LoadLatest(opts.CheckpointDir, fp)
+		switch {
+		case errors.Is(err, ckpt.ErrNoCheckpoint):
+			// Nothing saved yet: fresh start.
+		case err != nil:
+			return err
+		default:
+			if len(snap.Shared) != 2*dim || len(snap.Ranks) != node.Size() {
+				return fmt.Errorf("core: checkpoint shape mismatch (shared %d, ranks %d)", len(snap.Shared), len(snap.Ranks))
+			}
+			st := snap.Ranks[node.Rank()]
+			if len(st) < 2*dim {
+				return fmt.Errorf("core: checkpoint rank state too short (%d)", len(st))
+			}
+			copy(z, snap.Shared[:dim])
+			copy(zPrev, snap.Shared[dim:])
+			copy(x, st[:dim])
+			copy(y, st[dim:2*dim])
+			if !policy.SetState(st[2*dim:]) {
+				return fmt.Errorf("core: checkpoint penalty state does not match policy %q", policy.Name())
+			}
+			startK = int(snap.Iter)
+			if node.Rank() == 0 {
+				rec.RestoreTrace(snap.Trace)
+			}
+		}
+	}
+
+	if startK == 0 {
+		rec.Observe(node, 0, z)
+	}
+	for k := startK + 1; k <= opts.Epochs; k++ {
+		epochInFlight = k
 		rho := policy.Rho()
 
 		// Local x-update (eq. 6a): inexact Newton on the augmented
@@ -233,6 +368,14 @@ func runRank(node *cluster.Node, local *dist.Local, ds *datasets.Dataset, opts O
 				break // all ranks see the same allreduced objective
 			}
 		}
+
+		// Snapshot after the epoch's trace point so a resume replays the
+		// uninterrupted run bitwise, trace included.
+		if opts.CheckpointDir != "" && (k%opts.CheckpointEvery == 0 || k == opts.Epochs) {
+			if err := writeCheckpoint(node, opts, fp, k, z, zPrev, x, y, policy, rec); err != nil {
+				return err
+			}
+		}
 	}
 
 	// Final residuals: aggregate primal over ranks (frozen: diagnostics).
@@ -247,12 +390,43 @@ func runRank(node *cluster.Node, local *dist.Local, ds *datasets.Dataset, opts O
 	})
 
 	sinks.rhos[node.Rank()] = policy.Rho()
+	epochInFlight = 0 // clean finish; the deferred flush still writes the trace
 	if node.Rank() == 0 {
 		copy(sinks.z, z)
-		tr := rec.Trace
-		*sinks.trace = &tr
 	}
 	return nil
+}
+
+// writeCheckpoint gathers every rank's private state at rank 0 and saves
+// one snapshot atomically. It runs with the virtual clock frozen:
+// checkpointing is harness infrastructure, not part of the algorithm
+// being measured. The gather doubles as a barrier, so every rank has
+// finished epoch k before the file appears — a resuming rank can never
+// observe a snapshot ahead of its peers.
+func writeCheckpoint(node *cluster.Node, opts Options, fp uint64, k int, z, zPrev, x, y []float64, policy admm.PenaltyPolicy, rec *dist.Recorder) error {
+	var saveErr error
+	node.Frozen(func() {
+		state := make([]float64, 0, 2*len(x)+len(policy.State()))
+		state = append(state, x...)
+		state = append(state, y...)
+		state = append(state, policy.State()...)
+		parts := node.Gather(0, state)
+		if node.Rank() != 0 {
+			return
+		}
+		shared := make([]float64, 0, 2*len(z))
+		shared = append(shared, z...)
+		shared = append(shared, zPrev...)
+		saveErr = ckpt.Save(opts.CheckpointDir, &ckpt.Snapshot{
+			Fingerprint: fp,
+			Iter:        uint64(k),
+			Solver:      "newton-admm",
+			Shared:      shared,
+			Ranks:       parts,
+			Trace:       rec.CheckpointTrace(),
+		})
+	})
+	return saveErr
 }
 
 func maxInt(a, b int) int {

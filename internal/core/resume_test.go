@@ -1,0 +1,191 @@
+package core
+
+import (
+	"math"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"newtonadmm/internal/cluster"
+	"newtonadmm/internal/cluster/faultinject"
+	"newtonadmm/internal/datasets"
+)
+
+// The acceptance pin: train K epochs straight vs. train k, kill, resume
+// to K — identical trace and final iterate, bitwise. The device kernels
+// use chunk-ordered reductions, so the only way this holds is if the
+// checkpoint captures the complete solver state (z, zPrev, x, y, and the
+// spectral-penalty BB history).
+
+const (
+	resumeEpochs = 6
+	resumeRanks  = 2
+)
+
+func resumeDataset(t *testing.T) *datasets.Dataset {
+	t.Helper()
+	ds, err := datasets.Generate(datasets.MNISTLike(0.03))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func resumeOpts(dir string) Options {
+	return Options{
+		Epochs:        resumeEpochs,
+		Lambda:        1e-4,
+		Penalty:       "spectral",
+		CheckpointDir: dir,
+	}
+}
+
+func resumeCluster() cluster.Config {
+	return cluster.Config{
+		Ranks:             resumeRanks,
+		Network:           cluster.ZeroCost,
+		DeviceWorkers:     1,
+		CollectiveTimeout: 10 * time.Second,
+	}
+}
+
+// assertBitwiseEqual pins two results to each other bit for bit. Trace
+// Time is excluded: the virtual clock includes real wall-clock compute,
+// which no checkpoint can (or should) reproduce.
+func assertBitwiseEqual(t *testing.T, label string, base, got *Result) {
+	t.Helper()
+	if len(got.Trace.Points) != len(base.Trace.Points) {
+		t.Fatalf("%s: trace length %d, want %d", label, len(got.Trace.Points), len(base.Trace.Points))
+	}
+	for i, bp := range base.Trace.Points {
+		gp := got.Trace.Points[i]
+		if gp.Epoch != bp.Epoch {
+			t.Fatalf("%s: trace[%d] epoch %d, want %d", label, i, gp.Epoch, bp.Epoch)
+		}
+		if math.Float64bits(gp.Objective) != math.Float64bits(bp.Objective) {
+			t.Fatalf("%s: trace[%d] objective %.17g, want %.17g (not bitwise)", label, i, gp.Objective, bp.Objective)
+		}
+	}
+	for j := range base.Z {
+		if math.Float64bits(got.Z[j]) != math.Float64bits(base.Z[j]) {
+			t.Fatalf("%s: Z[%d] = %.17g, want %.17g (not bitwise)", label, j, got.Z[j], base.Z[j])
+		}
+	}
+	for r := range base.FinalRhos {
+		if math.Float64bits(got.FinalRhos[r]) != math.Float64bits(base.FinalRhos[r]) {
+			t.Fatalf("%s: rho[%d] = %v, want %v", label, r, got.FinalRhos[r], base.FinalRhos[r])
+		}
+	}
+}
+
+// crashRankAfter wraps one rank with a deterministic crash; wraps counts
+// invocations so restart attempts (which re-wrap every rank) can leave
+// later attempts fault-free.
+func crashRankAfter(victim, sends int, onlyFirstAttempt bool) func(int, cluster.Transport) cluster.Transport {
+	var wraps atomic.Int64
+	return func(rank int, tr cluster.Transport) cluster.Transport {
+		attempt := int(wraps.Add(1)-1) / resumeRanks
+		if rank != victim || (onlyFirstAttempt && attempt > 0) {
+			return tr
+		}
+		f := faultinject.Wrap(tr)
+		f.CrashAfterSend(sends)
+		return f
+	}
+}
+
+func TestNewtonADMMBitwiseResume(t *testing.T) {
+	ds := resumeDataset(t)
+
+	// (a) The uninterrupted reference run (no checkpointing at all).
+	base, err := Solve(resumeCluster(), ds, resumeOpts(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Trace.Points) != resumeEpochs+1 {
+		t.Fatalf("reference trace has %d points", len(base.Trace.Points))
+	}
+
+	// (b) Same run, checkpointing every epoch, with rank 1 crashing after
+	// a fixed send count (mid-epoch 3, after two checkpoints landed).
+	dir := t.TempDir()
+	ccfg := resumeCluster()
+	ccfg.WrapTransport = crashRankAfter(1, 20, false)
+	partial, err := Solve(ccfg, ds, resumeOpts(dir))
+	if err == nil {
+		t.Fatal("crashed run reported success")
+	}
+	if !cluster.IsCommError(err) {
+		t.Fatalf("crash not surfaced as a typed comm error: %v", err)
+	}
+	if partial == nil || partial.FailedEpoch == 0 {
+		t.Fatalf("partial result missing failed-at epoch: %+v", partial)
+	}
+	if len(partial.Trace.Points) == 0 {
+		t.Fatal("partial trace discarded on failure")
+	}
+	if files, _ := filepath.Glob(filepath.Join(dir, "ckpt-*.nack")); len(files) == 0 {
+		t.Fatal("no checkpoint was written before the crash")
+	}
+
+	// (c) Resume from the latest checkpoint with no faults: the combined
+	// trajectory must reproduce the reference bitwise.
+	opts := resumeOpts(dir)
+	opts.Resume = true
+	resumed, err := Solve(resumeCluster(), ds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitwiseEqual(t, "kill+resume", base, resumed)
+
+	// The resumed trace must be strictly longer than the partial one —
+	// i.e. work actually carried over instead of restarting from scratch.
+	if len(resumed.Trace.Points) <= len(partial.Trace.Points)-1 {
+		t.Fatalf("resume did not extend the partial trace (%d vs %d points)",
+			len(resumed.Trace.Points), len(partial.Trace.Points))
+	}
+}
+
+func TestNewtonADMMInPlaceRestart(t *testing.T) {
+	ds := resumeDataset(t)
+	base, err := Solve(resumeCluster(), ds, resumeOpts(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One Solve call: rank 1 crashes on the first attempt, the bounded
+	// restart policy rebuilds the cluster and resumes from the latest
+	// checkpoint, and the final result still matches the reference
+	// bitwise.
+	ccfg := resumeCluster()
+	ccfg.WrapTransport = crashRankAfter(1, 20, true)
+	opts := resumeOpts(t.TempDir())
+	opts.MaxRestarts = 2
+	opts.RestartBackoff = time.Millisecond
+	restarted, err := Solve(ccfg, ds, opts)
+	if err != nil {
+		t.Fatalf("restart did not recover: %v", err)
+	}
+	assertBitwiseEqual(t, "in-place restart", base, restarted)
+}
+
+// TestResumeRejectsForeignCheckpoint pins the fingerprint gate: a
+// checkpoint from a different configuration must fail typed, not
+// silently seed a different run.
+func TestResumeRejectsForeignCheckpoint(t *testing.T) {
+	ds := resumeDataset(t)
+	dir := t.TempDir()
+	opts := resumeOpts(dir)
+	opts.Epochs = 1
+	if _, err := Solve(resumeCluster(), ds, opts); err != nil {
+		t.Fatal(err)
+	}
+	foreign := resumeOpts(dir)
+	foreign.Epochs = 2 // allowed to differ: epochs are not fingerprinted
+	foreign.Lambda = 42
+	foreign.Resume = true
+	if _, err := Solve(resumeCluster(), ds, foreign); err == nil {
+		t.Fatal("foreign checkpoint accepted")
+	}
+}

@@ -14,7 +14,9 @@ package dist
 
 import (
 	"math"
+	"time"
 
+	"newtonadmm/internal/ckpt"
 	"newtonadmm/internal/cluster"
 	"newtonadmm/internal/datasets"
 	"newtonadmm/internal/linalg"
@@ -109,6 +111,37 @@ func NewRecorder(solver string, ds *datasets.Dataset, local *Local, evalTestAccu
 		ds:       ds,
 		evalTest: evalTestAccuracy,
 		buf:      make([]float64, 1),
+	}
+}
+
+// CheckpointTrace exports the recorded points in snapshot form, so a
+// resumed run reconstructs the uninterrupted trace bitwise.
+func (r *Recorder) CheckpointTrace() []ckpt.TracePoint {
+	out := make([]ckpt.TracePoint, len(r.Trace.Points))
+	for i, p := range r.Trace.Points {
+		out[i] = ckpt.TracePoint{
+			Epoch:        p.Epoch,
+			TimeNs:       float64(p.Time),
+			Objective:    p.Objective,
+			TestAccuracy: p.TestAccuracy,
+			GradNorm:     p.GradNorm,
+		}
+	}
+	return out
+}
+
+// RestoreTrace seeds the recorder from snapshot points (the inverse of
+// CheckpointTrace); called on rank 0 when resuming.
+func (r *Recorder) RestoreTrace(points []ckpt.TracePoint) {
+	r.Trace.Points = make([]metrics.Point, len(points))
+	for i, p := range points {
+		r.Trace.Points[i] = metrics.Point{
+			Epoch:        p.Epoch,
+			Time:         time.Duration(p.TimeNs),
+			Objective:    p.Objective,
+			TestAccuracy: p.TestAccuracy,
+			GradNorm:     p.GradNorm,
+		}
 	}
 }
 

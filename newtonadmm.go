@@ -192,6 +192,25 @@ type Options struct {
 	Seed int64
 	// EvalTestAccuracy measures test accuracy along the trace.
 	EvalTestAccuracy bool
+	// CheckpointDir enables crash-safe checkpointing for the newton-admm
+	// and giant solvers: an atomic, CRC-checked snapshot of the full
+	// solver state every CheckpointEvery epochs (see internal/ckpt).
+	// Other solvers reject the option.
+	CheckpointDir string
+	// CheckpointEvery is the snapshot period in epochs; <= 0 selects 1
+	// when CheckpointDir is set.
+	CheckpointEvery int
+	// Resume continues from the latest good checkpoint in CheckpointDir;
+	// the resumed run is bitwise-identical to an uninterrupted one. A
+	// checkpoint from a different solver/dataset/config is rejected.
+	Resume bool
+	// MaxRestarts bounds automatic restart-from-latest-checkpoint when
+	// training fails with a communication error (crashed or hung rank).
+	MaxRestarts int
+	// CollectiveTimeout bounds every blocking collective wait so a hung
+	// rank surfaces as a typed error instead of wedging the run; zero
+	// disables deadlines.
+	CollectiveTimeout time.Duration
 }
 
 // TracePoint is one epoch of convergence history.
@@ -216,6 +235,11 @@ type Model struct {
 	TestAccuracy float64
 	// TotalTime and AvgEpochTime are virtual (modeled) times.
 	TotalTime, AvgEpochTime time.Duration
+	// FailedEpoch is the outer iteration in flight when a failed run went
+	// down (0 for successful runs). Train returns a partial Model with
+	// the trace recorded so far alongside the error, so callers can flush
+	// the convergence history instead of discarding it.
+	FailedEpoch int
 }
 
 // NetworkByName resolves an interconnect model name.
@@ -267,13 +291,20 @@ func Train(ds *Dataset, opts Options) (*Model, error) {
 	if err != nil {
 		return nil, err
 	}
-	ccfg := cluster.Config{Ranks: opts.Ranks, Network: net, UseTCP: opts.UseTCP}
+	ccfg := cluster.Config{
+		Ranks: opts.Ranks, Network: net, UseTCP: opts.UseTCP,
+		CollectiveTimeout: opts.CollectiveTimeout,
+	}
 	cgOpts := cg.Options{MaxIters: opts.CGIters, RelTol: opts.CGTol}
+	if opts.CheckpointDir != "" && opts.Solver != SolverNewtonADMM && opts.Solver != SolverGIANT {
+		return nil, fmt.Errorf("newtonadmm: solver %q does not support checkpointing", opts.Solver)
+	}
 
 	var (
-		weights []float64
-		trace   metrics.Trace
-		acc     = math.NaN()
+		weights     []float64
+		trace       metrics.Trace
+		acc         = math.NaN()
+		failedEpoch int
 	)
 	switch opts.Solver {
 	case SolverNewtonADMM:
@@ -282,8 +313,15 @@ func Train(ds *Dataset, opts Options) (*Model, error) {
 			Penalty: opts.PenaltyPolicy, CG: cgOpts, Jacobi: opts.Jacobi,
 			LineSearch:       linesearch.Options{MaxIters: 10},
 			EvalTestAccuracy: opts.EvalTestAccuracy,
+			CheckpointDir:    opts.CheckpointDir,
+			CheckpointEvery:  opts.CheckpointEvery,
+			Resume:           opts.Resume,
+			MaxRestarts:      opts.MaxRestarts,
 		})
 		if err != nil {
+			if res != nil {
+				return buildModel(ds, opts, res.Z, res.Trace, acc, res.FailedEpoch), err
+			}
 			return nil, err
 		}
 		weights, trace, acc = res.Z, res.Trace, res.TestAccuracy
@@ -292,8 +330,15 @@ func Train(ds *Dataset, opts Options) (*Model, error) {
 			Epochs: opts.Epochs, Lambda: opts.Lambda, CG: cgOpts,
 			LineSearch:       linesearch.Options{MaxIters: 10},
 			EvalTestAccuracy: opts.EvalTestAccuracy,
+			CheckpointDir:    opts.CheckpointDir,
+			CheckpointEvery:  opts.CheckpointEvery,
+			Resume:           opts.Resume,
+			MaxRestarts:      opts.MaxRestarts,
 		})
 		if err != nil {
+			if res != nil {
+				return buildModel(ds, opts, res.X, res.Trace, acc, res.FailedEpoch), err
+			}
 			return nil, err
 		}
 		weights, trace, acc = res.X, res.Trace, res.TestAccuracy
@@ -351,6 +396,12 @@ func Train(ds *Dataset, opts Options) (*Model, error) {
 		return nil, fmt.Errorf("newtonadmm: unknown solver %q", opts.Solver)
 	}
 
+	return buildModel(ds, opts, weights, trace, acc, failedEpoch), nil
+}
+
+// buildModel assembles the public Model from a solver's outputs (also
+// used for the partial model returned alongside a training error).
+func buildModel(ds *Dataset, opts Options, weights []float64, trace metrics.Trace, acc float64, failedEpoch int) *Model {
 	m := &Model{
 		Weights:      weights,
 		Classes:      ds.inner.Classes,
@@ -358,6 +409,7 @@ func Train(ds *Dataset, opts Options) (*Model, error) {
 		Solver:       opts.Solver,
 		TestAccuracy: acc,
 		AvgEpochTime: trace.AvgEpochTime(),
+		FailedEpoch:  failedEpoch,
 	}
 	for _, p := range trace.Points {
 		m.Trace = append(m.Trace, TracePoint{
@@ -368,7 +420,7 @@ func Train(ds *Dataset, opts Options) (*Model, error) {
 	if final, ok := trace.Final(); ok {
 		m.TotalTime = final.Time
 	}
-	return m, nil
+	return m
 }
 
 // trainSingleNodeNewton runs the paper's Algorithm 1 on the whole dataset
